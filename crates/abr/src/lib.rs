@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! # voxel-abr
+//!
+//! Every ABR algorithm of the paper's evaluation (§5 "ABR algorithms" and
+//! §4.3), behind one [`Abr`] trait the player drives:
+//!
+//! | name       | module       | transport | notes |
+//! |------------|--------------|-----------|-------|
+//! | Tput       | [`throughput`] | either  | naive rate-matching baseline |
+//! | BOLA       | [`bola`]     | QUIC      | BOLA-E variant with segment abandonment (state of the art) |
+//! | MPC        | [`mpc`]      | QUIC      | robust MPC, 5-segment lookahead |
+//! | BETA       | [`beta`]     | reliable  | re-implemented from its paper: only unreferenced B-frames droppable, one virtual level per quality |
+//! | BOLA-SSIM  | [`bola_ssim`]| QUIC\*    | BOLA-E + SSIM utility + partial-segment decision space (§4.3 intermediate step) |
+//! | MPC\*      | [`mpc_star`] | QUIC\*    | robust MPC with the §4.3 curbed virtual-level search space (paper-discussed extension) |
+//! | ABR\*      | [`abr_star`] | QUIC\*    | BOLA-SSIM + keep-partial-and-move-on abandonment + bandwidth-safety factor |
+//!
+//! The trait is deliberately transport-agnostic: algorithms see buffer
+//! state, throughput estimates and the (extended) manifest, and return a
+//! [`Decision`]; mid-download they are consulted for abandonment via
+//! [`Abr::on_progress`].
+
+pub mod abr_star;
+pub mod beta;
+pub mod bola;
+pub mod bola_ssim;
+pub mod mpc;
+pub mod mpc_star;
+pub mod throughput;
+pub mod traits;
+
+pub use abr_star::AbrStar;
+pub use beta::Beta;
+pub use bola::Bola;
+pub use bola_ssim::BolaSsim;
+pub use mpc::Mpc;
+pub use mpc_star::MpcStar;
+pub use throughput::{ThroughputAbr, ThroughputEstimator};
+pub use traits::{AbandonAction, Abr, AbrContext, Decision, DownloadProgress};

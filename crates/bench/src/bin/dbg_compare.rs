@@ -1,0 +1,33 @@
+//! Ad-hoc A/B comparison harness (not a paper figure).
+
+use voxel_bench::{sys_config, trace_by_name, video_by_name};
+use voxel_core::experiment::ContentCache;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace = args.get(1).map(String::as_str).unwrap_or("Verizon");
+    let video = args.get(2).map(String::as_str).unwrap_or("BBB");
+    let buffer: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let mut cache = ContentCache::new();
+    println!("trace={trace} video={video} buffer={buffer} trials={}", voxel_bench::trial_count());
+    for system in ["BOLA", "BETA", "VOXEL", "BOLA-SSIM"] {
+        let t0 = std::time::Instant::now();
+        let agg = voxel_bench::run(
+            &mut cache,
+            sys_config(video_by_name(video), system, buffer, trace_by_name(trace)),
+        );
+        println!(
+            "{system:10} bufRatio p90={:6.2}% mean={:6.2}% bitrate={:6.0}kbps ssim={:.4} skipped={:4.1}% restarts={:.1} partials={:.1} residual_loss={:4.1}% [{:?}]",
+            agg.buf_ratio_p90(),
+            agg.buf_ratio_mean(),
+            agg.bitrate_mean_kbps(),
+            agg.mean_ssim(),
+            agg.data_skipped_mean_pct(),
+            agg.trials.iter().map(|t| t.restarts as f64).sum::<f64>() / agg.trials.len() as f64,
+            agg.trials.iter().map(|t| t.kept_partials as f64).sum::<f64>() / agg.trials.len() as f64,
+            agg.residual_loss_mean_pct(),
+            t0.elapsed(),
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Ad-hoc session debugging harness (not a paper figure).
+
+use std::sync::Arc;
+use voxel_core::client::{PlayerConfig, TransportMode};
+use voxel_core::session::Session;
+use voxel_media::content::VideoId;
+use voxel_media::ladder::QualityLevel;
+use voxel_media::qoe::QoeModel;
+use voxel_media::video::Video;
+use voxel_netem::{BandwidthTrace, PathConfig};
+use voxel_prep::manifest::Manifest;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mode = args.get(1).map(String::as_str).unwrap_or("voxel");
+    let mbps: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(50.0);
+
+    let video = Video::generate(VideoId::Bbb);
+    let qoe = QoeModel::default();
+    let t0 = std::time::Instant::now();
+    let manifest = Arc::new(Manifest::prepare_levels(
+        &video,
+        &qoe,
+        &[QualityLevel::MAX],
+    ));
+    eprintln!("prepare: {:?}", t0.elapsed());
+
+    let path = PathConfig::new(BandwidthTrace::constant(mbps, 3600), 64);
+    let (abr, transport): (Box<dyn voxel_abr::Abr>, _) = match mode {
+        "bola" => (Box::new(voxel_abr::Bola::new()), TransportMode::Reliable),
+        _ => (Box::new(voxel_abr::AbrStar::default()), TransportMode::Split),
+    };
+    let session = Session::new(
+        path,
+        manifest,
+        Arc::new(video),
+        qoe,
+        abr,
+        PlayerConfig::new(7, transport),
+    );
+    let t1 = std::time::Instant::now();
+    let r = session.run();
+    eprintln!("run: {:?}", t1.elapsed());
+    println!(
+        "mode={mode} mbps={mbps} segments={} bufRatio={:.2}% bitrate={:.0}kbps ssim={:.4} startup={:.2}s stalls={:.2}s restarts={} partials={} downloaded={}MB wasted={}MB",
+        r.segment_scores.len(),
+        r.buf_ratio_pct(),
+        r.avg_bitrate_kbps(),
+        r.avg_ssim(),
+        r.startup_s,
+        r.stall_s,
+        r.restarts,
+        r.kept_partials,
+        r.bytes_downloaded / 1_000_000,
+        r.bytes_wasted / 1_000_000,
+    );
+}

@@ -1,0 +1,43 @@
+//! Figure 16 (Appendix B): 750-packet router queue — the cached-on-LTE
+//! scenario. Long queues challenge loss-based CUBIC (bufferbloat), so
+//! VOXEL's edge narrows, as the paper observes.
+
+use voxel_bench::{header, sys_config, trace_by_name, video_by_name};
+use voxel_core::experiment::ContentCache;
+
+fn main() {
+    let mut cache = ContentCache::new();
+    header("Fig 16", "bufRatio with a 750-packet network queue");
+    println!(
+        "{:20} {:>4} {:>8} {:>12}",
+        "panel", "buf", "system", "bufRatio-p90"
+    );
+    for (trace, videos) in [("T-Mobile", ["BBB", "ED"]), ("Verizon", ["Sintel", "ToS"])] {
+        for video in videos {
+            for buffer in [1usize, 2, 3, 7] {
+                let voxel = if trace == "T-Mobile" { "VOXEL-tuned" } else { "VOXEL" };
+                for (label, system, delay_cc) in [
+                    ("BOLA", "BOLA", false),
+                    (voxel, voxel, false),
+                    ("VOXEL+delayCC", voxel, true),
+                ] {
+                    let mut cfg = sys_config(video_by_name(video), system, buffer, trace_by_name(trace))
+                        .with_queue(750);
+                    if delay_cc {
+                        cfg = cfg.with_delay_cc();
+                    }
+                    let agg = voxel_bench::run(&mut cache, cfg);
+                    println!(
+                        "{:20} {:>4} {:>14} {:>11.2}%",
+                        format!("{trace}/{video}"),
+                        buffer,
+                        label,
+                        agg.buf_ratio_p90(),
+                    );
+                }
+            }
+        }
+    }
+    println!("\n# expectation (paper): VOXEL keeps a slight edge at small buffers; occasionally worse on Verizon at larger buffers (loss-based CC vs deep queues).");
+    println!("# The VOXEL+delayCC rows are the paper's Appendix-B future-work suggestion: a delay-based controller sidesteps the bufferbloat penalty.");
+}

@@ -1,0 +1,7 @@
+//! Figure 4 is produced together with Figure 3 (same configuration matrix,
+//! bitrate columns). This binary simply delegates.
+
+fn main() {
+    println!("# Fig 4 shares the Fig 3 matrix; run `cargo run --release -p voxel-bench --bin fig3`");
+    println!("# The `bitrate-kbps` column is the Fig 4 series.");
+}

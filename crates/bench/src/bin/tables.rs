@@ -1,0 +1,68 @@
+//! Tables 1–3: video characterizations and the bitrate ladder, regenerated
+//! from the synthetic model (the input statistics are verbatim from the
+//! paper; this binary prints the *measured* statistics of the generated
+//! videos next to them).
+
+use voxel_bench::header;
+use voxel_media::content::VideoId;
+use voxel_media::ladder::{QualityLevel, BITRATE_LADDER};
+use voxel_media::video::Video;
+
+fn main() {
+    header("Table 1", "evaluation videos from prior work");
+    println!(
+        "{:24} {:14} {:>12} {:>12} {:>10}",
+        "video", "genre", "std(paper)", "std(ours)", "range"
+    );
+    for id in VideoId::EVAL {
+        let p = id.profile();
+        let v = Video::generate(id);
+        println!(
+            "{:24} {:14} {:>12.2} {:>12.2} {:>10}",
+            id.short_name(),
+            p.genre,
+            p.bitrate_std_mbps,
+            v.bitrate_std_mbps(QualityLevel::MAX),
+            format!("{}-{}", p.segment_range_start, p.segment_range_start + 74),
+        );
+    }
+
+    header("Table 2", "quality levels of encoded videos");
+    println!(
+        "{:>6} {:>12} {:>14} {:>14} {:>14}",
+        "level", "resolution", "bitrate(Mbps)", "size(paper MB)", "size(ours MB)"
+    );
+    for (i, rung) in BITRATE_LADDER.iter().enumerate() {
+        let level = QualityLevel::try_from(i).expect("valid");
+        // Measured size of a generated clip at this level (BBB).
+        let v = Video::generate(VideoId::Bbb);
+        let bytes: u64 = v.segments.iter().map(|s| s.bytes(level)).sum();
+        println!(
+            "{:>6} {:>11}p {:>14.2} {:>14.1} {:>14.1}",
+            format!("Q{i}"),
+            rung.resolution_p,
+            rung.avg_bitrate_mbps,
+            rung.total_size_mb,
+            bytes as f64 / 1e6,
+        );
+    }
+
+    header("Table 3", "public YouTube videos");
+    println!(
+        "{:>4} {:16} {:>12} {:>12} {:>10}",
+        "id", "category", "std(paper)", "std(ours)", "range"
+    );
+    for n in 1..=10u8 {
+        let id = VideoId::YouTube(n);
+        let p = id.profile();
+        let v = Video::generate(id);
+        println!(
+            "{:>4} {:16} {:>12.2} {:>12.2} {:>10}",
+            id.short_name(),
+            p.genre,
+            p.bitrate_std_mbps,
+            v.bitrate_std_mbps(QualityLevel::MAX),
+            format!("{}-{}", p.segment_range_start, p.segment_range_start + 74),
+        );
+    }
+}

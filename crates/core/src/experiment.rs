@@ -1,0 +1,351 @@
+//! Experiment configurations and the §5 protocol.
+//!
+//! "An experiment involves streaming a video from a server to a client via
+//! the router, under a fixed configuration. A configuration specifies the
+//! ABR algorithm, buffer size, video, and network trace. Unless otherwise
+//! stated, we repeat each experiment 30 times … For each repetition we
+//! linearly shift the network trace by d/30 s."
+
+use crate::client::{PlayerConfig, TransportMode};
+use crate::metrics::{Aggregate, TrialResult};
+use crate::session::Session;
+use std::collections::HashMap;
+use std::sync::Arc;
+use voxel_abr::{Abr, AbrStar, Beta, Bola, BolaSsim, Mpc, MpcStar, ThroughputAbr};
+use voxel_media::content::VideoId;
+use voxel_media::qoe::{QoeMetric, QoeModel};
+use voxel_media::video::Video;
+use voxel_netem::{BandwidthTrace, PathConfig};
+use voxel_prep::manifest::Manifest;
+use voxel_quic::CcKind;
+use voxel_sim::SimDuration;
+
+/// Which ABR algorithm a configuration runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AbrKind {
+    /// Naive throughput matching.
+    Tput,
+    /// BOLA-E (state of the art).
+    Bola,
+    /// Robust MPC.
+    Mpc,
+    /// MPC\* — MPC with the curbed virtual-level search space (§4.3
+    /// discussion, implemented here as an extension).
+    MpcStar,
+    /// BETA (reliable transport, b-frame tail).
+    Beta,
+    /// BOLA-SSIM (§4.3 intermediate).
+    BolaSsim,
+    /// ABR\* = VOXEL, with a bandwidth-safety factor and QoE metric.
+    Voxel {
+        /// Bandwidth-safety factor (1.0 aggressive; ≈0.85 tuned).
+        safety: f64,
+        /// QoE metric the utility optimizes.
+        metric: QoeMetric,
+    },
+}
+
+impl AbrKind {
+    /// VOXEL with default (aggressive) tuning and SSIM utility.
+    pub fn voxel() -> AbrKind {
+        AbrKind::Voxel {
+            safety: 1.0,
+            metric: QoeMetric::Ssim,
+        }
+    }
+
+    /// VOXEL with the Fig 6d "less aggressive" bandwidth-safety tuning.
+    pub fn voxel_tuned() -> AbrKind {
+        AbrKind::Voxel {
+            safety: 0.85,
+            metric: QoeMetric::Ssim,
+        }
+    }
+
+    /// Instantiate the algorithm.
+    pub fn make(&self) -> Box<dyn Abr> {
+        match *self {
+            AbrKind::Tput => Box::new(ThroughputAbr::default()),
+            AbrKind::Bola => Box::new(Bola::new()),
+            AbrKind::Mpc => Box::new(Mpc::default()),
+            AbrKind::MpcStar => Box::new(MpcStar::default()),
+            AbrKind::Beta => Box::new(Beta::new()),
+            AbrKind::BolaSsim => Box::new(BolaSsim::default()),
+            AbrKind::Voxel { safety, metric } => Box::new(AbrStar::with_safety(metric, safety)),
+        }
+    }
+
+    /// Display name for figure rows.
+    pub fn label(&self) -> String {
+        match self {
+            AbrKind::Tput => "Tput".into(),
+            AbrKind::Bola => "BOLA".into(),
+            AbrKind::Mpc => "MPC".into(),
+            AbrKind::MpcStar => "MPC*".into(),
+            AbrKind::Beta => "BETA".into(),
+            AbrKind::BolaSsim => "BOLA-SSIM".into(),
+            AbrKind::Voxel { metric, safety } => {
+                let m = match metric {
+                    QoeMetric::Ssim => "",
+                    QoeMetric::Vmaf => "/VMAF",
+                    QoeMetric::Psnr => "/PSNR",
+                };
+                if *safety < 1.0 {
+                    format!("VOXEL{m} (tuned)")
+                } else {
+                    format!("VOXEL{m}")
+                }
+            }
+        }
+    }
+
+    /// The transport this algorithm is evaluated with by default.
+    pub fn default_transport(&self) -> TransportMode {
+        match self {
+            AbrKind::Beta => TransportMode::Reliable,
+            AbrKind::Voxel { .. } | AbrKind::BolaSsim | AbrKind::MpcStar => TransportMode::Split,
+            // Vanilla ABRs default to vanilla QUIC; §5.1 overrides to Split.
+            _ => TransportMode::Reliable,
+        }
+    }
+}
+
+/// A full experiment configuration.
+#[derive(Clone)]
+pub struct Config {
+    /// The video to stream.
+    pub video: VideoId,
+    /// The ABR algorithm.
+    pub abr: AbrKind,
+    /// Transport mode (defaults from the ABR; §5.1 overrides it).
+    pub transport: TransportMode,
+    /// Playback buffer capacity in segments.
+    pub buffer_segments: usize,
+    /// The bandwidth trace.
+    pub trace: BandwidthTrace,
+    /// Droptail queue length in packets (the paper's trace experiments use
+    /// 32; Appendix B uses 750).
+    pub queue_packets: usize,
+    /// Number of trials (30 in the paper).
+    pub trials: usize,
+    /// Disable selective retransmission (and partial reliability stays per
+    /// `transport`).
+    pub selective_retx: bool,
+    /// Congestion controller (CUBIC = the paper; Delay = Appendix B
+    /// future-work ablation).
+    pub cc: CcKind,
+}
+
+impl Config {
+    /// A §5-style configuration with the paper's defaults.
+    pub fn new(video: VideoId, abr: AbrKind, buffer_segments: usize, trace: BandwidthTrace) -> Config {
+        Config {
+            video,
+            transport: abr.default_transport(),
+            abr,
+            buffer_segments,
+            trace,
+            queue_packets: 32,
+            trials: 30,
+            selective_retx: true,
+            cc: CcKind::Cubic,
+        }
+    }
+
+    /// Override the transport (e.g. vanilla ABRs over QUIC\*, §5.1).
+    pub fn with_transport(mut self, t: TransportMode) -> Config {
+        self.transport = t;
+        self
+    }
+
+    /// Override the trial count (the bench harness's fast mode).
+    pub fn with_trials(mut self, n: usize) -> Config {
+        self.trials = n;
+        self
+    }
+
+    /// Override the queue length.
+    pub fn with_queue(mut self, packets: usize) -> Config {
+        self.queue_packets = packets;
+        self
+    }
+
+    /// Disable selective retransmission.
+    pub fn without_retx(mut self) -> Config {
+        self.selective_retx = false;
+        self
+    }
+
+    /// Use the delay-based congestion controller (Appendix B ablation).
+    pub fn with_delay_cc(mut self) -> Config {
+        self.cc = CcKind::Delay;
+        self
+    }
+}
+
+/// Cache of prepared manifests (the offline §4.1 computation is one-time
+/// per video, exactly as the paper argues).
+#[derive(Default)]
+pub struct ContentCache {
+    entries: HashMap<VideoId, (Arc<Manifest>, Arc<Video>)>,
+    qoe: QoeModel,
+}
+
+impl ContentCache {
+    /// Empty cache with the default QoE model.
+    pub fn new() -> ContentCache {
+        ContentCache {
+            entries: HashMap::new(),
+            qoe: QoeModel::default(),
+        }
+    }
+
+    /// The QoE model used for preparation and scoring.
+    pub fn qoe(&self) -> QoeModel {
+        self.qoe.clone()
+    }
+
+    /// Get (or prepare) a video + manifest.
+    pub fn get(&mut self, id: VideoId) -> (Arc<Manifest>, Arc<Video>) {
+        let qoe = self.qoe.clone();
+        self.entries
+            .entry(id)
+            .or_insert_with(|| {
+                let video = Video::generate(id);
+                let manifest = Arc::new(Manifest::prepare(&video, &qoe));
+                (manifest, Arc::new(video))
+            })
+            .clone()
+    }
+}
+
+/// Run one trial of `config` with the trace shifted by `shift_s`.
+pub fn run_trial(config: &Config, cache: &mut ContentCache, shift_s: usize) -> TrialResult {
+    let (manifest, video) = cache.get(config.video);
+    run_prepared_trial(config, &manifest, &video, &cache.qoe(), shift_s)
+}
+
+/// The full §5 protocol: `config.trials` repetitions with the trace
+/// linearly shifted by `d/trials` per repetition.
+///
+/// Trials are independent deterministic simulations, so they run on a
+/// thread per core; results are ordered by shift regardless of completion
+/// order, keeping the aggregate bit-identical to a serial run.
+pub fn run_config(config: &Config, cache: &mut ContentCache) -> Aggregate {
+    let d = config.trace.duration_s();
+    let n = config.trials.max(1);
+    // Prepare the content once, up front, on this thread.
+    let (manifest, video) = cache.get(config.video);
+    let qoe = cache.qoe();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<TrialResult>> = (0..n).map(|_| None).collect();
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<TrialResult>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = run_prepared_trial(config, &manifest, &video, &qoe, i * d / n);
+                **slot_refs[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    Aggregate::new(slots.into_iter().map(|s| s.expect("trial ran")).collect())
+}
+
+/// One trial against already-prepared content.
+fn run_prepared_trial(
+    config: &Config,
+    manifest: &Arc<Manifest>,
+    video: &Arc<Video>,
+    qoe: &QoeModel,
+    shift_s: usize,
+) -> TrialResult {
+    let trace = config.trace.shift(shift_s);
+    let mut path = PathConfig::new(trace, config.queue_packets);
+    path.delay_down = SimDuration::from_millis(30);
+    let mut player = PlayerConfig::new(config.buffer_segments, config.transport);
+    player.selective_retx = config.selective_retx && config.transport == TransportMode::Split;
+    let session = Session::with_cc(
+        path,
+        manifest.clone(),
+        video.clone(),
+        qoe.clone(),
+        config.abr.make(),
+        player,
+        config.cc,
+    );
+    let mut r = session.run();
+    r.abr = config.abr.label();
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abr_kinds_instantiate_with_expected_names() {
+        for (kind, name) in [
+            (AbrKind::Tput, "Tput"),
+            (AbrKind::Bola, "BOLA"),
+            (AbrKind::Mpc, "MPC"),
+            (AbrKind::Beta, "BETA"),
+            (AbrKind::BolaSsim, "BOLA-SSIM"),
+            (AbrKind::voxel(), "VOXEL"),
+        ] {
+            assert_eq!(kind.make().name(), name);
+        }
+    }
+
+    #[test]
+    fn default_transports_match_the_paper() {
+        assert_eq!(AbrKind::Beta.default_transport(), TransportMode::Reliable);
+        assert_eq!(AbrKind::Bola.default_transport(), TransportMode::Reliable);
+        assert_eq!(AbrKind::voxel().default_transport(), TransportMode::Split);
+    }
+
+    #[test]
+    fn labels_distinguish_tuning_and_metric() {
+        assert_eq!(AbrKind::voxel().label(), "VOXEL");
+        assert_eq!(AbrKind::voxel_tuned().label(), "VOXEL (tuned)");
+        let vmaf = AbrKind::Voxel {
+            safety: 1.0,
+            metric: QoeMetric::Vmaf,
+        };
+        assert_eq!(vmaf.label(), "VOXEL/VMAF");
+    }
+
+    #[test]
+    fn config_builders_apply() {
+        let c = Config::new(
+            VideoId::Bbb,
+            AbrKind::Bola,
+            3,
+            BandwidthTrace::constant(10.0, 300),
+        )
+        .with_transport(TransportMode::Split)
+        .with_trials(5)
+        .with_queue(750)
+        .without_retx();
+        assert_eq!(c.transport, TransportMode::Split);
+        assert_eq!(c.trials, 5);
+        assert_eq!(c.queue_packets, 750);
+        assert!(!c.selective_retx);
+    }
+
+    #[test]
+    fn cache_prepares_once() {
+        let mut cache = ContentCache::new();
+        let (m1, _) = cache.get(VideoId::YouTube(9));
+        let (m2, _) = cache.get(VideoId::YouTube(9));
+        assert!(Arc::ptr_eq(&m1, &m2));
+    }
+}

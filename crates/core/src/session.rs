@@ -1,0 +1,376 @@
+//! One playback trial: client ⇄ (bottleneck path) ⇄ server, in virtual time.
+//!
+//! The deterministic event loop owns both QUIC\* endpoints, the server and
+//! client applications, and the emulated path. Each iteration drains
+//! application logic and transmissions, then advances virtual time to the
+//! earliest pending event (datagram delivery, transport timer, or the
+//! player's 100 ms tick).
+
+use crate::client::{ClientApp, PlayerConfig};
+use crate::metrics::TrialResult;
+use crate::server::ServerApp;
+use bytes::Bytes;
+use std::sync::Arc;
+use voxel_abr::Abr;
+use voxel_media::qoe::QoeModel;
+use voxel_media::video::Video;
+use voxel_netem::{BottleneckPath, PathConfig};
+use voxel_prep::manifest::Manifest;
+use voxel_quic::{CcKind, Connection, ConnectionConfig, Role};
+use voxel_sim::{EventQueue, SimDuration, SimTime};
+
+/// Events of the session loop.
+enum Ev {
+    /// Datagram arriving at the client.
+    ToClient(Bytes),
+    /// Datagram arriving at the server.
+    ToServer(Bytes),
+    /// Player tick (progress checks, playback deadlines).
+    Tick,
+}
+
+/// One streaming trial.
+pub struct Session {
+    queue: EventQueue<Ev>,
+    path: BottleneckPath,
+    client_conn: Connection,
+    server_conn: Connection,
+    server: ServerApp,
+    client: ClientApp,
+    /// Hard cap on simulated time (safety net; never reached in practice).
+    cap: SimTime,
+}
+
+impl Session {
+    /// Assemble a session.
+    pub fn new(
+        path_config: PathConfig,
+        manifest: Arc<Manifest>,
+        video: Arc<Video>,
+        qoe: QoeModel,
+        abr: Box<dyn Abr>,
+        player: PlayerConfig,
+    ) -> Session {
+        Self::with_cc(path_config, manifest, video, qoe, abr, player, CcKind::Cubic)
+    }
+
+    /// Assemble a session with an explicit congestion controller (the
+    /// Appendix B delay-based-CC ablation).
+    pub fn with_cc(
+        path_config: PathConfig,
+        manifest: Arc<Manifest>,
+        video: Arc<Video>,
+        qoe: QoeModel,
+        abr: Box<dyn Abr>,
+        player: PlayerConfig,
+        cc: CcKind,
+    ) -> Session {
+        let duration = video.duration_s();
+        let client = ClientApp::new(player, manifest.clone(), video, qoe, abr);
+        let conn_config = ConnectionConfig {
+            cc,
+            ..ConnectionConfig::default()
+        };
+        Session {
+            queue: EventQueue::new(),
+            path: BottleneckPath::new(path_config),
+            client_conn: Connection::new(Role::Client, conn_config.clone()),
+            server_conn: Connection::new(Role::Server, conn_config),
+            server: ServerApp::new(manifest, true),
+            client,
+            cap: SimTime::from_secs_f64(duration * 5.0 + 120.0),
+        }
+    }
+
+    /// Make the server VOXEL-unaware (backward-compatibility experiments).
+    pub fn with_voxel_unaware_server(mut self) -> Session {
+        self.server.voxel_aware = false;
+        self
+    }
+
+    /// Run to completion and produce the trial result.
+    pub fn run(mut self) -> TrialResult {
+        // Boot: first tick at t=0 starts the manifest fetch.
+        self.queue.schedule(SimTime::ZERO, Ev::Tick);
+        let mut last_tick = SimTime::ZERO;
+        let debug = std::env::var("VOXEL_SESSION_DEBUG").is_ok();
+        let mut iters: u64 = 0;
+        let mut pkts: u64 = 0;
+
+        loop {
+            let now = self.queue.now();
+            iters += 1;
+            if debug && iters.is_multiple_of(10_000) {
+                let (seg, dl, recs) = self.client.debug_state();
+                eprintln!(
+                    "iter={}k now={now} pkts={} queue={} cwnd={} inflight_srv seg={seg} dl={dl} recs={recs} | {}",
+                    iters / 1000,
+                    pkts,
+                    self.queue.len(),
+                    self.server_conn.cwnd(),
+                    format!("stats={:?} timer={:?}", self.server_conn.stats(), self.server_conn.next_timeout()),
+                );
+            }
+            // Application pumps.
+            self.server.handle(&mut self.server_conn);
+            self.client.on_wake(now, &mut self.client_conn);
+            if self.client.is_done() {
+                return self.client.into_result(now);
+            }
+
+            // Drain transmissions until neither side has anything to send.
+            loop {
+                let mut progressed = false;
+                while let Some(p) = self.server_conn.poll_transmit(now) {
+                    pkts += 1;
+                    let size = p.wire_size();
+                    if let Some(arrival) = self.path.send_downlink(now, size) {
+                        self.queue.schedule(arrival, Ev::ToClient(p.encode()));
+                    }
+                    progressed = true;
+                }
+                while let Some(p) = self.client_conn.poll_transmit(now) {
+                    let arrival = self.path.send_uplink(now);
+                    self.queue.schedule(arrival, Ev::ToServer(p.encode()));
+                    progressed = true;
+                }
+                if !progressed {
+                    break;
+                }
+            }
+
+            // Keep exactly one player tick armed ~100 ms out.
+            if last_tick <= now {
+                if let Some(wake) = self.client.next_wake(now) {
+                    last_tick = wake;
+                    self.queue.schedule(wake, Ev::Tick);
+                }
+            }
+
+            // Next event: queue, or a transport timer.
+            let timer_c = self.client_conn.next_timeout();
+            let timer_s = self.server_conn.next_timeout();
+            let next = [self.queue.peek_time(), timer_c, timer_s]
+                .into_iter()
+                .flatten()
+                .min();
+            let Some(next) = next else {
+                // Nothing pending at all: force a tick so the player can
+                // re-evaluate (e.g. waiting out a buffer-full period).
+                let t = self.queue.now() + SimDuration::from_millis(100);
+                self.queue.schedule(t, Ev::Tick);
+                continue;
+            };
+            if next > self.cap {
+                // Safety cap: freeze what we have.
+                return self.client.into_result(self.cap);
+            }
+
+            // Deliver everything due at `next`.
+            if timer_c.is_some_and(|t| t <= next) {
+                // Advance queue time via a synthetic tick if needed.
+                self.client_conn.on_timeout(next);
+            }
+            if timer_s.is_some_and(|t| t <= next) {
+                self.server_conn.on_timeout(next);
+            }
+            while self.queue.peek_time() == Some(next) {
+                let ev = self.queue.pop().expect("peeked");
+                match ev.event {
+                    Ev::ToClient(d) => self.client_conn.on_datagram(next, d),
+                    Ev::ToServer(d) => self.server_conn.on_datagram(next, d),
+                    Ev::Tick => {}
+                }
+            }
+            // If only timers fired (queue still in the past), bump the
+            // queue's clock with a no-op event.
+            if self.queue.now() < next {
+                self.queue.schedule(next, Ev::Tick);
+                self.queue.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::TransportMode;
+    use voxel_abr::{AbrStar, Bola};
+    use voxel_media::content::VideoId;
+    use voxel_media::ladder::QualityLevel;
+    use voxel_netem::BandwidthTrace;
+
+    fn setup(levels: &[QualityLevel]) -> (Arc<Manifest>, Arc<Video>, QoeModel) {
+        let video = Video::generate(VideoId::Bbb);
+        let qoe = QoeModel::default();
+        let manifest = Arc::new(Manifest::prepare_levels(&video, &qoe, levels));
+        (manifest, Arc::new(video), qoe)
+    }
+
+    #[test]
+    fn bola_over_fat_pipe_plays_without_stalls() {
+        let (manifest, video, qoe) = setup(&[]);
+        let path = PathConfig::new(BandwidthTrace::constant(50.0, 600), 64);
+        let session = Session::new(
+            path,
+            manifest,
+            video,
+            qoe,
+            Box::new(Bola::new()),
+            PlayerConfig::new(7, TransportMode::Reliable),
+        );
+        let r = session.run();
+        assert_eq!(r.segment_scores.len(), 75);
+        assert!(r.buf_ratio_pct() < 1.0, "bufRatio {}", r.buf_ratio_pct());
+        // 50 Mbps is plenty for Q12: the mean delivered bitrate should be
+        // high.
+        assert!(r.avg_bitrate_kbps() > 5_000.0, "bitrate {}", r.avg_bitrate_kbps());
+        assert!(r.avg_ssim() > 0.98, "ssim {}", r.avg_ssim());
+    }
+
+    #[test]
+    fn voxel_over_fat_pipe_is_clean_too() {
+        let (manifest, video, qoe) = setup(&[QualityLevel::MAX]);
+        let path = PathConfig::new(BandwidthTrace::constant(50.0, 600), 64);
+        let session = Session::new(
+            path,
+            manifest,
+            video,
+            qoe,
+            Box::new(AbrStar::default()),
+            PlayerConfig::new(7, TransportMode::Split),
+        );
+        let r = session.run();
+        assert_eq!(r.segment_scores.len(), 75);
+        assert!(r.buf_ratio_pct() < 1.0, "bufRatio {}", r.buf_ratio_pct());
+        assert!(r.avg_ssim() > 0.97, "ssim {}", r.avg_ssim());
+    }
+
+    #[test]
+    fn starvation_produces_stalls_not_hangs() {
+        let (manifest, video, qoe) = setup(&[]);
+        // 0.1 Mbps cannot sustain even Q0 (0.16 Mbps average).
+        let path = PathConfig::new(BandwidthTrace::constant(0.1, 3600), 32);
+        let session = Session::new(
+            path,
+            manifest,
+            video,
+            qoe,
+            Box::new(Bola::new()),
+            PlayerConfig::new(3, TransportMode::Reliable),
+        );
+        let r = session.run();
+        assert!(r.buf_ratio_pct() > 5.0, "bufRatio {}", r.buf_ratio_pct());
+    }
+}
+
+#[cfg(test)]
+mod stall_accounting_tests {
+    use super::*;
+    use crate::client::TransportMode;
+    use voxel_abr::ThroughputAbr;
+    use voxel_media::content::VideoId;
+    use voxel_media::ladder::QualityLevel;
+    use voxel_netem::BandwidthTrace;
+
+    /// Engineer exactly one bandwidth blackout mid-session and verify the
+    /// stall accounting brackets it: the playback gap must be close to the
+    /// blackout length minus the buffered content.
+    #[test]
+    fn one_blackout_produces_a_bounded_stall() {
+        let video = Video::generate(VideoId::Bbb);
+        let qoe = QoeModel::default();
+        let manifest = Arc::new(Manifest::prepare_levels(&video, &qoe, &[]));
+        // 8 Mbps, with a 12-second blackout starting at t = 60 s.
+        let mut rates = vec![8.0; 600];
+        for r in rates.iter_mut().skip(60).take(12) {
+            *r = 0.05;
+        }
+        let trace = BandwidthTrace::new("blackout", rates);
+        let session = Session::new(
+            PathConfig::new(trace, 32),
+            manifest,
+            Arc::new(video),
+            qoe,
+            Box::new(ThroughputAbr::default()),
+            PlayerConfig::new(2, TransportMode::Reliable),
+        );
+        let r = session.run();
+        assert_eq!(r.segment_scores.len(), 75);
+        // The blackout is 12 s against at most 8 s of buffer: at least a
+        // couple of seconds must register, and never more than the
+        // blackout itself plus one segment of slack.
+        assert!(
+            r.stall_s >= 2.0,
+            "expected a visible stall, got {}",
+            r.stall_s
+        );
+        assert!(
+            r.stall_s <= 16.0,
+            "stall {} exceeds the blackout + slack",
+            r.stall_s
+        );
+    }
+
+    /// The safety cap fires (and still yields a well-formed result) when
+    /// the network is a trickle that can never finish the session.
+    #[test]
+    fn cap_yields_partial_but_wellformed_result() {
+        let video = Video::generate(VideoId::Bbb);
+        let qoe = QoeModel::default();
+        let manifest = Arc::new(Manifest::prepare_levels(&video, &qoe, &[]));
+        let trace = BandwidthTrace::constant(0.05, 3600);
+        let session = Session::new(
+            PathConfig::new(trace, 32),
+            manifest,
+            Arc::new(video),
+            qoe,
+            Box::new(ThroughputAbr::default()),
+            PlayerConfig::new(2, TransportMode::Reliable),
+        );
+        let r = session.run();
+        // Whether the cap fired or the trickle crawled through, the result
+        // must be well-formed (every record frozen and scored) and the
+        // session must register severe rebuffering.
+        assert!(r.segment_scores.len() <= 75);
+        assert_eq!(r.segment_kbps.len(), r.segment_scores.len());
+        assert!(
+            r.buf_ratio_pct() > 50.0,
+            "a 0.05 Mbps link must stall heavily, got {}%",
+            r.buf_ratio_pct()
+        );
+    }
+
+    /// Quality levels requested monotonically follow a rising staircase
+    /// trace (sanity of the whole ABR/throughput feedback loop).
+    #[test]
+    fn staircase_trace_raises_delivered_quality() {
+        let video = Video::generate(VideoId::Tos);
+        let qoe = QoeModel::default();
+        let manifest = Arc::new(Manifest::prepare_levels(&video, &qoe, &[]));
+        let mut rates = Vec::new();
+        for step in 0..5 {
+            rates.extend(std::iter::repeat(1.0 + step as f64 * 3.0).take(60));
+        }
+        let trace = BandwidthTrace::new("staircase", rates);
+        let session = Session::new(
+            PathConfig::new(trace, 32),
+            manifest,
+            Arc::new(video),
+            qoe,
+            Box::new(ThroughputAbr::default()),
+            PlayerConfig::new(3, TransportMode::Reliable),
+        );
+        let r = session.run();
+        assert_eq!(r.segment_scores.len(), 75);
+        // Mean delivered bitrate in the last fifth ≫ first fifth.
+        let first: f64 = r.segment_kbps[..15].iter().sum::<f64>() / 15.0;
+        let last: f64 = r.segment_kbps[60..].iter().sum::<f64>() / 15.0;
+        assert!(
+            last > first * 2.0,
+            "bitrate did not climb the staircase: {first} -> {last}"
+        );
+        let _ = QualityLevel::MAX; // staircase is about delivered bits
+    }
+}

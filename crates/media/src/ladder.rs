@@ -1,0 +1,154 @@
+//! The 13-level bitrate ladder of Table 2.
+//!
+//! Levels are based on common 16:9 resolutions with bitrates combined from
+//! the YouTube and Netflix bitrate ladders, exactly as the paper encodes its
+//! videos: Q0 at 0.16 Mbps (144 p) through Q12 at 10 Mbps (2160 p).
+
+/// Index of a quality level, `0..=12` (Q0 lowest … Q12 highest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QualityLevel(pub u8);
+
+/// Number of quality levels in the ladder.
+pub const NUM_LEVELS: usize = 13;
+
+/// One rung of the bitrate ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LadderRung {
+    /// Vertical resolution, e.g. `2160` for 4K.
+    pub resolution_p: u32,
+    /// Average encoded bitrate in Mbps (Table 2).
+    pub avg_bitrate_mbps: f64,
+    /// Total size of the paper's 5-minute clip at this level, in MB (Table 2).
+    pub total_size_mb: f64,
+}
+
+/// Table 2 of the paper: quality levels of the encoded videos.
+pub const BITRATE_LADDER: [LadderRung; NUM_LEVELS] = [
+    LadderRung { resolution_p: 144, avg_bitrate_mbps: 0.16, total_size_mb: 5.8 },
+    LadderRung { resolution_p: 240, avg_bitrate_mbps: 0.23, total_size_mb: 8.5 },
+    LadderRung { resolution_p: 240, avg_bitrate_mbps: 0.37, total_size_mb: 14.0 },
+    LadderRung { resolution_p: 360, avg_bitrate_mbps: 0.56, total_size_mb: 21.0 },
+    LadderRung { resolution_p: 360, avg_bitrate_mbps: 0.75, total_size_mb: 27.0 },
+    LadderRung { resolution_p: 480, avg_bitrate_mbps: 1.05, total_size_mb: 38.0 },
+    LadderRung { resolution_p: 480, avg_bitrate_mbps: 1.75, total_size_mb: 63.0 },
+    LadderRung { resolution_p: 720, avg_bitrate_mbps: 2.35, total_size_mb: 84.0 },
+    LadderRung { resolution_p: 720, avg_bitrate_mbps: 3.0, total_size_mb: 108.0 },
+    LadderRung { resolution_p: 1080, avg_bitrate_mbps: 4.3, total_size_mb: 154.0 },
+    LadderRung { resolution_p: 1080, avg_bitrate_mbps: 5.8, total_size_mb: 207.0 },
+    LadderRung { resolution_p: 1440, avg_bitrate_mbps: 7.4, total_size_mb: 264.0 },
+    LadderRung { resolution_p: 2160, avg_bitrate_mbps: 10.0, total_size_mb: 357.0 },
+];
+
+impl QualityLevel {
+    /// Lowest quality, Q0.
+    pub const MIN: QualityLevel = QualityLevel(0);
+    /// Highest quality, Q12.
+    pub const MAX: QualityLevel = QualityLevel((NUM_LEVELS - 1) as u8);
+
+    /// The ladder rung for this level.
+    pub fn rung(self) -> &'static LadderRung {
+        &BITRATE_LADDER[self.0 as usize]
+    }
+
+    /// Average bitrate in bits per second.
+    pub fn avg_bitrate_bps(self) -> f64 {
+        self.rung().avg_bitrate_mbps * 1e6
+    }
+
+    /// Average bitrate in Mbps.
+    pub fn avg_bitrate_mbps(self) -> f64 {
+        self.rung().avg_bitrate_mbps
+    }
+
+    /// Index as `usize` for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The next level down, or `None` at Q0.
+    pub fn lower(self) -> Option<QualityLevel> {
+        (self.0 > 0).then(|| QualityLevel(self.0 - 1))
+    }
+
+    /// The next level up, or `None` at Q12.
+    pub fn higher(self) -> Option<QualityLevel> {
+        (self.index() + 1 < NUM_LEVELS).then(|| QualityLevel(self.0 + 1))
+    }
+
+    /// Iterate over all levels, Q0..=Q12.
+    pub fn all() -> impl DoubleEndedIterator<Item = QualityLevel> {
+        (0..NUM_LEVELS as u8).map(QualityLevel)
+    }
+}
+
+impl std::fmt::Display for QualityLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+impl TryFrom<usize> for QualityLevel {
+    type Error = &'static str;
+    fn try_from(v: usize) -> Result<Self, Self::Error> {
+        if v < NUM_LEVELS {
+            Ok(QualityLevel(v as u8))
+        } else {
+            Err("quality level out of range (0..=12)")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_matches_table_2_endpoints() {
+        assert_eq!(QualityLevel(0).avg_bitrate_mbps(), 0.16);
+        assert_eq!(QualityLevel(12).avg_bitrate_mbps(), 10.0);
+        assert_eq!(QualityLevel(12).rung().resolution_p, 2160);
+        assert_eq!(QualityLevel(9).avg_bitrate_mbps(), 4.3);
+    }
+
+    #[test]
+    fn bitrates_strictly_increase() {
+        for w in BITRATE_LADDER.windows(2) {
+            assert!(w[0].avg_bitrate_mbps < w[1].avg_bitrate_mbps);
+            assert!(w[0].total_size_mb < w[1].total_size_mb);
+            assert!(w[0].resolution_p <= w[1].resolution_p);
+        }
+    }
+
+    #[test]
+    fn lower_higher_navigation() {
+        assert_eq!(QualityLevel::MIN.lower(), None);
+        assert_eq!(QualityLevel::MAX.higher(), None);
+        assert_eq!(QualityLevel(5).lower(), Some(QualityLevel(4)));
+        assert_eq!(QualityLevel(5).higher(), Some(QualityLevel(6)));
+    }
+
+    #[test]
+    fn all_iterates_thirteen_levels() {
+        let v: Vec<_> = QualityLevel::all().collect();
+        assert_eq!(v.len(), NUM_LEVELS);
+        assert_eq!(v[0], QualityLevel::MIN);
+        assert_eq!(*v.last().unwrap(), QualityLevel::MAX);
+    }
+
+    #[test]
+    fn try_from_bounds() {
+        assert!(QualityLevel::try_from(12).is_ok());
+        assert!(QualityLevel::try_from(13).is_err());
+    }
+
+    #[test]
+    fn total_sizes_roughly_match_bitrate_times_duration() {
+        // Table 2's total sizes are for ~5-minute clips; check the ladder is
+        // self-consistent within a factor of ~1.6 (VBR + container overhead).
+        for rung in &BITRATE_LADDER {
+            let expected_mb = rung.avg_bitrate_mbps * 300.0 / 8.0;
+            let ratio = rung.total_size_mb / expected_mb;
+            assert!((0.6..=1.7).contains(&ratio), "rung {rung:?} ratio {ratio}");
+        }
+    }
+}

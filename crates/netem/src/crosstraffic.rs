@@ -1,0 +1,169 @@
+//! Harpoon-like cross-traffic (§5 "In-lab trials with cross traffic").
+//!
+//! Harpoon is a flow-level traffic generator: clients fetch files of varying
+//! (heavy-tailed) sizes at varying times from servers, producing self-similar
+//! load "with many high and low bandwidth regions". We reproduce it at the
+//! same level of abstraction: Poisson session arrivals with bounded-Pareto
+//! transfer sizes, run through a fluid processor-sharing model of the
+//! bottleneck (TCP flows sharing a link converge to fair shares), with the
+//! video connection counted as one additional flow. The output is a
+//! fine-grained trace of the bandwidth *available to the video flow*, which
+//! then drives [`crate::BottleneckPath`] exactly like a recorded trace.
+
+use crate::trace::BandwidthTrace;
+use voxel_sim::SimRng;
+
+/// Parameters of the cross-traffic workload.
+#[derive(Debug, Clone)]
+pub struct CrossTrafficConfig {
+    /// Bottleneck link capacity in Mbps (the paper uses 20 Mbps).
+    pub capacity_mbps: f64,
+    /// Target average offered load in Mbps (10, 15 or 20 in the paper).
+    pub offered_mbps: f64,
+    /// Mean flow size in bytes (web-object scale).
+    pub mean_flow_bytes: f64,
+    /// Pareto shape for flow sizes (heavy tail; Harpoon's default regime).
+    pub pareto_shape: f64,
+}
+
+impl CrossTrafficConfig {
+    /// The paper's setup: 20 Mbps link with the given offered load.
+    pub fn paper(offered_mbps: f64) -> CrossTrafficConfig {
+        CrossTrafficConfig {
+            capacity_mbps: 20.0,
+            offered_mbps,
+            mean_flow_bytes: 180_000.0,
+            pareto_shape: 1.2,
+        }
+    }
+}
+
+/// Generate the per-second trace of bandwidth available to the video flow
+/// while the cross-traffic workload runs.
+///
+/// Harpoon is *closed-loop*: a fixed pool of clients alternates between
+/// thinking and fetching a heavy-tailed-sized file from the servers ("it
+/// takes a number of clients C and servers S as input … We vary C to
+/// generate varying amounts of cross traffic"). The fluid model advances in
+/// 100 ms steps: each fetching client and the (phantom) video flow get an
+/// equal share of the capacity; a client departs to think time when its
+/// transfer completes. Per-second averages of the video flow's share form
+/// the returned trace — bursty, with high regions (all clients thinking)
+/// and low regions (a heavy transfer holding the link).
+pub fn available_bandwidth(
+    config: &CrossTrafficConfig,
+    duration_s: usize,
+    seed: u64,
+) -> BandwidthTrace {
+    let mut rng = SimRng::derive(seed, "crosstraffic");
+    let cap_bytes_per_s = config.capacity_mbps * 1e6 / 8.0;
+
+    // Client pool sized so that the offered (unconstrained) load averages
+    // `offered_mbps`: each client cycle ≈ think + transfer-at-solo-rate.
+    let think_mean_s = 4.0;
+    let solo_xfer_s = config.mean_flow_bytes / cap_bytes_per_s;
+    let per_client_bps = config.mean_flow_bytes * 8.0 / (think_mean_s + solo_xfer_s);
+    let clients = ((config.offered_mbps * 1e6 / per_client_bps).round() as usize).max(1);
+
+    // Bounded Pareto with the requested mean: scale = mean*(shape-1)/shape
+    // (cap correction is small for shape > 1 with a generous cap).
+    let scale = config.mean_flow_bytes * (config.pareto_shape - 1.0) / config.pareto_shape;
+    let cap = config.mean_flow_bytes * 500.0;
+
+    // Client state: Some(remaining_bytes) = fetching, None scheduled via
+    // wake times.
+    let mut remaining: Vec<Option<f64>> = vec![None; clients];
+    let mut wake_at: Vec<f64> = (0..clients)
+        .map(|_| rng.exponential(1.0 / think_mean_s))
+        .collect();
+
+    let step_s = 0.1;
+    let steps_per_sec = 10usize;
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(duration_s);
+
+    for _ in 0..duration_s {
+        let mut acc = 0.0f64;
+        for _ in 0..steps_per_sec {
+            // Wake thinkers whose timer expired: start a fetch.
+            for c in 0..clients {
+                if remaining[c].is_none() && wake_at[c] <= t {
+                    remaining[c] = Some(rng.pareto(scale, config.pareto_shape, cap));
+                }
+            }
+            let active = remaining.iter().filter(|r| r.is_some()).count();
+            let share = cap_bytes_per_s / (active as f64 + 1.0);
+            let served = share * step_s;
+            for c in 0..clients {
+                if let Some(rem) = remaining[c].as_mut() {
+                    *rem -= served;
+                    if *rem <= 0.0 {
+                        remaining[c] = None;
+                        wake_at[c] = t + rng.exponential(1.0 / think_mean_s);
+                    }
+                }
+            }
+            acc += share * 8.0 / 1e6 * step_s;
+            t += step_s;
+        }
+        out.push(acc);
+    }
+    BandwidthTrace::new(format!("xtraffic-{}mbps", config.offered_mbps), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_offered_load_leaves_less_available() {
+        let t10 = available_bandwidth(&CrossTrafficConfig::paper(10.0), 600, 1);
+        let t20 = available_bandwidth(&CrossTrafficConfig::paper(20.0), 600, 1);
+        assert!(
+            t20.mean_mbps() < t10.mean_mbps(),
+            "20M offered {} vs 10M offered {}",
+            t20.mean_mbps(),
+            t10.mean_mbps()
+        );
+    }
+
+    #[test]
+    fn available_is_bounded_by_capacity() {
+        let t = available_bandwidth(&CrossTrafficConfig::paper(15.0), 300, 2);
+        for &m in &t.mbps {
+            assert!(m <= 20.0 + 1e-9);
+            assert!(m > 0.0);
+        }
+    }
+
+    #[test]
+    fn heavy_load_still_leaves_a_workable_share() {
+        // Even at 20 Mbps offered on a 20 Mbps link, fair sharing leaves the
+        // video flow a few Mbps on average (the paper's ABRs sustain
+        // ~3-5 Mbps under this load, Fig 12b).
+        let t = available_bandwidth(&CrossTrafficConfig::paper(20.0), 900, 3);
+        let m = t.mean_mbps();
+        assert!((2.0..12.0).contains(&m), "mean available {m}");
+    }
+
+    #[test]
+    fn load_is_bursty_not_constant() {
+        // Self-similar traffic ⇒ "many high and low bandwidth regions".
+        let t = available_bandwidth(&CrossTrafficConfig::paper(20.0), 900, 4);
+        assert!(t.std_mbps() > 1.0, "std {}", t.std_mbps());
+        let m = t.mean_mbps();
+        let high = t.mbps.iter().filter(|&&x| x > 1.5 * m).count();
+        let low = t.mbps.iter().filter(|&&x| x < 0.5 * m).count();
+        assert!(high > 10, "high regions {high}");
+        assert!(low > 10, "low regions {low}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let a = available_bandwidth(&CrossTrafficConfig::paper(15.0), 120, 9);
+        let b = available_bandwidth(&CrossTrafficConfig::paper(15.0), 120, 9);
+        let c = available_bandwidth(&CrossTrafficConfig::paper(15.0), 120, 10);
+        assert_eq!(a.mbps, b.mbps);
+        assert_ne!(a.mbps, c.mbps);
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! # voxel-netem
+//!
+//! Network emulation substrate reproducing the paper's testbed (§5
+//! "Network testbed"): a one-hop server—router—client topology where the
+//! router is the bottleneck, shaped per-second by a bandwidth trace, with a
+//! droptail queue and a 30 ms "last-mile" delay on the router→client link.
+//!
+//! - [`trace`]: per-second bandwidth traces — synthetic generators matched
+//!   to the statistics of the paper's recorded traces (T-Mobile / Verizon /
+//!   AT&T LTE, the Riiser 3G set, FCC fixed-line) plus the constant and
+//!   step traces of Fig 11, with the paper's linear offset-to-mean and the
+//!   `d/30` shift protocol.
+//! - [`path`]: the bottleneck path — FIFO droptail queue with time-varying
+//!   service rate and propagation delays; computes exact per-packet
+//!   departure times by integrating the rate curve.
+//! - [`crosstraffic`]: a Harpoon-like flow-level web-workload generator
+//!   (Poisson session arrivals, bounded-Pareto transfer sizes) run through a
+//!   fluid fair-sharing model to produce the bandwidth actually available
+//!   to the video flow.
+
+pub mod crosstraffic;
+pub mod path;
+pub mod trace;
+
+pub use path::{BottleneckPath, PathConfig, PathStats};
+pub use trace::BandwidthTrace;

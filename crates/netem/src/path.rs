@@ -1,0 +1,241 @@
+//! The bottleneck path: server — router(queue) — client.
+//!
+//! "Each triplet emulates a one-hop network — a server and client connected
+//! via an intermediate host (or router). We shape the traffic flowing
+//! through the router … we fixed the network queue size to 1.25× the
+//! bandwidth-delay product [or 32 packets for the trace experiments, or 750
+//! packets for the cached-LTE appendix]. We configured a 30 ms delay on the
+//! router-to-client link." (§5)
+//!
+//! The router serves a FIFO droptail queue at the trace's time-varying rate.
+//! Because the queue is FIFO, a packet's departure time is fully determined
+//! at enqueue time (later arrivals cannot affect it), so the path computes
+//! exact departure timestamps by integrating the rate curve — no per-byte
+//! stepping.
+
+use crate::trace::BandwidthTrace;
+use std::collections::VecDeque;
+use voxel_sim::{SimDuration, SimTime};
+
+/// Configuration of a bottleneck path.
+#[derive(Debug, Clone)]
+pub struct PathConfig {
+    /// Service-rate trace of the bottleneck link.
+    pub trace: BandwidthTrace,
+    /// Droptail queue capacity in packets.
+    pub queue_packets: usize,
+    /// Propagation delay router → client (the paper's last-mile 30 ms).
+    pub delay_down: SimDuration,
+    /// Propagation delay client → server (return path for ACKs/requests).
+    pub delay_up: SimDuration,
+}
+
+impl PathConfig {
+    /// The paper's default: 30 ms last-mile down, symmetric return path.
+    pub fn new(trace: BandwidthTrace, queue_packets: usize) -> PathConfig {
+        PathConfig {
+            trace,
+            queue_packets,
+            delay_down: SimDuration::from_millis(30),
+            delay_up: SimDuration::from_millis(30),
+        }
+    }
+
+    /// Queue size as `factor ×` the bandwidth-delay product at `rate_mbps`
+    /// with this path's RTT, in packets of `mtu` bytes (min 4 packets).
+    pub fn bdp_queue_packets(rate_mbps: f64, rtt: SimDuration, mtu: usize, factor: f64) -> usize {
+        let bdp_bytes = rate_mbps * 1e6 / 8.0 * rtt.as_secs_f64();
+        ((bdp_bytes * factor / mtu as f64).round() as usize).max(4)
+    }
+}
+
+/// Counters for the path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathStats {
+    /// Packets delivered to the client.
+    pub delivered: u64,
+    /// Packets dropped at the droptail queue.
+    pub dropped: u64,
+    /// Bytes delivered to the client.
+    pub bytes_delivered: u64,
+}
+
+/// The simulated one-hop path.
+#[derive(Debug, Clone)]
+pub struct BottleneckPath {
+    config: PathConfig,
+    /// Departure (service-completion) times of packets still in the queue.
+    departures: VecDeque<SimTime>,
+    /// When the server of the queue becomes free.
+    busy_until: SimTime,
+    stats: PathStats,
+}
+
+impl BottleneckPath {
+    /// Create a fresh path.
+    pub fn new(config: PathConfig) -> BottleneckPath {
+        BottleneckPath {
+            config,
+            departures: VecDeque::new(),
+            busy_until: SimTime::ZERO,
+            stats: PathStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PathConfig {
+        &self.config
+    }
+
+    /// Path statistics so far.
+    pub fn stats(&self) -> PathStats {
+        self.stats
+    }
+
+    /// Number of packets queued (not yet fully serviced) at `now`.
+    pub fn queue_len(&mut self, now: SimTime) -> usize {
+        while let Some(&dep) = self.departures.front() {
+            if dep <= now {
+                self.departures.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.departures.len()
+    }
+
+    /// Send a packet of `bytes` from the server towards the client at `now`.
+    ///
+    /// Returns the client-side arrival time, or `None` if the droptail queue
+    /// was full.
+    pub fn send_downlink(&mut self, now: SimTime, bytes: usize) -> Option<SimTime> {
+        let qlen = self.queue_len(now);
+        if qlen >= self.config.queue_packets {
+            self.stats.dropped += 1;
+            return None;
+        }
+        let start = self.busy_until.max(now);
+        let done = self.config.trace.service_finish(start, bytes as u64);
+        self.busy_until = done;
+        self.departures.push_back(done);
+        self.stats.delivered += 1;
+        self.stats.bytes_delivered += bytes as u64;
+        Some(done + self.config.delay_down)
+    }
+
+    /// Send a (small) packet from client to server at `now`; the uplink is
+    /// not bandwidth-constrained (ACK/request traffic is negligible next to
+    /// the video stream). Returns the server-side arrival time.
+    pub fn send_uplink(&self, now: SimTime) -> SimTime {
+        now + self.config.delay_up
+    }
+
+    /// Base RTT of the path (both propagation delays, no queueing).
+    pub fn base_rtt(&self) -> SimDuration {
+        self.config.delay_down + self.config.delay_up
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::BandwidthTrace;
+
+    fn path(mbps: f64, queue: usize) -> BottleneckPath {
+        BottleneckPath::new(PathConfig::new(BandwidthTrace::constant(mbps, 3600), queue))
+    }
+
+    #[test]
+    fn single_packet_latency_is_serialization_plus_delay() {
+        let mut p = path(12.0, 32); // 1500 B at 12 Mbps = 1 ms
+        let t = p.send_downlink(SimTime::ZERO, 1500).unwrap();
+        assert_eq!(t.as_micros(), 1_000 + 30_000);
+    }
+
+    #[test]
+    fn fifo_packets_queue_behind_each_other() {
+        let mut p = path(12.0, 32);
+        let t1 = p.send_downlink(SimTime::ZERO, 1500).unwrap();
+        let t2 = p.send_downlink(SimTime::ZERO, 1500).unwrap();
+        assert_eq!((t2 - t1).as_micros(), 1_000);
+    }
+
+    #[test]
+    fn droptail_drops_when_full() {
+        let mut p = path(1.0, 4);
+        let mut delivered = 0;
+        let mut dropped = 0;
+        for _ in 0..10 {
+            match p.send_downlink(SimTime::ZERO, 1500) {
+                Some(_) => delivered += 1,
+                None => dropped += 1,
+            }
+        }
+        assert_eq!(delivered, 4);
+        assert_eq!(dropped, 6);
+        assert_eq!(p.stats().dropped, 6);
+        assert_eq!(p.stats().delivered, 4);
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let mut p = path(12.0, 4);
+        for _ in 0..4 {
+            p.send_downlink(SimTime::ZERO, 1500).unwrap();
+        }
+        assert!(p.send_downlink(SimTime::ZERO, 1500).is_none());
+        // After 4 ms the queue has fully drained.
+        let later = SimTime::from_millis(4);
+        assert_eq!(p.queue_len(later), 0);
+        assert!(p.send_downlink(later, 1500).is_some());
+    }
+
+    #[test]
+    fn idle_gap_resets_service_start() {
+        let mut p = path(12.0, 32);
+        p.send_downlink(SimTime::ZERO, 1500).unwrap();
+        // Send long after the first drained: service starts at `now`.
+        let t = p.send_downlink(SimTime::from_secs(5), 1500).unwrap();
+        assert_eq!(t.as_micros(), 5_000_000 + 1_000 + 30_000);
+    }
+
+    #[test]
+    fn varying_rate_slows_departures() {
+        let trace = BandwidthTrace::new("x", vec![12.0, 1.2]);
+        let mut p = BottleneckPath::new(PathConfig::new(trace, 100));
+        // Packet sent in second 0 (12 Mbps): 1 ms serialization.
+        let a = p.send_downlink(SimTime::ZERO, 1500).unwrap();
+        // Packet sent in second 1 (1.2 Mbps): 10 ms serialization.
+        let b = p.send_downlink(SimTime::from_secs(1), 1500).unwrap();
+        assert_eq!((a - SimTime::ZERO).as_micros() - 30_000, 1_000);
+        assert_eq!((b - SimTime::from_secs(1)).as_micros() - 30_000, 10_000);
+    }
+
+    #[test]
+    fn uplink_adds_only_delay() {
+        let p = path(12.0, 32);
+        assert_eq!(
+            p.send_uplink(SimTime::from_secs(1)).as_micros(),
+            1_000_000 + 30_000
+        );
+        assert_eq!(p.base_rtt().as_micros(), 60_000);
+    }
+
+    #[test]
+    fn bdp_queue_sizing() {
+        // 10 Mbps × 60 ms = 75 kB; ×1.25 / 1500 B = 62.5 → 63 packets.
+        let n = PathConfig::bdp_queue_packets(10.0, SimDuration::from_millis(60), 1500, 1.25);
+        assert_eq!(n, 63);
+        // Tiny BDPs floor at 4.
+        let tiny = PathConfig::bdp_queue_packets(0.1, SimDuration::from_millis(1), 1500, 1.0);
+        assert_eq!(tiny, 4);
+    }
+
+    #[test]
+    fn bytes_delivered_accumulates() {
+        let mut p = path(12.0, 32);
+        p.send_downlink(SimTime::ZERO, 1000).unwrap();
+        p.send_downlink(SimTime::ZERO, 500).unwrap();
+        assert_eq!(p.stats().bytes_delivered, 1500);
+    }
+}

@@ -1,0 +1,389 @@
+//! The extended DASH manifest (§4.1, Listing 1).
+//!
+//! VOXEL never modifies video files; it only enriches the manifest with
+//! frame-level detail per segment and quality level:
+//!
+//! - `mediaRange`: the segment's byte range in the (unmodified) video file,
+//! - `reliable`: byte ranges that must be delivered reliably — the I-frame
+//!   plus *all* frame headers (keeping headers intact lets the decoder cope
+//!   with holes in frame bodies, §4.2),
+//! - `unreliable`: the remaining byte ranges listed **in download order**
+//!   under the chosen ordering,
+//! - `ssims`: the bytes→QoE triplets `score:frames:bytes`.
+//!
+//! VOXEL-unaware clients ignore the extra attributes and fetch segments
+//! whole, in original order — backward compatibility comes for free.
+
+use crate::analysis::{analyze_segment_forced, QoePoint};
+use crate::ordering::frame_order;
+use crate::ordering::OrderingKind;
+use voxel_media::ladder::{QualityLevel, NUM_LEVELS};
+use voxel_media::qoe::QoeModel;
+use voxel_media::video::Video;
+use voxel_media::VideoId;
+
+/// Bytes per frame header (NAL/slice header kept intact for decodability).
+pub const FRAME_HEADER_BYTES: u64 = 24;
+
+/// A byte range `[start, end]` (inclusive, like HTTP ranges).
+pub type ByteRange = (u64, u64);
+
+/// One `<SegmentURL>` entry of the extended manifest.
+#[derive(Debug, Clone)]
+pub struct SegmentEntry {
+    /// Segment index within the clip.
+    pub segment: usize,
+    /// Quality level of this representation.
+    pub level: QualityLevel,
+    /// Byte range of the whole segment within the video file.
+    pub media_range: ByteRange,
+    /// The bytes→QoE mapping (`ssims` attribute), increasing in frames.
+    pub ssims: Vec<QoePoint>,
+    /// The ordering the analysis selected for this segment/level.
+    pub ordering: OrderingKind,
+    /// Frame indices in download order (element 0 is the I-frame).
+    pub download_order: Vec<usize>,
+    /// BETA's map: the bytes→QoE points under the unreferenced-tail
+    /// ordering (used only by the BETA baseline).
+    pub beta_ssims: Vec<QoePoint>,
+    /// BETA's download order (unreferenced-tail).
+    pub beta_order: Vec<usize>,
+    /// Total bytes that must go over a reliable stream (I-frame + headers).
+    pub reliable_size: u64,
+    /// SSIM of the complete (pristine) segment at this level.
+    pub pristine_ssim: f64,
+    /// QoE lower bound from the next-lower level (§4.1).
+    pub bound: f64,
+    /// Bytes required (per `ssims`) to reach `bound`.
+    pub min_bytes: u64,
+}
+
+impl SegmentEntry {
+    /// Total segment size: payloads + per-frame headers.
+    pub fn total_bytes(&self) -> u64 {
+        self.media_range.1 - self.media_range.0 + 1
+    }
+
+    /// Unreliable payload bytes (everything but the reliable prefix).
+    pub fn unreliable_bytes(&self) -> u64 {
+        self.total_bytes() - self.reliable_size
+    }
+
+    /// Best achievable QoE point within a *payload* byte budget (`bytes`
+    /// fields of [`QoePoint`] count payloads only).
+    pub fn best_within(&self, payload_budget: u64) -> Option<QoePoint> {
+        self.ssims
+            .iter()
+            .rev()
+            .find(|p| p.bytes <= payload_budget)
+            .copied()
+    }
+
+    /// Cheapest QoE point reaching `target` SSIM.
+    pub fn cheapest_reaching(&self, target: f64) -> Option<QoePoint> {
+        self.ssims.iter().find(|p| p.ssim >= target).copied()
+    }
+
+    /// The point delivered when the first `frames` frames of the download
+    /// order arrive.
+    pub fn point_at_frames(&self, frames: usize) -> QoePoint {
+        let idx = frames.clamp(1, self.ssims.len()) - 1;
+        self.ssims[idx]
+    }
+}
+
+/// The extended manifest for one video: all segments × all 13 levels.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Which video this manifest describes.
+    pub video_id: VideoId,
+    /// `entries[segment][level]`.
+    pub entries: Vec<Vec<SegmentEntry>>,
+}
+
+impl Manifest {
+    /// Run the full offline preparation (§4.1) for `video`.
+    ///
+    /// This is the paper's one-time, server-side computation — it reports a
+    /// cost of up to 5× the encoding cost; here it is a few hundred
+    /// milliseconds per video and the result is reused across experiments.
+    pub fn prepare(video: &Video, model: &QoeModel) -> Manifest {
+        Self::prepare_levels(video, model, &QualityLevel::all().collect::<Vec<_>>())
+    }
+
+    /// Prepare with the §4.1 ordering selection overridden to `kind` for
+    /// every segment — the runtime ordering ablation.
+    pub fn prepare_forced(
+        video: &Video,
+        model: &QoeModel,
+        levels: &[QualityLevel],
+        kind: OrderingKind,
+    ) -> Manifest {
+        Self::prepare_inner(video, model, levels, Some(kind))
+    }
+
+    /// Prepare only the given `levels` (others get placeholder analyses
+    /// reusing the full-segment point). Useful for tests; experiments use
+    /// [`Manifest::prepare`].
+    pub fn prepare_levels(video: &Video, model: &QoeModel, levels: &[QualityLevel]) -> Manifest {
+        Self::prepare_inner(video, model, levels, None)
+    }
+
+    fn prepare_inner(
+        video: &Video,
+        model: &QoeModel,
+        levels: &[QualityLevel],
+        force: Option<OrderingKind>,
+    ) -> Manifest {
+        let mut entries = Vec::with_capacity(video.segments.len());
+        // Per-level running offset within the (per-level) video file.
+        let mut offsets = [0u64; NUM_LEVELS];
+        for seg in &video.segments {
+            let mut row = Vec::with_capacity(NUM_LEVELS);
+            for level in QualityLevel::all() {
+                let header_total = FRAME_HEADER_BYTES * seg.gop.len() as u64;
+                let total = seg.bytes(level) + header_total;
+                let media_range = (offsets[level.index()], offsets[level.index()] + total - 1);
+                offsets[level.index()] += total;
+
+                let entry = if levels.contains(&level) {
+                    let analysis = analyze_segment_forced(model, seg, level, force);
+                    let order = frame_order(seg, analysis.best.ordering);
+                    let beta_order = frame_order(seg, OrderingKind::UnreferencedTail);
+                    let reliable_size = seg.frame_bytes(level, 0) + header_total;
+                    SegmentEntry {
+                        segment: seg.index,
+                        level,
+                        media_range,
+                        ssims: analysis.best.points.clone(),
+                        ordering: analysis.best.ordering,
+                        download_order: order,
+                        beta_ssims: analysis.tail.points.clone(),
+                        beta_order,
+                        reliable_size,
+                        pristine_ssim: model.pristine_ssim(seg, level),
+                        bound: analysis.bound,
+                        min_bytes: analysis.min_bytes,
+                    }
+                } else {
+                    // Placeholder: full-segment-only entry (no virtual levels).
+                    let pristine = model.pristine_ssim(seg, level);
+                    SegmentEntry {
+                        segment: seg.index,
+                        level,
+                        media_range,
+                        ssims: vec![QoePoint {
+                            ssim: pristine,
+                            frames: seg.gop.len(),
+                            bytes: seg.bytes(level),
+                        }],
+                        ordering: OrderingKind::Original,
+                        download_order: seg.gop.decode_order.clone(),
+                        beta_ssims: vec![QoePoint {
+                            ssim: pristine,
+                            frames: seg.gop.len(),
+                            bytes: seg.bytes(level),
+                        }],
+                        beta_order: seg.gop.decode_order.clone(),
+                        reliable_size: seg.frame_bytes(level, 0) + header_total,
+                        pristine_ssim: pristine,
+                        bound: pristine,
+                        min_bytes: seg.bytes(level),
+                    }
+                };
+                row.push(entry);
+            }
+            entries.push(row);
+        }
+        Manifest {
+            video_id: video.id,
+            entries,
+        }
+    }
+
+    /// The entry for `segment` at `level`.
+    pub fn entry(&self, segment: usize, level: QualityLevel) -> &SegmentEntry {
+        &self.entries[segment][level.index()]
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Serialize in the Listing 1 style (one `<SegmentURL …/>` per entry).
+    ///
+    /// Like the paper's proof-of-concept, this is a naïve, unoptimized text
+    /// encoding — its size relative to a Q12 segment (≈16 % in the paper)
+    /// is reported by [`Manifest::size_bytes`].
+    pub fn to_mpd(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "<MPD video=\"{}\" segments=\"{}\">\n",
+            self.video_id,
+            self.num_segments()
+        ));
+        for row in &self.entries {
+            for e in row {
+                let ssims: Vec<String> = e
+                    .ssims
+                    .iter()
+                    .map(|p| format!("{:.3}:{}:{}", p.ssim, p.frames, p.bytes))
+                    .collect();
+                out.push_str(&format!(
+                    "<SegmentURL seg=\"{}\" q=\"{}\" mediaRange=\"{}-{}\" ordering=\"{}\" \
+                     reliableSize=\"{}\" ssims=\"{}\"/>\n",
+                    e.segment,
+                    e.level.index(),
+                    e.media_range.0,
+                    e.media_range.1,
+                    e.ordering,
+                    e.reliable_size,
+                    ssims.join(",")
+                ));
+            }
+        }
+        out.push_str("</MPD>\n");
+        out
+    }
+
+    /// Size of the serialized manifest in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.to_mpd().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxel_media::video::Video;
+
+    fn quick_manifest() -> (Video, Manifest) {
+        let video = Video::generate(VideoId::Tos);
+        let model = QoeModel::default();
+        let m = Manifest::prepare_levels(&video, &model, &[QualityLevel::MAX, QualityLevel(9)]);
+        (video, m)
+    }
+
+    #[test]
+    fn entries_cover_all_segments_and_levels() {
+        let (video, m) = quick_manifest();
+        assert_eq!(m.num_segments(), video.segments.len());
+        for row in &m.entries {
+            assert_eq!(row.len(), NUM_LEVELS);
+        }
+    }
+
+    #[test]
+    fn media_ranges_are_contiguous_per_level() {
+        let (_, m) = quick_manifest();
+        for level in QualityLevel::all() {
+            let mut expected_start = 0u64;
+            for seg in 0..m.num_segments() {
+                let e = m.entry(seg, level);
+                assert_eq!(e.media_range.0, expected_start);
+                assert!(e.media_range.1 > e.media_range.0);
+                expected_start = e.media_range.1 + 1;
+            }
+        }
+    }
+
+    #[test]
+    fn total_bytes_includes_headers() {
+        let (video, m) = quick_manifest();
+        let e = m.entry(0, QualityLevel::MAX);
+        let seg = &video.segments[0];
+        assert_eq!(
+            e.total_bytes(),
+            seg.bytes(QualityLevel::MAX) + FRAME_HEADER_BYTES * seg.gop.len() as u64
+        );
+        assert!(e.reliable_size > FRAME_HEADER_BYTES * seg.gop.len() as u64);
+        assert!(e.reliable_size < e.total_bytes());
+    }
+
+    #[test]
+    fn prepared_level_has_virtual_points_placeholder_does_not() {
+        let (_, m) = quick_manifest();
+        assert!(m.entry(0, QualityLevel::MAX).ssims.len() > 1);
+        assert_eq!(m.entry(0, QualityLevel(3)).ssims.len(), 1);
+    }
+
+    #[test]
+    fn best_within_and_cheapest_reaching_are_consistent() {
+        let (_, m) = quick_manifest();
+        let e = m.entry(5, QualityLevel::MAX);
+        let full = e.ssims.last().unwrap();
+        let p = e.cheapest_reaching(e.bound).expect("bound is reachable");
+        assert!(p.bytes <= full.bytes);
+        let q = e.best_within(p.bytes).unwrap();
+        assert!(q.ssim >= p.ssim - 1e-12);
+        assert_eq!(e.point_at_frames(p.frames).frames, p.frames);
+    }
+
+    #[test]
+    fn download_order_matches_ordering() {
+        let (video, m) = quick_manifest();
+        let e = m.entry(2, QualityLevel::MAX);
+        let expected = frame_order(&video.segments[2], e.ordering);
+        assert_eq!(e.download_order, expected);
+        assert_eq!(e.download_order[0], 0);
+    }
+
+    #[test]
+    fn mpd_serialization_contains_listing_1_attributes() {
+        let (_, m) = quick_manifest();
+        let mpd = m.to_mpd();
+        assert!(mpd.contains("mediaRange="));
+        assert!(mpd.contains("ssims="));
+        assert!(mpd.contains("reliableSize="));
+        assert!(mpd.starts_with("<MPD"));
+        assert!(mpd.trim_end().ends_with("</MPD>"));
+        assert!(m.size_bytes() == mpd.len());
+    }
+
+    #[test]
+    fn manifest_overhead_is_moderate() {
+        // The paper reports the enriched manifest at ~16% of an average Q12
+        // segment *per segment entry*; sanity-check ours is within the same
+        // order of magnitude (< 60%) for the fully prepared levels.
+        let (video, m) = quick_manifest();
+        let avg_q12: f64 = video
+            .segments
+            .iter()
+            .map(|s| s.bytes(QualityLevel::MAX) as f64)
+            .sum::<f64>()
+            / video.segments.len() as f64;
+        let per_entry = m.size_bytes() as f64 / (m.num_segments() as f64 * 2.0);
+        assert!(
+            per_entry / avg_q12 < 0.6,
+            "per-entry overhead {:.1}% of a Q12 segment",
+            100.0 * per_entry / avg_q12
+        );
+    }
+
+    #[test]
+    fn forced_ordering_is_respected() {
+        let video = Video::generate(VideoId::Bbb);
+        let model = QoeModel::default();
+        for kind in OrderingKind::ALL {
+            let m = Manifest::prepare_forced(&video, &model, &[QualityLevel::MAX], kind);
+            for seg in [0usize, 17, 42] {
+                assert_eq!(m.entry(seg, QualityLevel::MAX).ordering, kind);
+            }
+        }
+        // Unforced preparation picks per-segment winners; at least one
+        // segment must use the rank ordering (it dominates Fig 2b).
+        let free = Manifest::prepare_levels(&video, &model, &[QualityLevel::MAX]);
+        assert!((0..free.num_segments())
+            .any(|s| free.entry(s, QualityLevel::MAX).ordering == OrderingKind::InboundRank));
+    }
+
+    #[test]
+    fn min_bytes_never_exceeds_total_payload() {
+        let (video, m) = quick_manifest();
+        for seg in 0..m.num_segments() {
+            let e = m.entry(seg, QualityLevel::MAX);
+            assert!(e.min_bytes <= video.segments[seg].bytes(QualityLevel::MAX));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Parsing the extended manifest's wire format.
+//!
+//! A VOXEL-aware client receives the manifest as text (Listing 1) and needs
+//! the per-entry attributes back: `mediaRange`, `reliableSize`, the
+//! `ssims` triplets, and the chosen ordering. This module parses the
+//! serialization [`crate::manifest::Manifest::to_mpd`] produces — the
+//! deployable half of the §4.1 "size vs. compatibility tradeoff" (only the
+//! manifest changes; video files stay untouched). A VOXEL-unaware client
+//! would ignore every attribute except `mediaRange`, which is exactly what
+//! [`ParsedEntry::media_range`] alone supports.
+
+use crate::analysis::QoePoint;
+
+/// One parsed `<SegmentURL …/>` entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedEntry {
+    /// Segment index.
+    pub segment: usize,
+    /// Quality level index (0..=12).
+    pub level: usize,
+    /// Byte range of the segment within the video file (inclusive).
+    pub media_range: (u64, u64),
+    /// Name of the chosen ordering.
+    pub ordering: String,
+    /// Bytes requiring reliable delivery.
+    pub reliable_size: u64,
+    /// The bytes→QoE triplets.
+    pub ssims: Vec<QoePoint>,
+}
+
+/// A parsed manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedMpd {
+    /// The video's short name.
+    pub video: String,
+    /// Declared segment count.
+    pub segments: usize,
+    /// All entries, in document order.
+    pub entries: Vec<ParsedEntry>,
+}
+
+/// Extract `name="value"` from an XML-ish attribute list.
+fn attr<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let pat = format!("{name}=\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+/// Parse the output of `Manifest::to_mpd`; `None` on malformed input.
+pub fn parse(text: &str) -> Option<ParsedMpd> {
+    let mut lines = text.lines();
+    let head = lines.next()?;
+    if !head.starts_with("<MPD") {
+        return None;
+    }
+    let video = attr(head, "video")?.to_string();
+    let segments: usize = attr(head, "segments")?.parse().ok()?;
+    let mut entries = Vec::new();
+    for line in lines {
+        let line = line.trim();
+        if line == "</MPD>" {
+            break;
+        }
+        if !line.starts_with("<SegmentURL") {
+            return None;
+        }
+        let (start, end) = attr(line, "mediaRange")?.split_once('-')?;
+        let ssims = attr(line, "ssims")?
+            .split(',')
+            .map(|t| {
+                let mut parts = t.split(':');
+                Some(QoePoint {
+                    ssim: parts.next()?.parse().ok()?,
+                    frames: parts.next()?.parse().ok()?,
+                    bytes: parts.next()?.parse().ok()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        entries.push(ParsedEntry {
+            segment: attr(line, "seg")?.parse().ok()?,
+            level: attr(line, "q")?.parse().ok()?,
+            media_range: (start.parse().ok()?, end.parse().ok()?),
+            ordering: attr(line, "ordering")?.to_string(),
+            reliable_size: attr(line, "reliableSize")?.parse().ok()?,
+            ssims,
+        });
+    }
+    Some(ParsedMpd {
+        video,
+        segments,
+        entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::Manifest;
+    use voxel_media::content::VideoId;
+    use voxel_media::ladder::QualityLevel;
+    use voxel_media::qoe::QoeModel;
+    use voxel_media::video::Video;
+
+    fn manifest() -> Manifest {
+        let video = Video::generate(VideoId::Tos);
+        Manifest::prepare_levels(&video, &QoeModel::default(), &[QualityLevel::MAX])
+    }
+
+    #[test]
+    fn roundtrips_the_serialized_manifest() {
+        let m = manifest();
+        let parsed = parse(&m.to_mpd()).expect("parses");
+        assert_eq!(parsed.video, "ToS");
+        assert_eq!(parsed.segments, m.num_segments());
+        assert_eq!(parsed.entries.len(), m.num_segments() * 13);
+        // Spot-check a fully analysed entry against the source.
+        let src = m.entry(5, QualityLevel::MAX);
+        let got = parsed
+            .entries
+            .iter()
+            .find(|e| e.segment == 5 && e.level == 12)
+            .expect("present");
+        assert_eq!(got.media_range, src.media_range);
+        assert_eq!(got.reliable_size, src.reliable_size);
+        assert_eq!(got.ssims.len(), src.ssims.len());
+        assert_eq!(got.ordering, src.ordering.to_string());
+        // Triplets round-trip within the printed precision.
+        for (a, b) in got.ssims.iter().zip(&src.ssims) {
+            assert!((a.ssim - b.ssim).abs() < 5e-4);
+            assert_eq!(a.frames, b.frames);
+            assert_eq!(a.bytes, b.bytes);
+        }
+    }
+
+    #[test]
+    fn parsed_ssims_stay_usable_for_decisions() {
+        let m = manifest();
+        let parsed = parse(&m.to_mpd()).expect("parses");
+        let e = parsed
+            .entries
+            .iter()
+            .find(|e| e.segment == 0 && e.level == 12)
+            .expect("present");
+        // Monotone in bytes, so a client can binary-search budgets.
+        for w in e.ssims.windows(2) {
+            assert!(w[0].bytes < w[1].bytes);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse("").is_none());
+        assert!(parse("<NotMpd>").is_none());
+        assert!(parse("<MPD video=\"x\" segments=\"1\">\ngarbage\n</MPD>").is_none());
+        assert!(parse("<MPD video=\"x\" segments=\"nope\">\n</MPD>").is_none());
+        // Truncated ssims triplet.
+        let bad = "<MPD video=\"x\" segments=\"1\">\n<SegmentURL seg=\"0\" q=\"0\" mediaRange=\"0-9\" ordering=\"original\" reliableSize=\"5\" ssims=\"0.9:4\"/>\n</MPD>";
+        assert!(parse(bad).is_none());
+    }
+
+    #[test]
+    fn attr_extraction() {
+        let line = r#"<SegmentURL seg="3" q="12" mediaRange="10-99"/>"#;
+        assert_eq!(attr(line, "seg"), Some("3"));
+        assert_eq!(attr(line, "mediaRange"), Some("10-99"));
+        assert_eq!(attr(line, "missing"), None);
+    }
+}

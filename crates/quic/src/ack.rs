@@ -1,0 +1,213 @@
+//! ACK-range tracking and delayed-ACK policy.
+
+use crate::frame::AckRange;
+use voxel_sim::{SimDuration, SimTime};
+
+/// Tracks received packet numbers and decides when to emit ACK frames.
+#[derive(Debug, Clone, Default)]
+pub struct AckTracker {
+    /// Received ranges, sorted ascending, non-overlapping, non-adjacent.
+    ranges: Vec<AckRange>,
+    /// Arrival time of the largest received packet (for the delay field).
+    largest_arrival: Option<(u64, SimTime)>,
+    /// Ack-eliciting packets received since the last ACK was sent.
+    unacked_eliciting: usize,
+    /// Deadline by which an ACK must go out, if any.
+    ack_deadline: Option<SimTime>,
+}
+
+/// Send an ACK after this many ack-eliciting packets even before the delay
+/// expires (QUIC's every-other-packet policy).
+const ACK_ELICITING_THRESHOLD: usize = 2;
+
+/// Maximum time to hold an ACK.
+pub const MAX_ACK_DELAY: SimDuration = SimDuration::from_millis(25);
+
+impl AckTracker {
+    /// Fresh tracker.
+    pub fn new() -> AckTracker {
+        AckTracker::default()
+    }
+
+    /// Record receipt of packet `pn` at `now`. Returns `false` if it was a
+    /// duplicate.
+    pub fn on_packet(&mut self, pn: u64, now: SimTime, ack_eliciting: bool) -> bool {
+        if self.contains(pn) {
+            return false;
+        }
+        self.insert(pn);
+        match self.largest_arrival {
+            Some((largest, _)) if largest > pn => {}
+            _ => self.largest_arrival = Some((pn, now)),
+        }
+        if ack_eliciting {
+            self.unacked_eliciting += 1;
+            let deadline = now + MAX_ACK_DELAY;
+            self.ack_deadline = Some(match self.ack_deadline {
+                Some(d) => d.min(deadline),
+                None => deadline,
+            });
+        }
+        true
+    }
+
+    fn contains(&self, pn: u64) -> bool {
+        self.ranges.iter().any(|&(a, b)| (a..=b).contains(&pn))
+    }
+
+    fn insert(&mut self, pn: u64) {
+        let pos = self.ranges.partition_point(|&(_, b)| b + 1 < pn);
+        if pos < self.ranges.len() && self.ranges[pos].0 <= pn + 1 {
+            // Extend this range.
+            let (a, b) = self.ranges[pos];
+            self.ranges[pos] = (a.min(pn), b.max(pn));
+            // Merge with the next if now adjacent.
+            if pos + 1 < self.ranges.len() && self.ranges[pos].1 + 1 >= self.ranges[pos + 1].0 {
+                let (na, nb) = self.ranges[pos + 1];
+                self.ranges[pos] = (self.ranges[pos].0.min(na), self.ranges[pos].1.max(nb));
+                self.ranges.remove(pos + 1);
+            }
+        } else {
+            self.ranges.insert(pos, (pn, pn));
+        }
+    }
+
+    /// Whether an ACK should be emitted at `now`.
+    pub fn should_ack(&self, now: SimTime) -> bool {
+        self.unacked_eliciting >= ACK_ELICITING_THRESHOLD
+            || matches!(self.ack_deadline, Some(d) if d <= now)
+    }
+
+    /// The pending ACK deadline, if an ACK is owed.
+    pub fn deadline(&self) -> Option<SimTime> {
+        self.ack_deadline
+    }
+
+    /// Build the ACK frame contents (ranges highest-first + delay) and reset
+    /// the delayed-ack state. Returns `None` if nothing was ever received.
+    pub fn take_ack(&mut self, now: SimTime) -> Option<(Vec<AckRange>, u64)> {
+        if self.ranges.is_empty() {
+            return None;
+        }
+        self.unacked_eliciting = 0;
+        self.ack_deadline = None;
+        let mut ranges: Vec<AckRange> = self.ranges.iter().rev().copied().collect();
+        // Bound the frame size: keep the 32 most recent ranges.
+        ranges.truncate(32);
+        let delay = match self.largest_arrival {
+            Some((_, at)) => now.saturating_since(at).as_micros(),
+            None => 0,
+        };
+        Some((ranges, delay))
+    }
+
+    /// Received ranges (ascending), for inspection.
+    pub fn ranges(&self) -> &[AckRange] {
+        &self.ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserts_merge_into_ranges() {
+        let mut t = AckTracker::new();
+        for pn in [1, 2, 3, 7, 8, 5] {
+            assert!(t.on_packet(pn, SimTime::ZERO, true));
+        }
+        assert_eq!(t.ranges(), &[(1, 3), (5, 5), (7, 8)]);
+        // Fill the gap: 4 merges 1-3 and 5-5, then 6 merges everything.
+        t.on_packet(4, SimTime::ZERO, true);
+        assert_eq!(t.ranges(), &[(1, 5), (7, 8)]);
+        t.on_packet(6, SimTime::ZERO, true);
+        assert_eq!(t.ranges(), &[(1, 8)]);
+    }
+
+    #[test]
+    fn duplicates_are_detected() {
+        let mut t = AckTracker::new();
+        assert!(t.on_packet(5, SimTime::ZERO, true));
+        assert!(!t.on_packet(5, SimTime::ZERO, true));
+    }
+
+    #[test]
+    fn ack_after_two_eliciting_packets() {
+        let mut t = AckTracker::new();
+        t.on_packet(0, SimTime::ZERO, true);
+        assert!(!t.should_ack(SimTime::ZERO));
+        t.on_packet(1, SimTime::ZERO, true);
+        assert!(t.should_ack(SimTime::ZERO));
+    }
+
+    #[test]
+    fn ack_after_delay_expires() {
+        let mut t = AckTracker::new();
+        t.on_packet(0, SimTime::ZERO, true);
+        assert!(!t.should_ack(SimTime::from_millis(10)));
+        assert!(t.should_ack(SimTime::from_millis(25)));
+        assert_eq!(t.deadline(), Some(SimTime::ZERO + MAX_ACK_DELAY));
+    }
+
+    #[test]
+    fn non_eliciting_packets_do_not_schedule_acks() {
+        let mut t = AckTracker::new();
+        t.on_packet(0, SimTime::ZERO, false);
+        t.on_packet(1, SimTime::ZERO, false);
+        assert!(!t.should_ack(SimTime::from_secs(10)));
+        assert_eq!(t.deadline(), None);
+    }
+
+    #[test]
+    fn take_ack_returns_descending_ranges_and_resets() {
+        let mut t = AckTracker::new();
+        for pn in [0, 1, 5, 6, 9] {
+            t.on_packet(pn, SimTime::from_millis(pn), true);
+        }
+        let (ranges, delay) = t.take_ack(SimTime::from_millis(19)).unwrap();
+        assert_eq!(ranges, vec![(9, 9), (5, 6), (0, 1)]);
+        // Largest (pn 9) arrived at t=9ms, acked at 19ms → 10ms delay.
+        assert_eq!(delay, 10_000);
+        assert!(!t.should_ack(SimTime::from_secs(1)));
+        // Ranges persist for future ACKs.
+        assert_eq!(t.ranges(), &[(0, 1), (5, 6), (9, 9)]);
+    }
+
+    #[test]
+    fn take_ack_on_empty_returns_none() {
+        let mut t = AckTracker::new();
+        assert!(t.take_ack(SimTime::ZERO).is_none());
+    }
+
+    #[cfg(test)]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn ranges_stay_sorted_disjoint(pns in proptest::collection::vec(0u64..200, 1..100)) {
+                let mut t = AckTracker::new();
+                for pn in &pns {
+                    t.on_packet(*pn, SimTime::ZERO, true);
+                }
+                let ranges = t.ranges();
+                for w in ranges.windows(2) {
+                    // Sorted, disjoint and non-adjacent.
+                    prop_assert!(w[0].1 + 1 < w[1].0, "ranges {:?}", ranges);
+                }
+                // Every inserted pn is covered.
+                for pn in &pns {
+                    prop_assert!(ranges.iter().any(|&(a, b)| (a..=b).contains(pn)));
+                }
+                // Total coverage equals the number of distinct pns.
+                let mut distinct = pns.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                let covered: u64 = ranges.iter().map(|&(a, b)| b - a + 1).sum();
+                prop_assert_eq!(covered, distinct.len() as u64);
+            }
+        }
+    }
+}

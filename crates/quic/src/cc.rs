@@ -1,0 +1,156 @@
+//! Congestion-control dispatch: loss-based CUBIC (the paper's QUIC\*) or
+//! the delay-based controller of Appendix B's future-work note.
+
+use crate::cubic::Cubic;
+use crate::delay_cc::DelayCc;
+use voxel_sim::{SimDuration, SimTime};
+
+/// Which controller a connection uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CcKind {
+    /// CUBIC (RFC 8312) — what the paper's QUIC\* runs.
+    #[default]
+    Cubic,
+    /// The delay-based (BBR-flavored) controller — Appendix B future work.
+    Delay,
+}
+
+/// A congestion controller instance.
+#[derive(Debug, Clone)]
+pub enum CongestionControl {
+    /// CUBIC.
+    Cubic(Cubic),
+    /// Delay-based.
+    Delay(DelayCc),
+}
+
+impl CongestionControl {
+    /// Instantiate `kind` with the given MSS.
+    pub fn new(kind: CcKind, mss: usize) -> CongestionControl {
+        match kind {
+            CcKind::Cubic => CongestionControl::Cubic(Cubic::new(mss)),
+            CcKind::Delay => CongestionControl::Delay(DelayCc::new(mss)),
+        }
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> usize {
+        match self {
+            CongestionControl::Cubic(c) => c.cwnd(),
+            CongestionControl::Delay(c) => c.cwnd(),
+        }
+    }
+
+    /// Bytes currently in flight.
+    pub fn in_flight(&self) -> usize {
+        match self {
+            CongestionControl::Cubic(c) => c.in_flight(),
+            CongestionControl::Delay(c) => c.in_flight(),
+        }
+    }
+
+    /// Whether `bytes` more may be sent.
+    pub fn can_send(&self, bytes: usize) -> bool {
+        match self {
+            CongestionControl::Cubic(c) => c.can_send(bytes),
+            CongestionControl::Delay(c) => c.can_send(bytes),
+        }
+    }
+
+    /// A packet entered the network.
+    pub fn on_sent(&mut self, bytes: usize) {
+        match self {
+            CongestionControl::Cubic(c) => c.on_sent(bytes),
+            CongestionControl::Delay(c) => c.on_sent(bytes),
+        }
+    }
+
+    /// A packet was acknowledged. CUBIC consumes the smoothed RTT; the
+    /// delay controller consumes the raw latest sample.
+    pub fn on_ack(&mut self, now: SimTime, bytes: usize, srtt: SimDuration, latest: SimDuration) {
+        match self {
+            CongestionControl::Cubic(c) => c.on_ack(now, bytes, srtt),
+            CongestionControl::Delay(c) => c.on_ack(now, bytes, latest),
+        }
+    }
+
+    /// Packets were declared lost.
+    pub fn on_loss(&mut self, now: SimTime, largest_sent: u64, largest_lost: u64, bytes: usize) {
+        match self {
+            CongestionControl::Cubic(c) => c.on_loss(now, largest_sent, largest_lost, bytes),
+            CongestionControl::Delay(c) => c.on_loss(now, bytes),
+        }
+    }
+
+    /// Persistent congestion (repeated PTOs).
+    pub fn on_persistent_congestion(&mut self) {
+        match self {
+            CongestionControl::Cubic(c) => c.on_persistent_congestion(),
+            CongestionControl::Delay(c) => c.on_persistent_congestion(),
+        }
+    }
+
+    /// Drop accounting for bytes that left the network without an ack.
+    pub fn forget_in_flight(&mut self, bytes: usize) {
+        match self {
+            CongestionControl::Cubic(c) => c.forget_in_flight(bytes),
+            CongestionControl::Delay(c) => c.forget_in_flight(bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_constructs_both_kinds() {
+        let c = CongestionControl::new(CcKind::Cubic, 1350);
+        let d = CongestionControl::new(CcKind::Delay, 1350);
+        assert_eq!(c.cwnd(), 10 * 1350);
+        assert_eq!(d.cwnd(), 10 * 1350);
+        assert!(matches!(c, CongestionControl::Cubic(_)));
+        assert!(matches!(d, CongestionControl::Delay(_)));
+    }
+
+    #[test]
+    fn dispatch_forwards_flight_accounting() {
+        for kind in [CcKind::Cubic, CcKind::Delay] {
+            let mut cc = CongestionControl::new(kind, 1350);
+            cc.on_sent(2700);
+            assert_eq!(cc.in_flight(), 2700);
+            cc.on_ack(
+                SimTime::from_millis(60),
+                1350,
+                SimDuration::from_millis(60),
+                SimDuration::from_millis(60),
+            );
+            assert_eq!(cc.in_flight(), 1350);
+            cc.forget_in_flight(1350);
+            assert_eq!(cc.in_flight(), 0);
+        }
+    }
+
+    #[test]
+    fn delay_kind_ignores_single_losses_cubic_reacts() {
+        let mut cubic = CongestionControl::new(CcKind::Cubic, 1350);
+        let mut delay = CongestionControl::new(CcKind::Delay, 1350);
+        // Warm both with some acks.
+        for i in 1..200u64 {
+            for cc in [&mut cubic, &mut delay] {
+                cc.on_sent(1350);
+                cc.on_ack(
+                    SimTime::from_micros(i * 1000),
+                    1350,
+                    SimDuration::from_millis(60),
+                    SimDuration::from_millis(60),
+                );
+            }
+        }
+        let (wc, wd) = (cubic.cwnd(), delay.cwnd());
+        cubic.on_loss(SimTime::from_secs(1), 100, 90, 1350);
+        delay.on_loss(SimTime::from_secs(1), 100, 90, 1350);
+        assert!(cubic.cwnd() < wc, "CUBIC must back off");
+        assert!(delay.cwnd() as f64 >= wd as f64 * 0.9, "delay CC must not");
+    }
+}

@@ -1,0 +1,958 @@
+//! The QUIC\* connection endpoint.
+//!
+//! Sans-IO, in the style of `quinn-proto`: the owner feeds it datagrams
+//! ([`Connection::on_datagram`]), drains outgoing packets
+//! ([`Connection::poll_transmit`]), arms a timer ([`Connection::next_timeout`]
+//! / [`Connection::on_timeout`]) and consumes application events
+//! ([`Connection::poll_event`]). In this repository the owner is the
+//! discrete-event loop in `voxel-core`; the same state machine could be
+//! driven by real UDP sockets.
+//!
+//! The connection is assumed established (the paper's experiments measure
+//! steady-state streaming; handshake latency is identical for QUIC and
+//! QUIC\* and cancels out of every comparison).
+
+use crate::ack::{AckTracker, MAX_ACK_DELAY};
+use crate::cc::{CcKind, CongestionControl};
+use crate::frame::Frame;
+use crate::loss::{LossDetector, SentChunk, SentPacket, TimeoutOutcome};
+use crate::packet::{Packet, MAX_PAYLOAD};
+use crate::rtt::RttEstimator;
+use crate::stream::{RecvStream, Reliability, SendStream, StreamId};
+use bytes::Bytes;
+use std::collections::{BTreeMap, VecDeque};
+use voxel_sim::{SimDuration, SimTime};
+
+/// Which side of the connection this endpoint is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Client (opens even-numbered streams).
+    Client,
+    /// Server (opens odd-numbered streams).
+    Server,
+}
+
+/// Tunables.
+#[derive(Debug, Clone)]
+pub struct ConnectionConfig {
+    /// Maximum datagram payload.
+    pub mss: usize,
+    /// Connection-level flow control window granted to the peer.
+    pub max_data: u64,
+    /// Consecutive PTOs before declaring persistent congestion.
+    pub persistent_congestion_ptos: u32,
+    /// Congestion-control algorithm.
+    pub cc: CcKind,
+}
+
+impl Default for ConnectionConfig {
+    fn default() -> Self {
+        ConnectionConfig {
+            mss: MAX_PAYLOAD,
+            max_data: 256 * 1024 * 1024,
+            persistent_congestion_ptos: 7,
+            cc: CcKind::Cubic,
+        }
+    }
+}
+
+/// Application-visible connection events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// The peer opened a stream.
+    StreamOpened(StreamId, Reliability),
+    /// New data is readable on a stream.
+    StreamReadable(StreamId),
+    /// A receive stream saw fin and (for reliable streams) all data.
+    StreamFinished(StreamId),
+    /// QUIC\* loss report: these sent ranges of an unreliable stream were
+    /// lost and will NOT be retransmitted by the transport (§4.2 — the
+    /// application may selectively re-request them).
+    UnreliableLoss {
+        /// The stream.
+        id: StreamId,
+        /// Lost `[start, end)` ranges, stream offsets.
+        ranges: Vec<(u64, u64)>,
+    },
+    /// The peer abandoned a stream (RESET_STREAM / STOP_SENDING).
+    StreamReset(StreamId),
+    /// The peer closed the connection.
+    Closed {
+        /// Application error code.
+        code: u64,
+    },
+}
+
+/// Transport statistics (per connection).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Packets sent.
+    pub packets_sent: u64,
+    /// Packets declared lost.
+    pub packets_lost: u64,
+    /// Ack-eliciting bytes sent (wire).
+    pub bytes_sent: u64,
+    /// Stream payload bytes retransmitted (reliable streams).
+    pub bytes_retransmitted: u64,
+    /// PTO events.
+    pub ptos: u64,
+}
+
+/// A QUIC\* connection endpoint.
+pub struct Connection {
+    role: Role,
+    config: ConnectionConfig,
+    next_pkt_num: u64,
+    next_stream: u64,
+    send_streams: BTreeMap<StreamId, SendStream>,
+    recv_streams: BTreeMap<StreamId, RecvStream>,
+    ack: AckTracker,
+    loss: LossDetector,
+    rtt: RttEstimator,
+    cc: CongestionControl,
+    events: VecDeque<Event>,
+    /// Peer-granted connection flow limit / our consumption of it.
+    max_data_remote: u64,
+    data_sent: u64,
+    /// Flow limit we granted / peer's consumption / next update threshold.
+    max_data_local: u64,
+    data_received: u64,
+    /// Pending control frames (flow-control updates, close).
+    control: VecDeque<Frame>,
+    /// Probe data to send regardless of cwnd (after a PTO).
+    probe_pending: bool,
+    /// Earliest time the pacer allows the next data packet (QUIC paces at
+    /// ~1.25 x cwnd/SRTT so congestion-window-sized bursts don't slam
+    /// shallow droptail queues; pure-ACK/control packets are exempt).
+    pace_next: SimTime,
+    closed: bool,
+    stats: ConnStats,
+}
+
+impl Connection {
+    /// Create an endpoint.
+    pub fn new(role: Role, config: ConnectionConfig) -> Connection {
+        let max_data_local = config.max_data;
+        Connection {
+            role,
+            cc: CongestionControl::new(config.cc, config.mss),
+            config,
+            next_pkt_num: 0,
+            next_stream: 0,
+            send_streams: BTreeMap::new(),
+            recv_streams: BTreeMap::new(),
+            ack: AckTracker::new(),
+            loss: LossDetector::new(),
+            rtt: RttEstimator::new(),
+            events: VecDeque::new(),
+            max_data_remote: max_data_local,
+            data_sent: 0,
+            max_data_local,
+            data_received: 0,
+            control: VecDeque::new(),
+            probe_pending: false,
+            pace_next: SimTime::ZERO,
+            closed: false,
+            stats: ConnStats::default(),
+        }
+    }
+
+    /// Endpoint with default configuration.
+    pub fn with_defaults(role: Role) -> Connection {
+        Self::new(role, ConnectionConfig::default())
+    }
+
+    /// This endpoint's role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Transport statistics.
+    pub fn stats(&self) -> ConnStats {
+        self.stats
+    }
+
+    /// Smoothed RTT estimate.
+    pub fn srtt(&self) -> SimDuration {
+        self.rtt.srtt()
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> usize {
+        self.cc.cwnd()
+    }
+
+    /// Whether the connection has been closed (locally or by the peer).
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    // ------------------------------------------------------------------
+    // Application API
+    // ------------------------------------------------------------------
+
+    /// Open a new stream of the given reliability class.
+    pub fn open_stream(&mut self, reliability: Reliability) -> StreamId {
+        let parity = match self.role {
+            Role::Client => 0,
+            Role::Server => 1,
+        };
+        let id = StreamId(self.next_stream * 2 + parity);
+        self.next_stream += 1;
+        self.send_streams
+            .insert(id, SendStream::new(id, reliability));
+        id
+    }
+
+    /// Open the sending half of a stream the *peer* initiated — how a
+    /// server replies on the stream that carried the request (HTTP
+    /// semantics over bidirectional streams).
+    pub fn open_reply_stream(&mut self, id: StreamId, reliability: Reliability) {
+        let prev = self.send_streams.insert(id, SendStream::new(id, reliability));
+        debug_assert!(prev.is_none(), "reply stream {id} already open");
+    }
+
+    /// Abandon sending on a stream: discard unsent/retransmittable data and
+    /// tell the peer to do the same. Used for segment abandonment (§4.3).
+    pub fn reset_stream(&mut self, id: StreamId) {
+        self.send_streams.remove(&id);
+        self.control.push_back(Frame::ResetStream { id });
+    }
+
+    /// Write data on a locally opened stream.
+    pub fn send(&mut self, id: StreamId, data: &[u8]) {
+        self.send_streams
+            .get_mut(&id)
+            .expect("unknown send stream")
+            .write(data);
+    }
+
+    /// Finish a locally opened stream.
+    pub fn finish(&mut self, id: StreamId) {
+        self.send_streams
+            .get_mut(&id)
+            .expect("unknown send stream")
+            .finish();
+    }
+
+    /// Access a receive stream (for reads / missing-range queries).
+    pub fn recv_stream(&mut self, id: StreamId) -> Option<&mut RecvStream> {
+        self.recv_streams.get_mut(&id)
+    }
+
+    /// Access a send stream (e.g. to check completion).
+    pub fn send_stream(&mut self, id: StreamId) -> Option<&mut SendStream> {
+        self.send_streams.get_mut(&id)
+    }
+
+    /// Close the connection with an application error code.
+    pub fn close(&mut self, code: u64) {
+        if !self.closed {
+            self.control.push_back(Frame::Close { code });
+        }
+    }
+
+    /// Next application event, if any.
+    pub fn poll_event(&mut self) -> Option<Event> {
+        self.events.pop_front()
+    }
+
+    // ------------------------------------------------------------------
+    // Network ingress
+    // ------------------------------------------------------------------
+
+    /// Process an incoming datagram.
+    pub fn on_datagram(&mut self, now: SimTime, data: Bytes) {
+        let Some(packet) = Packet::decode(data) else {
+            return; // malformed: drop, as a real endpoint would
+        };
+        let eliciting = packet.is_ack_eliciting();
+        if !self.ack.on_packet(packet.pkt_num, now, eliciting) {
+            return; // duplicate
+        }
+        for frame in packet.frames {
+            self.on_frame(now, frame);
+        }
+    }
+
+    fn on_frame(&mut self, now: SimTime, frame: Frame) {
+        match frame {
+            Frame::Padding { .. } | Frame::Ping => {}
+            Frame::Stream {
+                id,
+                offset,
+                fin,
+                unreliable,
+                data,
+            } => {
+                let reliability = if unreliable {
+                    Reliability::Unreliable
+                } else {
+                    Reliability::Reliable
+                };
+                let stream = self.recv_streams.entry(id).or_insert_with(|| {
+                    self.events.push_back(Event::StreamOpened(id, reliability));
+                    RecvStream::new(id, reliability)
+                });
+                let before = stream.bytes_received();
+                let had_fin = stream.final_len().is_some();
+                stream.on_data(offset, data, fin);
+                let gained = stream.bytes_received() - before;
+                // A bare fin (zero new bytes — e.g. the resent fin marker of
+                // an unreliable stream after loss) must still wake the
+                // application: it changes the stream's state.
+                if gained > 0 || (fin && !had_fin) {
+                    self.data_received += gained;
+                    self.events.push_back(Event::StreamReadable(id));
+                }
+                if stream.is_complete() {
+                    self.events.push_back(Event::StreamFinished(id));
+                }
+                // Replenish the peer's connection window once half-consumed.
+                if self.data_received * 2 > self.max_data_local {
+                    self.max_data_local += self.config.max_data;
+                    self.control.push_back(Frame::MaxData {
+                        limit: self.max_data_local,
+                    });
+                }
+            }
+            Frame::Ack { ranges, delay_us } => {
+                let outcome = self.loss.on_ack(
+                    now,
+                    &ranges,
+                    SimDuration::from_micros(delay_us),
+                    &self.rtt,
+                );
+                if let Some((sample, delay)) = outcome.rtt_sample {
+                    self.rtt.update(sample, delay);
+                }
+                for pkt in &outcome.acked {
+                    self.cc
+                        .on_ack(now, pkt.wire_bytes, self.rtt.srtt(), self.rtt.latest());
+                    for c in &pkt.chunks {
+                        if let Some(s) = self.send_streams.get_mut(&c.id) {
+                            s.on_chunk_acked(c.offset, c.len, c.fin);
+                        }
+                    }
+                }
+                self.handle_lost(now, outcome.lost);
+                // Garbage-collect fully acknowledged reliable streams (a
+                // session opens hundreds; scanning completed ones on every
+                // send would be quadratic). Unreliable streams stay: their
+                // late loss reports must still reach the application.
+                self.send_streams.retain(|_, s| {
+                    !(s.reliability == Reliability::Reliable && s.is_complete())
+                });
+            }
+            Frame::MaxData { limit } => {
+                self.max_data_remote = self.max_data_remote.max(limit);
+            }
+            Frame::MaxStreamData { id, limit } => {
+                if let Some(s) = self.send_streams.get_mut(&id) {
+                    s.set_max_stream_data(limit);
+                }
+            }
+            Frame::ResetStream { id } => {
+                // STOP_SENDING semantics: the peer no longer wants this
+                // stream — stop transmitting it.
+                self.send_streams.remove(&id);
+                self.events.push_back(Event::StreamReset(id));
+            }
+            Frame::Close { code } => {
+                self.closed = true;
+                self.events.push_back(Event::Closed { code });
+            }
+        }
+    }
+
+    fn handle_lost(&mut self, now: SimTime, lost: Vec<SentPacket>) {
+        if lost.is_empty() {
+            return;
+        }
+        self.stats.packets_lost += lost.len() as u64;
+        let largest_sent = self.next_pkt_num.saturating_sub(1);
+        let largest_lost = lost.iter().map(|p| p.pkt_num).max().expect("non-empty");
+        let bytes: usize = lost.iter().map(|p| p.wire_bytes).sum();
+        self.cc.on_loss(now, largest_sent, largest_lost, bytes);
+
+        let mut unreliable_reports: BTreeMap<StreamId, Vec<(u64, u64)>> = BTreeMap::new();
+        for pkt in lost {
+            for c in pkt.chunks {
+                if let Some(s) = self.send_streams.get_mut(&c.id) {
+                    s.on_chunk_lost(c.offset, c.len, c.fin);
+                    match c.unreliable {
+                        false => self.stats.bytes_retransmitted += c.len as u64,
+                        true => {
+                            for r in s.take_loss_reports() {
+                                unreliable_reports.entry(c.id).or_default().push(r);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (id, ranges) in unreliable_reports {
+            self.events.push_back(Event::UnreliableLoss { id, ranges });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Network egress
+    // ------------------------------------------------------------------
+
+    /// Produce the next outgoing packet, or `None` if there is nothing to
+    /// send right now (congestion-blocked, flow-blocked, or idle).
+    pub fn poll_transmit(&mut self, now: SimTime) -> Option<Packet> {
+        if self.closed {
+            return None;
+        }
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut budget = self.config.mss;
+
+        // Control frames first (cheap, rare).
+        while let Some(f) = self.control.front() {
+            if f.size() > budget {
+                break;
+            }
+            let f = self.control.pop_front().expect("checked");
+            if let Frame::Close { .. } = f {
+                self.closed = true;
+            }
+            budget -= f.size();
+            frames.push(f);
+        }
+
+        // Piggyback / emit an ACK when one is due.
+        if self.ack.should_ack(now) {
+            if let Some((ranges, delay_us)) = self.ack.take_ack(now) {
+                let f = Frame::Ack { ranges, delay_us };
+                if f.size() <= budget {
+                    budget -= f.size();
+                    frames.push(f);
+                }
+            }
+        }
+
+        // Stream data: probe data bypasses the congestion window once.
+        // The pacer gates data (not ACK/control) until `pace_next`, except
+        // small post-idle bursts (in-flight below the initial window).
+        let bypass_cc = std::mem::take(&mut self.probe_pending);
+        let paced_out = !bypass_cc
+            && now < self.pace_next
+            && self.cc.in_flight() >= 10 * self.config.mss;
+        let mut chunks: Vec<SentChunk> = Vec::new();
+        #[allow(clippy::while_immutable_condition)]
+        while !paced_out {
+            // Leave room for the stream-frame header.
+            const HDR: usize = 16;
+            if budget <= HDR {
+                break;
+            }
+            if !bypass_cc && !self.cc.can_send(budget.min(self.config.mss)) {
+                break;
+            }
+            let flow_left = self.max_data_remote.saturating_sub(self.data_sent);
+            if flow_left == 0 {
+                break;
+            }
+            let max_chunk = (budget - HDR).min(flow_left as usize);
+            let Some((id, (offset, data, fin))) = self
+                .send_streams
+                .iter_mut()
+                .find(|(_, s)| s.wants_to_send())
+                .and_then(|(&id, s)| s.next_chunk(max_chunk).map(|c| (id, c)))
+            else {
+                break;
+            };
+            let unreliable = matches!(
+                self.send_streams[&id].reliability,
+                Reliability::Unreliable
+            );
+            self.data_sent += data.len() as u64;
+            chunks.push(SentChunk {
+                id,
+                offset,
+                len: data.len(),
+                fin,
+                unreliable,
+            });
+            let f = Frame::Stream {
+                id,
+                offset,
+                fin,
+                unreliable,
+                data,
+            };
+            budget = budget.saturating_sub(f.size());
+            frames.push(f);
+            if bypass_cc {
+                break; // a single probe chunk
+            }
+        }
+
+        // A bare PTO probe with no data to carry: ping.
+        if bypass_cc && chunks.is_empty() {
+            frames.push(Frame::Ping);
+        }
+
+        if frames.is_empty() {
+            return None;
+        }
+
+        let pkt = Packet::new(self.next_pkt_num, frames);
+        self.next_pkt_num += 1;
+        self.stats.packets_sent += 1;
+        if !chunks.is_empty() {
+            // Pacing rate: 1.25 x cwnd per SRTT, floored at 1 Mbps.
+            let rate_bps = (self.cc.cwnd() as f64 * 8.0 / self.rtt.srtt().as_secs_f64().max(1e-3))
+                * 1.25;
+            let gap = SimDuration::serialization(pkt.wire_size() as u64, rate_bps.max(1e6));
+            self.pace_next = self.pace_next.max(now) + gap;
+        }
+        if pkt.is_ack_eliciting() {
+            let wire = pkt.wire_size();
+            self.stats.bytes_sent += wire as u64;
+            self.cc.on_sent(wire);
+            self.loss.on_sent(SentPacket {
+                pkt_num: pkt.pkt_num,
+                sent_at: now,
+                wire_bytes: wire,
+                ack_eliciting: true,
+                chunks,
+            });
+        }
+        Some(pkt)
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// The earliest deadline at which [`Connection::on_timeout`] must run.
+    /// A closed connection has no timers: it can neither transmit ACKs nor
+    /// retransmit, so keeping deadlines armed would just spin the caller.
+    /// Includes the pacer's release time when data is waiting to be sent.
+    pub fn next_timeout(&self) -> Option<SimTime> {
+        if self.closed {
+            return None;
+        }
+        let loss = self.loss.next_timeout(&self.rtt, MAX_ACK_DELAY);
+        let ack = self.ack.deadline();
+        let pace = (self.send_streams.values().any(|s| s.wants_to_send())
+            && self.cc.can_send(self.config.mss))
+        .then_some(self.pace_next);
+        [loss, ack, pace].into_iter().flatten().min()
+    }
+
+    /// Handle an expired timer.
+    pub fn on_timeout(&mut self, now: SimTime) {
+        // Delayed-ACK deadline: nothing to do here — poll_transmit emits the
+        // ACK because `should_ack(now)` is true.
+        if self
+            .loss
+            .next_timeout(&self.rtt, MAX_ACK_DELAY)
+            .is_some_and(|t| t <= now)
+        {
+            match self.loss.on_timeout(now, &self.rtt) {
+                TimeoutOutcome::Lost(lost) => self.handle_lost(now, lost),
+                TimeoutOutcome::Pto { count, probe } => {
+                    self.stats.ptos += 1;
+                    if count >= self.config.persistent_congestion_ptos {
+                        self.cc.on_persistent_congestion();
+                    }
+                    // Re-arm a probe: retransmittable data from the oldest
+                    // outstanding packet, or a ping.
+                    if let Some(pkt) = probe {
+                        for c in &pkt.chunks {
+                            if !c.unreliable {
+                                if let Some(s) = self.send_streams.get_mut(&c.id) {
+                                    s.on_chunk_lost(c.offset, c.len, c.fin);
+                                }
+                            }
+                        }
+                    }
+                    self.probe_pending = true;
+                }
+            }
+        }
+    }
+
+    /// Whether any stream still has data to send or awaiting ack.
+    pub fn is_idle(&self) -> bool {
+        self.send_streams.values().all(|s| s.is_complete() || s.is_drained())
+            && self.loss.outstanding() == 0
+    }
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("role", &self.role)
+            .field("pkt_num", &self.next_pkt_num)
+            .field("streams", &self.send_streams.len())
+            .field("cwnd", &self.cc.cwnd())
+            .field("closed", &self.closed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive two connections over a lossless, fixed-delay pipe until idle.
+    /// `drop_filter(direction, pkt_num)` returns true to drop a packet;
+    /// direction 0 = a→b, 1 = b→a.
+    fn run_pipe(
+        a: &mut Connection,
+        b: &mut Connection,
+        mut drop_filter: impl FnMut(usize, u64) -> bool,
+        until: SimTime,
+    ) {
+        let delay = SimDuration::from_millis(30);
+        let mut queue = voxel_sim::EventQueue::<(usize, Bytes)>::new();
+        let mut now = SimTime::ZERO;
+        loop {
+            // Drain transmissions from both sides.
+            loop {
+                let mut progressed = false;
+                while let Some(p) = a.poll_transmit(now) {
+                    if !drop_filter(0, p.pkt_num) {
+                        queue.schedule(now + delay, (1, p.encode()));
+                    }
+                    progressed = true;
+                }
+                while let Some(p) = b.poll_transmit(now) {
+                    if !drop_filter(1, p.pkt_num) {
+                        queue.schedule(now + delay, (0, p.encode()));
+                    }
+                    progressed = true;
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            // Next event: earliest of queue delivery / either timer.
+            let timer_a = a.next_timeout();
+            let timer_b = b.next_timeout();
+            let next = [queue.peek_time(), timer_a, timer_b]
+                .into_iter()
+                .flatten()
+                .min();
+            let Some(next) = next else { break };
+            if next > until {
+                break;
+            }
+            now = next;
+            if queue.peek_time() == Some(now) {
+                let ev = queue.pop().expect("peeked");
+                let (dir, data) = ev.event;
+                match dir {
+                    0 => a.on_datagram(now, data),
+                    _ => b.on_datagram(now, data),
+                }
+            }
+            if timer_a.is_some_and(|t| t <= now) {
+                a.on_timeout(now);
+            }
+            if timer_b.is_some_and(|t| t <= now) {
+                b.on_timeout(now);
+            }
+        }
+    }
+
+    fn read_all(conn: &mut Connection, id: StreamId) -> Vec<u8> {
+        let mut out = Vec::new();
+        if let Some(rs) = conn.recv_stream(id) {
+            while let Some(b) = rs.read() {
+                out.extend_from_slice(&b);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn reliable_transfer_without_loss() {
+        let mut server = Connection::with_defaults(Role::Server);
+        let mut client = Connection::with_defaults(Role::Client);
+        let id = server.open_stream(Reliability::Reliable);
+        let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 256) as u8).collect();
+        server.send(id, &payload);
+        server.finish(id);
+        run_pipe(&mut server, &mut client, |_, _| false, SimTime::from_secs(30));
+        assert_eq!(read_all(&mut client, id), payload);
+        assert!(client
+            .recv_stream(id)
+            .map(|s| s.is_complete())
+            .unwrap_or(false));
+        assert_eq!(server.stats().packets_lost, 0);
+    }
+
+    #[test]
+    fn reliable_transfer_recovers_from_loss() {
+        let mut server = Connection::with_defaults(Role::Server);
+        let mut client = Connection::with_defaults(Role::Client);
+        let id = server.open_stream(Reliability::Reliable);
+        let payload: Vec<u8> = (0..80_000u32).map(|i| (i * 7 % 256) as u8).collect();
+        server.send(id, &payload);
+        server.finish(id);
+        // Drop every 9th server packet.
+        run_pipe(
+            &mut server,
+            &mut client,
+            |dir, pn| dir == 0 && pn % 9 == 3,
+            SimTime::from_secs(60),
+        );
+        assert_eq!(read_all(&mut client, id), payload);
+        assert!(server.stats().packets_lost > 0);
+        assert!(server.stats().bytes_retransmitted > 0);
+    }
+
+    #[test]
+    fn unreliable_stream_reports_losses_and_never_retransmits() {
+        let mut server = Connection::with_defaults(Role::Server);
+        let mut client = Connection::with_defaults(Role::Client);
+        let id = server.open_stream(Reliability::Unreliable);
+        let payload = vec![0x5au8; 40_000];
+        server.send(id, &payload);
+        server.finish(id);
+        run_pipe(
+            &mut server,
+            &mut client,
+            |dir, pn| dir == 0 && (4..8).contains(&pn),
+            SimTime::from_secs(60),
+        );
+        // Client got fin and knows the total length, with holes.
+        let (received, missing, complete) = {
+            let rs = client.recv_stream(id).expect("stream exists");
+            (rs.bytes_received(), rs.missing_ranges(None), rs.is_complete())
+        };
+        assert_eq!(
+            missing.iter().map(|(a, b)| b - a).sum::<u64>() + received,
+            40_000
+        );
+        assert!(!complete);
+        assert!(!missing.is_empty(), "holes must be visible");
+        // Server emitted UnreliableLoss events covering the same bytes.
+        let mut reported = 0u64;
+        while let Some(e) = server.poll_event() {
+            if let Event::UnreliableLoss { id: eid, ranges } = e {
+                assert_eq!(eid, id);
+                reported += ranges.iter().map(|(a, b)| b - a).sum::<u64>();
+            }
+        }
+        assert!(reported > 0);
+        assert_eq!(server.stats().bytes_retransmitted, 0);
+    }
+
+    #[test]
+    fn stream_ids_have_role_parity() {
+        let mut c = Connection::with_defaults(Role::Client);
+        let mut s = Connection::with_defaults(Role::Server);
+        assert_eq!(c.open_stream(Reliability::Reliable), StreamId(0));
+        assert_eq!(c.open_stream(Reliability::Reliable), StreamId(2));
+        assert_eq!(s.open_stream(Reliability::Reliable), StreamId(1));
+        assert_eq!(s.open_stream(Reliability::Unreliable), StreamId(3));
+    }
+
+    #[test]
+    fn receiver_emits_open_readable_finished_events() {
+        let mut server = Connection::with_defaults(Role::Server);
+        let mut client = Connection::with_defaults(Role::Client);
+        let id = server.open_stream(Reliability::Reliable);
+        server.send(id, b"hello");
+        server.finish(id);
+        run_pipe(&mut server, &mut client, |_, _| false, SimTime::from_secs(5));
+        let mut opened = false;
+        let mut readable = false;
+        let mut finished = false;
+        while let Some(e) = client.poll_event() {
+            match e {
+                Event::StreamOpened(eid, Reliability::Reliable) if eid == id => opened = true,
+                Event::StreamReadable(eid) if eid == id => readable = true,
+                Event::StreamFinished(eid) if eid == id => finished = true,
+                _ => {}
+            }
+        }
+        assert!(opened && readable && finished);
+    }
+
+    #[test]
+    fn congestion_window_limits_burst() {
+        let mut server = Connection::with_defaults(Role::Server);
+        let id = server.open_stream(Reliability::Reliable);
+        server.send(id, &vec![0u8; 1_000_000]);
+        server.finish(id);
+        let mut sent_bytes = 0usize;
+        while let Some(p) = server.poll_transmit(SimTime::ZERO) {
+            sent_bytes += p.wire_size();
+        }
+        // Initial window is 10 MSS; the first burst can't exceed it (plus
+        // one packet of slack for the final partial fit).
+        assert!(
+            sent_bytes <= 11 * MAX_PAYLOAD,
+            "burst of {sent_bytes} exceeds initial window"
+        );
+    }
+
+    #[test]
+    fn pto_probe_fires_when_all_acks_are_lost() {
+        let mut server = Connection::with_defaults(Role::Server);
+        let mut client = Connection::with_defaults(Role::Client);
+        let id = server.open_stream(Reliability::Reliable);
+        server.send(id, b"probe me");
+        server.finish(id);
+        // Client never receives anything (all server packets dropped).
+        run_pipe(
+            &mut server,
+            &mut client,
+            |dir, _| dir == 0,
+            SimTime::from_secs(3),
+        );
+        assert!(server.stats().ptos > 0, "PTO must fire");
+        assert!(client.recv_stream(id).is_none());
+    }
+
+    #[test]
+    fn close_propagates() {
+        let mut server = Connection::with_defaults(Role::Server);
+        let mut client = Connection::with_defaults(Role::Client);
+        server.close(42);
+        run_pipe(&mut server, &mut client, |_, _| false, SimTime::from_secs(2));
+        assert!(server.is_closed());
+        assert!(client.is_closed());
+        let mut saw = false;
+        while let Some(e) = client.poll_event() {
+            if e == (Event::Closed { code: 42 }) {
+                saw = true;
+            }
+        }
+        assert!(saw);
+    }
+
+    #[test]
+    fn reliable_and_unreliable_multiplex_on_one_connection() {
+        let mut server = Connection::with_defaults(Role::Server);
+        let mut client = Connection::with_defaults(Role::Client);
+        let rel = server.open_stream(Reliability::Reliable);
+        let unrel = server.open_stream(Reliability::Unreliable);
+        let rel_data = vec![1u8; 30_000];
+        let unrel_data = vec![2u8; 30_000];
+        server.send(rel, &rel_data);
+        server.finish(rel);
+        server.send(unrel, &unrel_data);
+        server.finish(unrel);
+        run_pipe(
+            &mut server,
+            &mut client,
+            |dir, pn| dir == 0 && pn % 7 == 2,
+            SimTime::from_secs(60),
+        );
+        // Reliable stream must be perfect.
+        assert_eq!(read_all(&mut client, rel), rel_data);
+        // Unreliable stream has fin and possibly holes, never corruption.
+        let rs = client.recv_stream(unrel).expect("stream");
+        assert_eq!(rs.final_len(), Some(30_000));
+        for (_, chunk) in rs.take_received() {
+            assert!(chunk.iter().all(|&b| b == 2));
+        }
+    }
+
+    #[test]
+    fn srtt_converges_to_path_rtt() {
+        let mut server = Connection::with_defaults(Role::Server);
+        let mut client = Connection::with_defaults(Role::Client);
+        let id = server.open_stream(Reliability::Reliable);
+        server.send(id, &vec![0u8; 200_000]);
+        server.finish(id);
+        run_pipe(&mut server, &mut client, |_, _| false, SimTime::from_secs(30));
+        // Pipe delay 30 ms each way → RTT 60 ms (+ ack delay tolerance).
+        let srtt = server.srtt().as_millis_f64();
+        assert!(
+            (55.0..90.0).contains(&srtt),
+            "srtt {srtt} ms should be near 60 ms"
+        );
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Whatever pseudo-random pattern of packet drops the network
+        /// applies, a reliable stream either fully reconstructs or the
+        /// connection keeps retransmission state pending — it never
+        /// delivers corrupted or reordered bytes.
+        #[test]
+        fn reliable_delivery_is_exact_under_random_loss(
+            len in 1usize..60_000,
+            drop_mod in 2u64..12,
+            drop_phase in 0u64..12,
+            seed in 0u64..500,
+        ) {
+            let mut server = Connection::with_defaults(Role::Server);
+            let mut client = Connection::with_defaults(Role::Client);
+            let id = server.open_stream(Reliability::Reliable);
+            let payload: Vec<u8> = (0..len).map(|i| ((i as u64 * 31 + seed) % 251) as u8).collect();
+            server.send(id, &payload);
+            server.finish(id);
+
+            // Fixed-delay pipe with deterministic drops on the downlink.
+            let delay = SimDuration::from_millis(30);
+            let mut queue = voxel_sim::EventQueue::<(usize, Bytes)>::new();
+            let mut now = SimTime::ZERO;
+            let horizon = SimTime::from_secs(120);
+            loop {
+                loop {
+                    let mut progressed = false;
+                    while let Some(p) = server.poll_transmit(now) {
+                        if (p.pkt_num + drop_phase) % drop_mod != 0 {
+                            queue.schedule(now + delay, (1, p.encode()));
+                        }
+                        progressed = true;
+                    }
+                    while let Some(p) = client.poll_transmit(now) {
+                        queue.schedule(now + delay, (0, p.encode()));
+                        progressed = true;
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+                let next = [queue.peek_time(), server.next_timeout(), client.next_timeout()]
+                    .into_iter()
+                    .flatten()
+                    .min();
+                let Some(next) = next else { break };
+                if next > horizon {
+                    break;
+                }
+                now = next;
+                if queue.peek_time() == Some(now) {
+                    let ev = queue.pop().expect("peeked");
+                    match ev.event.0 {
+                        0 => server.on_datagram(now, ev.event.1),
+                        _ => client.on_datagram(now, ev.event.1),
+                    }
+                }
+                if server.next_timeout().is_some_and(|t| t <= now) {
+                    server.on_timeout(now);
+                }
+                if client.next_timeout().is_some_and(|t| t <= now) {
+                    client.on_timeout(now);
+                }
+            }
+
+            let rs = client.recv_stream(id).expect("stream opened");
+            prop_assert!(rs.is_complete(), "stream did not complete");
+            let mut got = Vec::new();
+            while let Some(b) = rs.read() {
+                got.extend_from_slice(&b);
+            }
+            prop_assert_eq!(got, payload);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! # voxel-quic
+//!
+//! QUIC\*: a from-scratch, packet-level QUIC-like transport with the paper's
+//! §4.2 extension — **unreliable streams with optional retransmissions** —
+//! alongside ordinary reliable streams. The design mirrors Google QUIC's
+//! machinery at the level the paper's evaluation exercises:
+//!
+//! - [`varint`]/[`frame`]/[`packet`]: QUIC-style wire encoding (varints,
+//!   STREAM/ACK/flow-control frames, packet numbers).
+//! - [`rtt`]: SRTT/RTTVAR estimation (RFC 6298 style, as QUIC uses).
+//! - [`ack`]: ACK-range tracking and delayed-ACK generation.
+//! - [`cubic`]: the CUBIC congestion controller — *both* stream classes are
+//!   congestion- and flow-controlled ("the unreliable streams of QUIC\*,
+//!   unlike UDP, are subject to the congestion (CUBIC) and flow-control
+//!   mechanisms of the QUIC connection").
+//! - [`loss`]: packet- and time-threshold loss detection plus PTO probes.
+//! - [`stream`]: reliable send/recv streams (retransmission, in-order
+//!   delivery) and unreliable streams (gap delivery, loss reports surfaced
+//!   to the application for selective re-request).
+//! - [`connection`]: the sans-IO endpoint — `on_datagram` / `poll_transmit`
+//!   / `on_timeout` — driven by the discrete-event loop in `voxel-core`,
+//!   and structured so it could equally be driven by real UDP sockets.
+
+pub mod ack;
+pub mod cc;
+pub mod connection;
+pub mod delay_cc;
+pub mod range;
+pub mod cubic;
+pub mod frame;
+pub mod loss;
+pub mod packet;
+pub mod rtt;
+pub mod stream;
+pub mod varint;
+
+pub use cc::{CcKind, CongestionControl};
+pub use connection::{Connection, ConnectionConfig, Event, Role};
+pub use frame::Frame;
+pub use packet::Packet;
+pub use stream::{Reliability, StreamId};

@@ -1,0 +1,363 @@
+//! Sent-packet tracking, ACK processing and loss detection (RFC 9002).
+//!
+//! Packets are declared lost by the **packet threshold** (3 packets
+//! reordering) or the **time threshold** (9/8·RTT older than the largest
+//! acknowledged). A probe timeout (PTO) fires when acknowledgements stop
+//! arriving entirely.
+
+use crate::rtt::RttEstimator;
+use crate::stream::StreamId;
+use std::collections::BTreeMap;
+use voxel_sim::{SimDuration, SimTime};
+
+/// Packet-reordering threshold.
+const PACKET_THRESHOLD: u64 = 3;
+
+/// A stream chunk carried by a sent packet (for retransmission / loss
+/// reporting when the packet is lost).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SentChunk {
+    /// The stream.
+    pub id: StreamId,
+    /// Offset within the stream.
+    pub offset: u64,
+    /// Payload length.
+    pub len: usize,
+    /// Whether the chunk carried fin.
+    pub fin: bool,
+    /// Whether the stream is unreliable.
+    pub unreliable: bool,
+}
+
+/// Book-keeping for an in-flight packet.
+#[derive(Debug, Clone)]
+pub struct SentPacket {
+    /// Packet number.
+    pub pkt_num: u64,
+    /// Send timestamp.
+    pub sent_at: SimTime,
+    /// Wire size (for congestion accounting).
+    pub wire_bytes: usize,
+    /// Whether it elicits an ACK.
+    pub ack_eliciting: bool,
+    /// Stream chunks carried.
+    pub chunks: Vec<SentChunk>,
+}
+
+/// Result of processing one ACK frame.
+#[derive(Debug, Default)]
+pub struct AckOutcome {
+    /// Packets newly acknowledged.
+    pub acked: Vec<SentPacket>,
+    /// Packets newly declared lost (packet threshold or time threshold).
+    pub lost: Vec<SentPacket>,
+    /// RTT sample from the largest newly-acked packet, with peer ack delay.
+    pub rtt_sample: Option<(SimDuration, SimDuration)>,
+}
+
+/// The loss detector.
+#[derive(Debug, Default)]
+pub struct LossDetector {
+    sent: BTreeMap<u64, SentPacket>,
+    largest_acked: Option<u64>,
+    pto_count: u32,
+}
+
+impl LossDetector {
+    /// Fresh detector.
+    pub fn new() -> LossDetector {
+        LossDetector::default()
+    }
+
+    /// Record a sent packet.
+    pub fn on_sent(&mut self, pkt: SentPacket) {
+        self.sent.insert(pkt.pkt_num, pkt);
+    }
+
+    /// Number of tracked (unacked, undeclared) packets.
+    pub fn outstanding(&self) -> usize {
+        self.sent.len()
+    }
+
+    /// Whether any ack-eliciting packet is outstanding.
+    pub fn has_eliciting_outstanding(&self) -> bool {
+        self.sent.values().any(|p| p.ack_eliciting)
+    }
+
+    /// Largest acknowledged packet number.
+    pub fn largest_acked(&self) -> Option<u64> {
+        self.largest_acked
+    }
+
+    /// Consecutive PTO count (reset by forward progress).
+    pub fn pto_count(&self) -> u32 {
+        self.pto_count
+    }
+
+    /// Process an ACK frame's ranges.
+    pub fn on_ack(
+        &mut self,
+        now: SimTime,
+        ranges: &[(u64, u64)],
+        ack_delay: SimDuration,
+        rtt: &RttEstimator,
+    ) -> AckOutcome {
+        let mut out = AckOutcome::default();
+        let mut largest_newly_acked: Option<u64> = None;
+
+        for &(hi, lo) in ranges {
+            // Ranges arrive highest-first as (start, end) pairs in either
+            // orientation; normalize.
+            let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+            let acked: Vec<u64> = self.sent.range(lo..=hi).map(|(&pn, _)| pn).collect();
+            for pn in acked {
+                let pkt = self.sent.remove(&pn).expect("present");
+                largest_newly_acked = Some(largest_newly_acked.map_or(pn, |l: u64| l.max(pn)));
+                out.acked.push(pkt);
+            }
+        }
+
+        if let Some(largest) = largest_newly_acked {
+            if self.largest_acked.is_none_or(|l| largest > l) {
+                self.largest_acked = Some(largest);
+                // RTT sample only from the largest newly-acked,
+                // ack-eliciting packet.
+                if let Some(pkt) = out.acked.iter().find(|p| p.pkt_num == largest) {
+                    if pkt.ack_eliciting {
+                        out.rtt_sample = Some((now.saturating_since(pkt.sent_at), ack_delay));
+                    }
+                }
+            }
+            self.pto_count = 0;
+        }
+
+        out.lost = self.detect_lost(now, rtt);
+        out
+    }
+
+    /// Declare packets lost by packet- and time-threshold relative to the
+    /// largest acknowledged packet.
+    pub fn detect_lost(&mut self, now: SimTime, rtt: &RttEstimator) -> Vec<SentPacket> {
+        let Some(largest) = self.largest_acked else {
+            return Vec::new();
+        };
+        let time_threshold = rtt.loss_time_threshold();
+        let lost_pns: Vec<u64> = self
+            .sent
+            .range(..largest)
+            .filter(|(&pn, pkt)| {
+                largest - pn >= PACKET_THRESHOLD
+                    || now.saturating_since(pkt.sent_at) >= time_threshold
+            })
+            .map(|(&pn, _)| pn)
+            .collect();
+        lost_pns
+            .into_iter()
+            .map(|pn| self.sent.remove(&pn).expect("present"))
+            .collect()
+    }
+
+    /// The earliest deadline at which either a time-threshold loss or a PTO
+    /// should fire; `None` when nothing is outstanding.
+    pub fn next_timeout(&self, rtt: &RttEstimator, max_ack_delay: SimDuration) -> Option<SimTime> {
+        // Time-threshold deadline for the oldest packet below largest_acked.
+        let loss_deadline = self.largest_acked.and_then(|largest| {
+            self.sent
+                .range(..largest)
+                .map(|(_, p)| p.sent_at + rtt.loss_time_threshold())
+                .min()
+        });
+        // PTO from the most recent ack-eliciting packet.
+        let pto_deadline = self
+            .sent
+            .values()
+            .filter(|p| p.ack_eliciting)
+            .map(|p| p.sent_at)
+            .max()
+            .map(|t| {
+                let backoff = 1u64 << self.pto_count.min(6);
+                t + SimDuration::from_micros(rtt.pto(max_ack_delay).as_micros() * backoff)
+            });
+        match (loss_deadline, pto_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Handle an expired timeout: first run time-threshold detection; if
+    /// nothing was declared lost, treat it as a PTO — bump the backoff and
+    /// return the oldest outstanding eliciting packet to probe with.
+    pub fn on_timeout(&mut self, now: SimTime, rtt: &RttEstimator) -> TimeoutOutcome {
+        let lost = self.detect_lost(now, rtt);
+        if !lost.is_empty() {
+            return TimeoutOutcome::Lost(lost);
+        }
+        self.pto_count += 1;
+        // On PTO, retransmittable data of the oldest eliciting packet is
+        // re-sent; here we surface its chunks so the connection can probe.
+        let probe = self
+            .sent
+            .values()
+            .filter(|p| p.ack_eliciting)
+            .min_by_key(|p| p.pkt_num)
+            .cloned();
+        TimeoutOutcome::Pto {
+            count: self.pto_count,
+            probe,
+        }
+    }
+}
+
+/// What a timeout produced.
+#[derive(Debug)]
+pub enum TimeoutOutcome {
+    /// Time-threshold losses were declared.
+    Lost(Vec<SentPacket>),
+    /// A probe timeout fired.
+    Pto {
+        /// Consecutive PTO count (for backoff / persistent congestion).
+        count: u32,
+        /// The oldest outstanding eliciting packet, to re-probe its data.
+        probe: Option<SentPacket>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(pn: u64, at_ms: u64) -> SentPacket {
+        SentPacket {
+            pkt_num: pn,
+            sent_at: SimTime::from_millis(at_ms),
+            wire_bytes: 1200,
+            ack_eliciting: true,
+            chunks: vec![],
+        }
+    }
+
+    fn rtt60() -> RttEstimator {
+        let mut r = RttEstimator::new();
+        r.update(SimDuration::from_millis(60), SimDuration::ZERO);
+        r
+    }
+
+    #[test]
+    fn ack_removes_and_samples_rtt() {
+        let mut d = LossDetector::new();
+        d.on_sent(pkt(0, 0));
+        d.on_sent(pkt(1, 5));
+        let rtt = rtt60();
+        let out = d.on_ack(
+            SimTime::from_millis(65),
+            &[(1, 0)],
+            SimDuration::from_millis(2),
+            &rtt,
+        );
+        assert_eq!(out.acked.len(), 2);
+        assert!(out.lost.is_empty());
+        let (sample, delay) = out.rtt_sample.expect("has sample");
+        assert_eq!(sample, SimDuration::from_millis(60)); // pn 1 sent at 5ms
+        assert_eq!(delay, SimDuration::from_millis(2));
+        assert_eq!(d.outstanding(), 0);
+        assert_eq!(d.largest_acked(), Some(1));
+    }
+
+    #[test]
+    fn packet_threshold_declares_loss() {
+        let mut d = LossDetector::new();
+        for pn in 0..5 {
+            d.on_sent(pkt(pn, pn));
+        }
+        let rtt = rtt60();
+        // Ack only pn 4: pn 0 and 1 are ≥3 behind → lost; 2,3 not yet.
+        let out = d.on_ack(SimTime::from_millis(65), &[(4, 4)], SimDuration::ZERO, &rtt);
+        let lost: Vec<u64> = out.lost.iter().map(|p| p.pkt_num).collect();
+        assert_eq!(lost, vec![0, 1]);
+        assert_eq!(d.outstanding(), 2);
+    }
+
+    #[test]
+    fn time_threshold_declares_loss_later() {
+        let mut d = LossDetector::new();
+        d.on_sent(pkt(0, 0));
+        d.on_sent(pkt(1, 0));
+        let rtt = rtt60();
+        let out = d.on_ack(SimTime::from_millis(60), &[(1, 1)], SimDuration::ZERO, &rtt);
+        assert!(out.lost.is_empty(), "within packet+time thresholds");
+        // 9/8·60 = 67.5 ms after send → lost.
+        let lost = d.detect_lost(SimTime::from_millis(68), &rtt);
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].pkt_num, 0);
+    }
+
+    #[test]
+    fn duplicate_acks_are_harmless() {
+        let mut d = LossDetector::new();
+        d.on_sent(pkt(0, 0));
+        let rtt = rtt60();
+        let out1 = d.on_ack(SimTime::from_millis(60), &[(0, 0)], SimDuration::ZERO, &rtt);
+        assert_eq!(out1.acked.len(), 1);
+        let out2 = d.on_ack(SimTime::from_millis(70), &[(0, 0)], SimDuration::ZERO, &rtt);
+        assert!(out2.acked.is_empty());
+        assert!(out2.rtt_sample.is_none());
+    }
+
+    #[test]
+    fn pto_fires_and_backs_off() {
+        let mut d = LossDetector::new();
+        d.on_sent(pkt(0, 0));
+        let rtt = rtt60();
+        let deadline = d
+            .next_timeout(&rtt, SimDuration::from_millis(25))
+            .expect("armed");
+        // PTO = srtt + 4·var + mad = 60 + 120 + 25 = 205 ms.
+        assert_eq!(deadline.as_micros(), 205_000);
+        match d.on_timeout(deadline, &rtt) {
+            TimeoutOutcome::Pto { count, probe } => {
+                assert_eq!(count, 1);
+                assert_eq!(probe.unwrap().pkt_num, 0);
+            }
+            other => panic!("expected PTO, got {other:?}"),
+        }
+        // Backoff doubles the next deadline.
+        let d2 = d
+            .next_timeout(&rtt, SimDuration::from_millis(25))
+            .expect("armed");
+        assert_eq!(d2.as_micros(), 410_000);
+    }
+
+    #[test]
+    fn pto_count_resets_on_forward_progress() {
+        let mut d = LossDetector::new();
+        d.on_sent(pkt(0, 0));
+        let rtt = rtt60();
+        let t = d.next_timeout(&rtt, SimDuration::ZERO).unwrap();
+        d.on_timeout(t, &rtt);
+        assert_eq!(d.pto_count(), 1);
+        d.on_sent(pkt(1, 300));
+        d.on_ack(SimTime::from_millis(360), &[(1, 1)], SimDuration::ZERO, &rtt);
+        assert_eq!(d.pto_count(), 0);
+    }
+
+    #[test]
+    fn timeout_with_losses_reports_them_not_pto() {
+        let mut d = LossDetector::new();
+        d.on_sent(pkt(0, 0));
+        d.on_sent(pkt(1, 1));
+        let rtt = rtt60();
+        d.on_ack(SimTime::from_millis(61), &[(1, 1)], SimDuration::ZERO, &rtt);
+        match d.on_timeout(SimTime::from_millis(200), &rtt) {
+            TimeoutOutcome::Lost(lost) => assert_eq!(lost[0].pkt_num, 0),
+            other => panic!("expected losses, got {other:?}"),
+        }
+        assert_eq!(d.pto_count(), 0);
+    }
+
+    #[test]
+    fn no_timeout_when_idle() {
+        let d = LossDetector::new();
+        assert!(d.next_timeout(&rtt60(), SimDuration::ZERO).is_none());
+        assert!(!d.has_eliciting_outstanding());
+    }
+}

@@ -1,0 +1,239 @@
+//! A set of non-overlapping byte ranges `[start, end)` over `u64` offsets.
+//!
+//! Used for tracking received/acked stream data and computing the "holes"
+//! that QUIC\* reports to the application for selective re-request (§4.2).
+
+/// Sorted, coalesced set of half-open ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeSet {
+    ranges: Vec<(u64, u64)>,
+}
+
+impl RangeSet {
+    /// Empty set.
+    pub fn new() -> RangeSet {
+        RangeSet::default()
+    }
+
+    /// Insert `[start, end)`; overlapping/adjacent ranges coalesce.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let mut new_start = start;
+        let mut new_end = end;
+        // Find all ranges overlapping or adjacent to [start, end).
+        let lo = self.ranges.partition_point(|&(_, e)| e < start);
+        let mut hi = lo;
+        while hi < self.ranges.len() && self.ranges[hi].0 <= end {
+            new_start = new_start.min(self.ranges[hi].0);
+            new_end = new_end.max(self.ranges[hi].1);
+            hi += 1;
+        }
+        self.ranges.splice(lo..hi, std::iter::once((new_start, new_end)));
+    }
+
+    /// Whether the whole `[start, end)` is covered.
+    pub fn covers(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return true;
+        }
+        match self.ranges.iter().find(|&&(s, e)| s <= start && start < e) {
+            Some(&(_, e)) => end <= e,
+            None => false,
+        }
+    }
+
+    /// Whether `offset` is in the set.
+    pub fn contains(&self, offset: u64) -> bool {
+        self.covers(offset, offset + 1)
+    }
+
+    /// Total number of covered bytes.
+    pub fn covered_len(&self) -> u64 {
+        self.ranges.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// The gaps (uncovered ranges) within `[0, upto)`.
+    pub fn gaps(&self, upto: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cursor = 0u64;
+        for &(s, e) in &self.ranges {
+            if s >= upto {
+                break;
+            }
+            if s > cursor {
+                out.push((cursor, s.min(upto)));
+            }
+            cursor = cursor.max(e);
+        }
+        if cursor < upto {
+            out.push((cursor, upto));
+        }
+        out
+    }
+
+    /// Length of the covered prefix starting at offset 0.
+    pub fn prefix_len(&self) -> u64 {
+        match self.ranges.first() {
+            Some(&(0, e)) => e,
+            _ => 0,
+        }
+    }
+
+    /// End of the highest covered range (the receive high-water mark);
+    /// 0 when empty.
+    pub fn max_end(&self) -> u64 {
+        self.ranges.last().map(|&(_, e)| e).unwrap_or(0)
+    }
+
+    /// Number of covered bytes within `[start, end)`.
+    pub fn covered_within(&self, start: u64, end: u64) -> u64 {
+        self.ranges
+            .iter()
+            .map(|&(s, e)| {
+                let s = s.max(start);
+                let e = e.min(end);
+                e.saturating_sub(s)
+            })
+            .sum()
+    }
+
+    /// The ranges, for iteration.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.ranges.iter().copied()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_coalesce() {
+        let mut s = RangeSet::new();
+        s.insert(10, 20);
+        s.insert(30, 40);
+        s.insert(20, 30); // bridges the two
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(10, 40)]);
+        assert_eq!(s.covered_len(), 30);
+    }
+
+    #[test]
+    fn overlapping_inserts_merge() {
+        let mut s = RangeSet::new();
+        s.insert(0, 100);
+        s.insert(50, 150);
+        s.insert(200, 300);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(0, 150), (200, 300)]);
+    }
+
+    #[test]
+    fn empty_insert_is_ignored() {
+        let mut s = RangeSet::new();
+        s.insert(5, 5);
+        assert!(s.is_empty());
+        assert_eq!(s.covered_len(), 0);
+    }
+
+    #[test]
+    fn covers_and_contains() {
+        let mut s = RangeSet::new();
+        s.insert(10, 20);
+        assert!(s.covers(10, 20));
+        assert!(s.covers(12, 18));
+        assert!(!s.covers(5, 15));
+        assert!(!s.covers(15, 25));
+        assert!(s.contains(19));
+        assert!(!s.contains(20));
+        assert!(s.covers(7, 7), "empty range is vacuously covered");
+    }
+
+    #[test]
+    fn gaps_reports_holes() {
+        let mut s = RangeSet::new();
+        s.insert(10, 20);
+        s.insert(30, 40);
+        assert_eq!(s.gaps(50), vec![(0, 10), (20, 30), (40, 50)]);
+        assert_eq!(s.gaps(35), vec![(0, 10), (20, 30)]);
+        assert_eq!(s.gaps(5), vec![(0, 5)]);
+        assert_eq!(RangeSet::new().gaps(10), vec![(0, 10)]);
+    }
+
+    #[test]
+    fn gaps_of_complete_prefix_is_empty() {
+        let mut s = RangeSet::new();
+        s.insert(0, 100);
+        assert!(s.gaps(100).is_empty());
+        assert_eq!(s.prefix_len(), 100);
+    }
+
+    #[test]
+    fn max_end_tracks_high_water_mark() {
+        let mut s = RangeSet::new();
+        assert_eq!(s.max_end(), 0);
+        s.insert(10, 20);
+        s.insert(50, 60);
+        assert_eq!(s.max_end(), 60);
+    }
+
+    #[test]
+    fn covered_within_intersects() {
+        let mut s = RangeSet::new();
+        s.insert(10, 20);
+        s.insert(30, 40);
+        assert_eq!(s.covered_within(0, 50), 20);
+        assert_eq!(s.covered_within(15, 35), 10);
+        assert_eq!(s.covered_within(20, 30), 0);
+        assert_eq!(s.covered_within(12, 18), 6);
+    }
+
+    #[test]
+    fn prefix_len_requires_zero_start() {
+        let mut s = RangeSet::new();
+        s.insert(5, 10);
+        assert_eq!(s.prefix_len(), 0);
+        s.insert(0, 5);
+        assert_eq!(s.prefix_len(), 10);
+    }
+
+    #[cfg(test)]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn invariants_hold(ops in proptest::collection::vec((0u64..500, 0u64..100), 0..100)) {
+                let mut s = RangeSet::new();
+                let mut reference = vec![false; 700];
+                for (start, len) in ops {
+                    s.insert(start, start + len);
+                    for slot in reference.iter_mut().skip(start as usize).take(len as usize) {
+                        *slot = true;
+                    }
+                }
+                // Sorted, disjoint, non-adjacent.
+                let rs: Vec<_> = s.iter().collect();
+                for w in rs.windows(2) {
+                    prop_assert!(w[0].1 < w[1].0);
+                }
+                // Covered length matches the reference bitmap.
+                let expected = reference.iter().filter(|&&b| b).count() as u64;
+                prop_assert_eq!(s.covered_len(), expected);
+                // Point membership matches.
+                for (i, &bit) in reference.iter().enumerate() {
+                    prop_assert_eq!(s.contains(i as u64), bit, "offset {}", i);
+                }
+                // Gaps + covered = total.
+                let gap_total: u64 = s.gaps(700).iter().map(|(a, b)| b - a).sum();
+                prop_assert_eq!(gap_total + s.covered_len(), 700);
+            }
+        }
+    }
+}

@@ -1,0 +1,560 @@
+//! Reliable and unreliable streams (§4.2).
+//!
+//! QUIC\* supports two stream classes:
+//!
+//! - **Reliable** streams behave like vanilla QUIC: lost data is
+//!   retransmitted, and the receiver delivers bytes in order.
+//! - **Unreliable** streams never retransmit at the transport layer; lost
+//!   ranges are *reported upward* ("we gather the loss information in the
+//!   QUIC transport layer and pass it up to the application layer"), and the
+//!   receiver exposes whatever arrived, with precisely known holes, so the
+//!   application can zero-pad or selectively re-request.
+//!
+//! Both classes are congestion-controlled and flow-controlled identically.
+
+use crate::range::RangeSet;
+use bytes::Bytes;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Stream identifier. Client-initiated streams use even ids, server-initiated
+/// odd ids (so the two endpoints never collide when opening).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u64);
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Reliability class of a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Reliability {
+    /// Vanilla QUIC stream: retransmit until acknowledged.
+    Reliable,
+    /// QUIC* stream: no transport retransmissions; losses reported to app.
+    Unreliable,
+}
+
+/// The sending half of a stream.
+#[derive(Debug)]
+pub struct SendStream {
+    /// The stream id.
+    pub id: StreamId,
+    /// Reliability class.
+    pub reliability: Reliability,
+    /// All bytes written so far (kept for retransmission slicing).
+    buffer: Vec<u8>,
+    /// Next never-sent offset.
+    next_send: u64,
+    /// Ranges queued for (re)transmission ahead of new data.
+    retransmit: VecDeque<(u64, u64)>,
+    /// Ranges acknowledged by the peer.
+    acked: RangeSet,
+    /// Total length once finished.
+    fin_offset: Option<u64>,
+    /// Whether a frame carrying fin has been sent at least once.
+    fin_sent: bool,
+    /// Whether fin has been acknowledged.
+    fin_acked: bool,
+    /// Lost ranges on an unreliable stream, awaiting app pickup.
+    loss_reports: Vec<(u64, u64)>,
+    /// Peer's flow-control limit for this stream.
+    max_stream_data: u64,
+}
+
+/// Default per-stream flow-control window (generous; the experiments are
+/// congestion-limited, not flow-limited, as in the paper's testbed).
+pub const DEFAULT_STREAM_WINDOW: u64 = 16 * 1024 * 1024;
+
+impl SendStream {
+    /// New send stream.
+    pub fn new(id: StreamId, reliability: Reliability) -> SendStream {
+        SendStream {
+            id,
+            reliability,
+            buffer: Vec::new(),
+            next_send: 0,
+            retransmit: VecDeque::new(),
+            acked: RangeSet::new(),
+            fin_offset: None,
+            fin_sent: false,
+            fin_acked: false,
+            loss_reports: Vec::new(),
+            max_stream_data: DEFAULT_STREAM_WINDOW,
+        }
+    }
+
+    /// Append application data. Panics if the stream was finished.
+    pub fn write(&mut self, data: &[u8]) {
+        assert!(self.fin_offset.is_none(), "write after finish");
+        self.buffer.extend_from_slice(data);
+    }
+
+    /// Mark the stream finished at the current length.
+    pub fn finish(&mut self) {
+        self.fin_offset = Some(self.buffer.len() as u64);
+    }
+
+    /// Whether all data (and fin) has been sent at least once.
+    pub fn is_drained(&self) -> bool {
+        self.retransmit.is_empty()
+            && self.next_send >= self.buffer.len() as u64
+            && (self.fin_offset.is_none() || self.fin_sent)
+    }
+
+    /// Whether delivery is complete: for reliable streams, everything
+    /// acknowledged; for unreliable streams, everything sent once.
+    pub fn is_complete(&self) -> bool {
+        match self.reliability {
+            Reliability::Reliable => {
+                self.fin_acked
+                    && self.fin_offset.is_some_and(|fo| self.acked.covers(0, fo) || fo == 0)
+            }
+            Reliability::Unreliable => self.is_drained(),
+        }
+    }
+
+    /// Update the peer's flow-control limit.
+    pub fn set_max_stream_data(&mut self, limit: u64) {
+        self.max_stream_data = self.max_stream_data.max(limit);
+    }
+
+    /// Bytes the app has written but that were never sent yet.
+    pub fn unsent_bytes(&self) -> u64 {
+        self.buffer.len() as u64 - self.next_send
+    }
+
+    /// Whether the stream has anything to put on the wire right now.
+    pub fn wants_to_send(&self) -> bool {
+        if !self.retransmit.is_empty() {
+            return true;
+        }
+        if self.next_send < (self.buffer.len() as u64).min(self.max_stream_data) {
+            return true;
+        }
+        self.fin_offset.is_some() && !self.fin_sent
+    }
+
+    /// Produce the next chunk to send, at most `max_len` bytes.
+    ///
+    /// Retransmissions (reliable streams only) take priority over new data.
+    /// Returns `(offset, data, fin)`.
+    pub fn next_chunk(&mut self, max_len: usize) -> Option<(u64, Bytes, bool)> {
+        if max_len == 0 {
+            return None;
+        }
+        // Retransmissions first.
+        if let Some((start, end)) = self.retransmit.pop_front() {
+            let len = ((end - start) as usize).min(max_len);
+            let chunk_end = start + len as u64;
+            if chunk_end < end {
+                self.retransmit.push_front((chunk_end, end));
+            }
+            let data = Bytes::copy_from_slice(&self.buffer[start as usize..chunk_end as usize]);
+            let fin = self.fin_offset == Some(chunk_end) && chunk_end == self.buffer.len() as u64;
+            return Some((start, data, fin));
+        }
+        // New data, respecting flow control.
+        let limit = (self.buffer.len() as u64).min(self.max_stream_data);
+        if self.next_send < limit {
+            let start = self.next_send;
+            let len = ((limit - start) as usize).min(max_len);
+            let end = start + len as u64;
+            self.next_send = end;
+            let data = Bytes::copy_from_slice(&self.buffer[start as usize..end as usize]);
+            let fin = self.fin_offset == Some(end);
+            if fin {
+                self.fin_sent = true;
+            }
+            return Some((start, data, fin));
+        }
+        // Bare fin.
+        if let Some(fo) = self.fin_offset {
+            if !self.fin_sent && self.next_send >= fo {
+                self.fin_sent = true;
+                return Some((fo, Bytes::new(), true));
+            }
+        }
+        None
+    }
+
+    /// A previously sent chunk was acknowledged.
+    pub fn on_chunk_acked(&mut self, offset: u64, len: usize, fin: bool) {
+        self.acked.insert(offset, offset + len as u64);
+        if fin {
+            self.fin_acked = true;
+        }
+    }
+
+    /// A previously sent chunk was declared lost.
+    ///
+    /// Reliable: requeue for retransmission (unless already acked, e.g. a
+    /// spurious loss). Unreliable: record a loss report for the application
+    /// and *do not* retransmit.
+    pub fn on_chunk_lost(&mut self, offset: u64, len: usize, fin: bool) {
+        let end = offset + len as u64;
+        match self.reliability {
+            Reliability::Reliable => {
+                if !self.acked.covers(offset, end) && len > 0 {
+                    self.retransmit.push_back((offset, end));
+                }
+                if fin && !self.fin_acked {
+                    self.fin_sent = false; // resend the fin marker
+                }
+            }
+            Reliability::Unreliable => {
+                if len > 0 {
+                    self.loss_reports.push((offset, end));
+                }
+                // fin on unreliable streams: resend the (empty) fin marker so
+                // the receiver learns the total length.
+                if fin && !self.fin_acked {
+                    self.fin_sent = false;
+                }
+            }
+        }
+    }
+
+    /// Drain accumulated loss reports (unreliable streams).
+    pub fn take_loss_reports(&mut self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut self.loss_reports)
+    }
+
+    /// Total bytes written by the application.
+    pub fn len(&self) -> u64 {
+        self.buffer.len() as u64
+    }
+
+    /// Whether nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+}
+
+/// The receiving half of a stream.
+#[derive(Debug)]
+pub struct RecvStream {
+    /// The stream id.
+    pub id: StreamId,
+    /// Reliability class (learned from the first frame).
+    pub reliability: Reliability,
+    /// Received ranges.
+    received: RangeSet,
+    /// Buffered data by offset (non-overlapping: new data is trimmed).
+    chunks: BTreeMap<u64, Bytes>,
+    /// In-order read cursor (reliable delivery).
+    read_cursor: u64,
+    /// Total stream length, once fin is seen.
+    fin_offset: Option<u64>,
+}
+
+impl RecvStream {
+    /// New receive stream.
+    pub fn new(id: StreamId, reliability: Reliability) -> RecvStream {
+        RecvStream {
+            id,
+            reliability,
+            received: RangeSet::new(),
+            chunks: BTreeMap::new(),
+            read_cursor: 0,
+            fin_offset: None,
+        }
+    }
+
+    /// Ingest a STREAM frame's payload.
+    pub fn on_data(&mut self, offset: u64, data: Bytes, fin: bool) {
+        if fin {
+            let end = offset + data.len() as u64;
+            self.fin_offset = Some(self.fin_offset.map_or(end, |f| f.max(end)));
+        }
+        if data.is_empty() {
+            return;
+        }
+        let end = offset + data.len() as u64;
+        if self.received.covers(offset, end) {
+            return; // pure duplicate
+        }
+        // Trim against already-received sub-ranges by inserting gap pieces.
+        let gaps: Vec<(u64, u64)> = {
+            let mut sub = RangeSet::new();
+            for (s, e) in self.received.iter() {
+                let s = s.max(offset);
+                let e = e.min(end);
+                if s < e {
+                    sub.insert(s - offset, e - offset);
+                }
+            }
+            sub.gaps(data.len() as u64)
+        };
+        for (s, e) in gaps {
+            let piece = data.slice(s as usize..e as usize);
+            self.chunks.insert(offset + s, piece);
+        }
+        self.received.insert(offset, end);
+    }
+
+    /// Reliable read: return the next in-order bytes, if any.
+    pub fn read(&mut self) -> Option<Bytes> {
+        let (&start, _) = self.chunks.first_key_value()?;
+        if start > self.read_cursor {
+            return None; // gap at the cursor
+        }
+        let (start, chunk) = self.chunks.pop_first().expect("checked");
+        // Drop any portion already read (possible after overlap trims).
+        let skip = (self.read_cursor - start) as usize;
+        self.read_cursor = start + chunk.len() as u64;
+        Some(if skip > 0 { chunk.slice(skip..) } else { chunk })
+    }
+
+    /// Bytes received so far (distinct offsets).
+    pub fn bytes_received(&self) -> u64 {
+        self.received.covered_len()
+    }
+
+    /// Total length, if fin has been seen.
+    pub fn final_len(&self) -> Option<u64> {
+        self.fin_offset
+    }
+
+    /// Whether every byte up to fin has arrived.
+    pub fn is_complete(&self) -> bool {
+        match self.fin_offset {
+            Some(fo) => self.received.covers(0, fo) || fo == 0,
+            None => false,
+        }
+    }
+
+    /// The holes in `[0, upto)` — for unreliable streams, the ranges the
+    /// application may re-request or zero-pad (`upto` defaults to fin).
+    pub fn missing_ranges(&self, upto: Option<u64>) -> Vec<(u64, u64)> {
+        let upto = upto.or(self.fin_offset).unwrap_or(0);
+        self.received.gaps(upto)
+    }
+
+    /// Drain everything received so far as `(offset, data)` pairs
+    /// (unreliable delivery: the app assembles and zero-pads).
+    pub fn take_received(&mut self) -> Vec<(u64, Bytes)> {
+        std::mem::take(&mut self.chunks).into_iter().collect()
+    }
+
+    /// Received ranges, for inspection.
+    pub fn received_ranges(&self) -> Vec<(u64, u64)> {
+        self.received.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_send_produces_sequential_chunks() {
+        let mut s = SendStream::new(StreamId(0), Reliability::Reliable);
+        s.write(&[1u8; 2500]);
+        s.finish();
+        let (o1, d1, f1) = s.next_chunk(1000).unwrap();
+        let (o2, d2, f2) = s.next_chunk(1000).unwrap();
+        let (o3, d3, f3) = s.next_chunk(1000).unwrap();
+        assert_eq!((o1, d1.len(), f1), (0, 1000, false));
+        assert_eq!((o2, d2.len(), f2), (1000, 1000, false));
+        assert_eq!((o3, d3.len(), f3), (2000, 500, true));
+        assert!(s.next_chunk(1000).is_none());
+        assert!(s.is_drained());
+    }
+
+    #[test]
+    fn lost_reliable_chunks_are_retransmitted_first() {
+        let mut s = SendStream::new(StreamId(0), Reliability::Reliable);
+        s.write(&[7u8; 3000]);
+        s.finish();
+        let _ = s.next_chunk(1000).unwrap();
+        let _ = s.next_chunk(1000).unwrap();
+        s.on_chunk_lost(0, 1000, false);
+        // Retransmission takes priority over the remaining new data.
+        let (o, d, _) = s.next_chunk(600).unwrap();
+        assert_eq!((o, d.len()), (0, 600));
+        let (o, d, _) = s.next_chunk(600).unwrap();
+        assert_eq!((o, d.len()), (600, 400));
+        // Then new data resumes.
+        let (o, _, fin) = s.next_chunk(2000).unwrap();
+        assert_eq!(o, 2000);
+        assert!(fin);
+    }
+
+    #[test]
+    fn spurious_loss_after_ack_is_not_retransmitted() {
+        let mut s = SendStream::new(StreamId(0), Reliability::Reliable);
+        s.write(&[7u8; 1000]);
+        s.finish();
+        let _ = s.next_chunk(1000).unwrap();
+        s.on_chunk_acked(0, 1000, true);
+        s.on_chunk_lost(0, 1000, false);
+        assert!(s.next_chunk(1000).is_none());
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn unreliable_losses_become_reports_not_retransmissions() {
+        let mut s = SendStream::new(StreamId(2), Reliability::Unreliable);
+        s.write(&[7u8; 2000]);
+        s.finish();
+        let _ = s.next_chunk(1000).unwrap();
+        let _ = s.next_chunk(1000).unwrap();
+        s.on_chunk_lost(0, 1000, false);
+        s.on_chunk_lost(1500, 500, false);
+        assert!(s.next_chunk(1000).is_none(), "no transport retransmission");
+        assert_eq!(s.take_loss_reports(), vec![(0, 1000), (1500, 2000)]);
+        assert!(s.take_loss_reports().is_empty(), "reports drain once");
+        assert!(s.is_complete(), "unreliable completes on drain");
+    }
+
+    #[test]
+    fn reliable_completion_requires_full_ack() {
+        let mut s = SendStream::new(StreamId(0), Reliability::Reliable);
+        s.write(&[7u8; 1500]);
+        s.finish();
+        let (o1, d1, _) = s.next_chunk(1000).unwrap();
+        let (o2, d2, f2) = s.next_chunk(1000).unwrap();
+        assert!(!s.is_complete());
+        s.on_chunk_acked(o1, d1.len(), false);
+        assert!(!s.is_complete());
+        s.on_chunk_acked(o2, d2.len(), f2);
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn flow_control_blocks_new_data() {
+        let mut s = SendStream::new(StreamId(0), Reliability::Reliable);
+        s.write(&[1u8; 100]);
+        s.max_stream_data = 50;
+        let (_, d, _) = s.next_chunk(1000).unwrap();
+        assert_eq!(d.len(), 50);
+        assert!(s.next_chunk(1000).is_none(), "blocked at the limit");
+        s.set_max_stream_data(100);
+        let (o, d, _) = s.next_chunk(1000).unwrap();
+        assert_eq!((o, d.len()), (50, 50));
+    }
+
+    #[test]
+    fn bare_fin_on_empty_stream() {
+        let mut s = SendStream::new(StreamId(4), Reliability::Reliable);
+        s.finish();
+        let (o, d, fin) = s.next_chunk(100).unwrap();
+        assert_eq!((o, d.len(), fin), (0, 0, true));
+        s.on_chunk_acked(0, 0, true);
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn recv_in_order_delivery() {
+        let mut r = RecvStream::new(StreamId(0), Reliability::Reliable);
+        r.on_data(0, Bytes::from_static(b"hello "), false);
+        r.on_data(6, Bytes::from_static(b"world"), true);
+        assert_eq!(r.read().unwrap(), Bytes::from_static(b"hello "));
+        assert_eq!(r.read().unwrap(), Bytes::from_static(b"world"));
+        assert!(r.read().is_none());
+        assert!(r.is_complete());
+        assert_eq!(r.final_len(), Some(11));
+    }
+
+    #[test]
+    fn recv_blocks_on_gap_then_delivers() {
+        let mut r = RecvStream::new(StreamId(0), Reliability::Reliable);
+        r.on_data(6, Bytes::from_static(b"world"), false);
+        assert!(r.read().is_none(), "gap at offset 0");
+        r.on_data(0, Bytes::from_static(b"hello "), false);
+        assert_eq!(r.read().unwrap(), Bytes::from_static(b"hello "));
+        assert_eq!(r.read().unwrap(), Bytes::from_static(b"world"));
+    }
+
+    #[test]
+    fn recv_duplicates_and_overlaps_are_trimmed() {
+        let mut r = RecvStream::new(StreamId(0), Reliability::Reliable);
+        r.on_data(0, Bytes::from_static(b"abcd"), false);
+        r.on_data(0, Bytes::from_static(b"abcd"), false); // dup
+        r.on_data(2, Bytes::from_static(b"cdef"), false); // overlap
+        assert_eq!(r.bytes_received(), 6);
+        let mut all = Vec::new();
+        while let Some(b) = r.read() {
+            all.extend_from_slice(&b);
+        }
+        assert_eq!(&all, b"abcdef");
+    }
+
+    #[test]
+    fn unreliable_recv_reports_missing_ranges() {
+        let mut r = RecvStream::new(StreamId(2), Reliability::Unreliable);
+        r.on_data(1000, Bytes::from(vec![1u8; 500]), false);
+        r.on_data(2500, Bytes::from(vec![2u8; 500]), true);
+        assert_eq!(r.final_len(), Some(3000));
+        assert!(!r.is_complete());
+        assert_eq!(
+            r.missing_ranges(None),
+            vec![(0, 1000), (1500, 2500)]
+        );
+        let chunks = r.take_received();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].0, 1000);
+        assert_eq!(chunks[1].0, 2500);
+    }
+
+    #[test]
+    fn fin_without_data_sets_length() {
+        let mut r = RecvStream::new(StreamId(2), Reliability::Unreliable);
+        r.on_data(5000, Bytes::new(), true);
+        assert_eq!(r.final_len(), Some(5000));
+        assert_eq!(r.missing_ranges(None), vec![(0, 5000)]);
+    }
+
+    #[cfg(test)]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Whatever order reliable chunks (with losses + retransmits)
+            /// arrive in, the receiver reconstructs the exact byte stream.
+            #[test]
+            fn reliable_stream_reassembles(
+                len in 1usize..5000,
+                chunk in 1usize..700,
+                seed in 0u64..1000,
+            ) {
+                use rand::{Rng, SeedableRng};
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+                let mut s = SendStream::new(StreamId(0), Reliability::Reliable);
+                s.write(&data);
+                s.finish();
+                let mut r = RecvStream::new(StreamId(0), Reliability::Reliable);
+                let mut inflight: Vec<(u64, Bytes, bool)> = Vec::new();
+                loop {
+                    // Randomly send, lose, or deliver.
+                    if let Some(c) = s.next_chunk(chunk) {
+                        if rng.gen_bool(0.3) {
+                            s.on_chunk_lost(c.0, c.1.len(), c.2);
+                        } else {
+                            inflight.push(c);
+                        }
+                    } else if let Some(i) = (!inflight.is_empty())
+                        .then(|| rng.gen_range(0..inflight.len()))
+                    {
+                        let (o, d, f) = inflight.remove(i);
+                        r.on_data(o, d.clone(), f);
+                        s.on_chunk_acked(o, d.len(), f);
+                    } else {
+                        break;
+                    }
+                }
+                prop_assert!(r.is_complete());
+                let mut got = Vec::new();
+                while let Some(b) = r.read() {
+                    got.extend_from_slice(&b);
+                }
+                prop_assert_eq!(got, data);
+                prop_assert!(s.is_complete());
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Live / low-latency streaming scenario: the 1-segment-buffer regime the
+//! paper highlights ("small buffers are crucial for supporting low-latency
+//! or live-streaming-like applications", §5).
+//!
+//! Streams the same clip under a challenging T-Mobile-like LTE trace with a
+//! 1-segment playback buffer, side by side: BOLA over vanilla QUIC vs
+//! VOXEL. Prints the rebuffering/quality trade-off per system.
+//!
+//! ```sh
+//! cargo run --release --example live_low_latency
+//! ```
+
+use voxel::core::experiment::{run_config, AbrKind, Config, ContentCache};
+use voxel::core::TransportMode;
+use voxel::media::content::VideoId;
+use voxel::netem::trace::generators;
+
+fn main() {
+    let mut cache = ContentCache::new();
+    let trace = generators::tmobile_lte(2021, 300);
+    println!(
+        "T-Mobile-like trace: mean {:.1} Mbps, std {:.1} Mbps (violently varying)",
+        trace.mean_mbps(),
+        trace.std_mbps()
+    );
+    println!("1-segment playback buffer (4 s end-to-end latency budget)\n");
+
+    let systems = [
+        ("BOLA over QUIC", AbrKind::Bola, TransportMode::Reliable),
+        ("BETA (reliable)", AbrKind::Beta, TransportMode::Reliable),
+        ("VOXEL", AbrKind::voxel_tuned(), TransportMode::Split),
+    ];
+    println!(
+        "{:18} {:>12} {:>12} {:>10} {:>10} {:>9}",
+        "system", "bufRatio-p90", "bitrate", "SSIM", "restarts", "partials"
+    );
+    for (name, abr, transport) in systems {
+        let config = Config::new(VideoId::Tos, abr, 1, trace.clone())
+            .with_transport(transport)
+            .with_trials(6);
+        let agg = run_config(&config, &mut cache);
+        let restarts: f64 = agg.trials.iter().map(|t| t.restarts as f64).sum::<f64>()
+            / agg.trials.len() as f64;
+        let partials: f64 = agg.trials.iter().map(|t| t.kept_partials as f64).sum::<f64>()
+            / agg.trials.len() as f64;
+        println!(
+            "{:18} {:>11.2}% {:>8.0}kbps {:>10.4} {:>10.1} {:>9.1}",
+            name,
+            agg.buf_ratio_p90(),
+            agg.bitrate_mean_kbps(),
+            agg.mean_ssim(),
+            restarts,
+            partials
+        );
+    }
+    println!("\nVOXEL trades a handful of skipped frames (known SSIM impact, from the");
+    println!("manifest) for uninterrupted playback — the §4.2 quality-vs-rebuffering");
+    println!("trade-off that 84% of surveyed users preferred.");
+}

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+//! # VOXEL
+//!
+//! Umbrella crate re-exporting the full VOXEL system — a reproduction of
+//! "VOXEL: Cross-layer Optimization for Video Streaming with Imperfect
+//! Transmission" (CoNEXT '21). See the README for a quickstart and
+//! `DESIGN.md` for the architecture.
+
+pub use voxel_abr as abr;
+pub use voxel_core as core;
+pub use voxel_http as http;
+pub use voxel_media as media;
+pub use voxel_netem as netem;
+pub use voxel_prep as prep;
+pub use voxel_quic as quic;
+pub use voxel_sim as sim;

@@ -1,0 +1,221 @@
+//! The `voxel` command-line tool.
+//!
+//! ```text
+//! voxel prep   <video>                         run the §4.1 offline analysis, print the manifest
+//! voxel stream [--abr X] [--trace T] [--video V] [--buffer N] [--live] [--trials K]
+//! voxel trace  <name> [--out mahimahi]         generate / export a bandwidth trace
+//! voxel survey [--trace T] [--video V]         run the synthetic Fig 14 panel
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (the offline crate
+//! policy in DESIGN.md).
+
+use std::collections::HashMap;
+use voxel::core::experiment::{run_config, AbrKind, Config, ContentCache};
+use voxel::core::survey::run_survey;
+use voxel::core::TransportMode;
+use voxel::media::content::VideoId;
+use voxel::media::qoe::QoeModel;
+use voxel::media::video::Video;
+use voxel::netem::trace::{generators, mahimahi};
+use voxel::netem::BandwidthTrace;
+use voxel::prep::manifest::Manifest;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  voxel prep <BBB|ED|Sintel|ToS|P1..P10>\n  voxel stream [--abr BOLA|MPC|MPC*|BETA|BOLA-SSIM|VOXEL|Tput] [--trace T-Mobile|Verizon|AT&T|3G|FCC] [--video V] [--buffer N] [--trials K] [--live]\n  voxel trace <name> [--mahimahi]\n  voxel survey [--trace T] [--video V]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| "true".into());
+            if value != "true" {
+                i += 1;
+            }
+            out.insert(name.to_string(), value);
+        }
+        i += 1;
+    }
+    out
+}
+
+fn video_by_name(name: &str) -> VideoId {
+    match name {
+        "BBB" => VideoId::Bbb,
+        "ED" => VideoId::Ed,
+        "Sintel" => VideoId::Sintel,
+        "ToS" => VideoId::Tos,
+        p if p.starts_with('P') => VideoId::YouTube(p[1..].parse().unwrap_or_else(|_| usage())),
+        _ => usage(),
+    }
+}
+
+fn trace_by_name(name: &str) -> BandwidthTrace {
+    match name {
+        "T-Mobile" => generators::tmobile_lte(2021, 300),
+        "Verizon" => generators::verizon_lte(2021, 300),
+        "AT&T" => generators::att_lte(2021, 300),
+        "3G" => generators::norway_3g(2021, 300),
+        "FCC" => generators::fcc(2021, 300),
+        "in-the-wild" => generators::wild_wifi(2021, 300),
+        _ => usage(),
+    }
+}
+
+fn abr_by_name(name: &str) -> (AbrKind, TransportMode) {
+    match name {
+        "Tput" => (AbrKind::Tput, TransportMode::Reliable),
+        "BOLA" => (AbrKind::Bola, TransportMode::Reliable),
+        "MPC" => (AbrKind::Mpc, TransportMode::Reliable),
+        "MPC*" => (AbrKind::MpcStar, TransportMode::Split),
+        "BETA" => (AbrKind::Beta, TransportMode::Reliable),
+        "BOLA-SSIM" => (AbrKind::BolaSsim, TransportMode::Split),
+        "VOXEL" => (AbrKind::voxel(), TransportMode::Split),
+        "VOXEL-tuned" => (AbrKind::voxel_tuned(), TransportMode::Split),
+        _ => usage(),
+    }
+}
+
+fn cmd_prep(video: &str) {
+    let id = video_by_name(video);
+    eprintln!("generating {id} and running the offline analysis ...");
+    let v = Video::generate(id);
+    let manifest = Manifest::prepare(&v, &QoeModel::default());
+    print!("{}", manifest.to_mpd());
+    eprintln!(
+        "manifest: {} entries, {} kB serialized",
+        manifest.num_segments() * 13,
+        manifest.size_bytes() / 1000
+    );
+}
+
+fn cmd_stream(flags: &HashMap<String, String>) {
+    let abr_name = flags.get("abr").map(String::as_str).unwrap_or("VOXEL");
+    let (abr, transport) = abr_by_name(abr_name);
+    let trace = trace_by_name(flags.get("trace").map(String::as_str).unwrap_or("Verizon"));
+    let video = video_by_name(flags.get("video").map(String::as_str).unwrap_or("BBB"));
+    let buffer: usize = flags
+        .get("buffer")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let trials: usize = flags
+        .get("trials")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let config = Config::new(video, abr, buffer, trace)
+        .with_transport(transport)
+        .with_trials(trials);
+    let mut cache = ContentCache::new();
+    eprintln!("streaming {video} with {abr_name}, {buffer}-segment buffer, {trials} trials ...");
+    let agg = run_config(&config, &mut cache);
+    println!("bufRatio   p90  : {:8.2} %", agg.buf_ratio_p90());
+    println!("bufRatio   mean : {:8.2} %", agg.buf_ratio_mean());
+    println!("bitrate    mean : {:8.0} kbps", agg.bitrate_mean_kbps());
+    println!("SSIM       mean : {:8.4}", agg.mean_ssim());
+    println!("data skipped    : {:8.1} %", agg.data_skipped_mean_pct());
+}
+
+fn cmd_trace(name: &str, flags: &HashMap<String, String>) {
+    let t = trace_by_name(name);
+    if flags.contains_key("mahimahi") {
+        print!("{}", mahimahi::to_lines(&t));
+    } else {
+        for m in &t.mbps {
+            println!("{m:.3}");
+        }
+    }
+    eprintln!(
+        "{name}: {} s, mean {:.2} Mbps, std {:.2} Mbps",
+        t.duration_s(),
+        t.mean_mbps(),
+        t.std_mbps()
+    );
+}
+
+fn cmd_survey(flags: &HashMap<String, String>) {
+    let trace = trace_by_name(flags.get("trace").map(String::as_str).unwrap_or("3G"));
+    let video = video_by_name(flags.get("video").map(String::as_str).unwrap_or("BBB"));
+    let mut cache = ContentCache::new();
+    eprintln!("running paired BOLA vs VOXEL sessions + a 54-user synthetic panel ...");
+    let bola = run_config(
+        &Config::new(video, AbrKind::Bola, 1, trace.clone()).with_trials(1),
+        &mut cache,
+    );
+    let voxel = run_config(
+        &Config::new(video, AbrKind::voxel(), 1, trace).with_trials(1),
+        &mut cache,
+    );
+    let s = run_survey(&bola.trials[0], &voxel.trials[0], 54, 14);
+    println!("{:12} {:>8} {:>8}", "dimension", "BOLA", "VOXEL");
+    println!("{:12} {:>8.2} {:>8.2}", "clarity", s.mos_a.clarity, s.mos_b.clarity);
+    println!("{:12} {:>8.2} {:>8.2}", "glitches", s.mos_a.glitches, s.mos_b.glitches);
+    println!("{:12} {:>8.2} {:>8.2}", "fluidity", s.mos_a.fluidity, s.mos_b.fluidity);
+    println!(
+        "{:12} {:>8.2} {:>8.2}",
+        "experience", s.mos_a.experience, s.mos_b.experience
+    );
+    println!("prefer VOXEL: {:.0} %", 100.0 * s.prefer_b);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "prep" => match args.get(1) {
+            Some(v) if !v.starts_with("--") => cmd_prep(v),
+            _ => usage(),
+        },
+        "stream" => cmd_stream(&flags),
+        "trace" => match args.get(1) {
+            Some(v) if !v.starts_with("--") => cmd_trace(v, &flags),
+            _ => usage(),
+        },
+        "survey" => cmd_survey(&flags),
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_values_and_booleans() {
+        let f = parse_flags(&v(&["--abr", "BOLA", "--live", "--buffer", "2"]));
+        assert_eq!(f.get("abr").map(String::as_str), Some("BOLA"));
+        assert_eq!(f.get("live").map(String::as_str), Some("true"));
+        assert_eq!(f.get("buffer").map(String::as_str), Some("2"));
+        assert!(f.get("missing").is_none());
+    }
+
+    #[test]
+    fn adjacent_flags_do_not_consume_each_other() {
+        let f = parse_flags(&v(&["--live", "--mahimahi"]));
+        assert_eq!(f.get("live").map(String::as_str), Some("true"));
+        assert_eq!(f.get("mahimahi").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn names_resolve() {
+        assert_eq!(video_by_name("Sintel"), VideoId::Sintel);
+        assert_eq!(video_by_name("P7"), VideoId::YouTube(7));
+        assert_eq!(trace_by_name("FCC").duration_s(), 300);
+        assert_eq!(abr_by_name("VOXEL").1, TransportMode::Split);
+        assert_eq!(abr_by_name("BETA").1, TransportMode::Reliable);
+    }
+}

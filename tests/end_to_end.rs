@@ -1,0 +1,260 @@
+//! Cross-crate integration tests: full streaming sessions through the
+//! public `voxel` umbrella API, checking the paper's qualitative claims
+//! end to end.
+
+use std::sync::Arc;
+use voxel::abr::{Abr, AbrStar, Beta, Bola, Mpc};
+use voxel::core::client::{PlayerConfig, TransportMode};
+use voxel::core::session::Session;
+use voxel::media::content::VideoId;
+use voxel::media::ladder::QualityLevel;
+use voxel::media::qoe::QoeModel;
+use voxel::media::video::Video;
+use voxel::netem::trace::generators;
+use voxel::netem::{BandwidthTrace, PathConfig};
+use voxel::prep::manifest::Manifest;
+
+struct Setup {
+    manifest: Arc<Manifest>,
+    video: Arc<Video>,
+    qoe: QoeModel,
+}
+
+fn setup(id: VideoId, levels: &[QualityLevel]) -> Setup {
+    let video = Video::generate(id);
+    let qoe = QoeModel::default();
+    let manifest = Arc::new(Manifest::prepare_levels(&video, &qoe, levels));
+    Setup {
+        manifest,
+        video: Arc::new(video),
+        qoe,
+    }
+}
+
+fn run(
+    s: &Setup,
+    abr: Box<dyn Abr>,
+    trace: BandwidthTrace,
+    buffer: usize,
+    transport: TransportMode,
+) -> voxel::core::TrialResult {
+    let session = Session::new(
+        PathConfig::new(trace, 32),
+        s.manifest.clone(),
+        s.video.clone(),
+        s.qoe.clone(),
+        abr,
+        PlayerConfig::new(buffer, transport),
+    );
+    session.run()
+}
+
+#[test]
+fn every_abr_completes_a_session_on_a_moderate_link() {
+    let s = setup(VideoId::Tos, &[QualityLevel::MAX]);
+    let trace = BandwidthTrace::constant(8.0, 600);
+    let abrs: Vec<(Box<dyn Abr>, TransportMode)> = vec![
+        (Box::new(Bola::new()), TransportMode::Reliable),
+        (Box::new(Mpc::default()), TransportMode::Reliable),
+        (Box::new(Beta::new()), TransportMode::Reliable),
+        (Box::new(AbrStar::default()), TransportMode::Split),
+    ];
+    for (abr, transport) in abrs {
+        let name = abr.name();
+        let r = run(&s, abr, trace.clone(), 3, transport);
+        assert_eq!(r.segment_scores.len(), 75, "{name}: all segments played");
+        assert!(
+            r.buf_ratio_pct() < 8.0,
+            "{name}: bufRatio {} on a steady 8 Mbps link",
+            r.buf_ratio_pct()
+        );
+        assert!(r.avg_ssim() > 0.9, "{name}: ssim {}", r.avg_ssim());
+    }
+}
+
+#[test]
+fn voxel_beats_bola_on_rebuffering_under_a_challenging_trace() {
+    let s = setup(VideoId::Bbb, &[QualityLevel::MAX]);
+    // One fixed violently-varying trace, 1-segment (live-like) buffer.
+    let trace = generators::verizon_lte(11, 300);
+    let bola = run(
+        &s,
+        Box::new(Bola::new()),
+        trace.clone(),
+        1,
+        TransportMode::Reliable,
+    );
+    let voxel = run(&s, Box::new(AbrStar::default()), trace, 1, TransportMode::Split);
+    assert!(
+        voxel.buf_ratio_pct() <= bola.buf_ratio_pct(),
+        "VOXEL {} vs BOLA {}",
+        voxel.buf_ratio_pct(),
+        bola.buf_ratio_pct()
+    );
+    // And the rebuffering win must not cost visual quality (paper Fig 7b).
+    assert!(
+        voxel.avg_ssim() > bola.avg_ssim() - 0.05,
+        "VOXEL ssim {} vs BOLA {}",
+        voxel.avg_ssim(),
+        bola.avg_ssim()
+    );
+}
+
+#[test]
+fn voxel_abandons_by_keeping_partials_never_restarting() {
+    let s = setup(VideoId::Sintel, &[QualityLevel::MAX]);
+    let trace = generators::tmobile_lte(3, 300);
+    let r = run(&s, Box::new(AbrStar::default()), trace, 2, TransportMode::Split);
+    assert_eq!(r.restarts, 0, "ABR* never discards fetched data");
+    assert!(r.kept_partials > 0, "challenging trace forces partials");
+    assert!(r.bytes_wasted == 0);
+}
+
+#[test]
+fn bola_restarts_waste_bytes_in_small_buffer_scenarios() {
+    let s = setup(VideoId::Bbb, &[]);
+    let trace = generators::verizon_lte(5, 300);
+    let r = run(&s, Box::new(Bola::new()), trace, 1, TransportMode::Reliable);
+    // §3 insight 3: BOLA re-downloads segment data under pressure.
+    assert!(r.restarts > 0, "expected restart-abandonments");
+    assert!(r.bytes_wasted > 0, "restarts discard fetched bytes");
+}
+
+#[test]
+fn partial_segments_zero_pad_and_score_below_pristine() {
+    let s = setup(VideoId::Bbb, &[QualityLevel::MAX]);
+    // Starve the link so partials are inevitable, then verify QoE reflects
+    // the losses rather than assuming complete delivery.
+    let trace = BandwidthTrace::constant(3.0, 1200);
+    let r = run(&s, Box::new(AbrStar::default()), trace, 2, TransportMode::Split);
+    assert_eq!(r.segment_scores.len(), 75);
+    assert!(r.buf_ratio_pct() < 10.0, "VOXEL absorbs starvation by skipping");
+    // 3 Mbps cannot deliver pristine Q12 everywhere.
+    assert!(r.avg_ssim() < 0.9999);
+    assert!(r.avg_ssim() > 0.8, "quality degrades gracefully: {}", r.avg_ssim());
+}
+
+#[test]
+fn selective_retransmission_recovers_losses_with_roomy_buffers() {
+    let s = setup(VideoId::Tos, &[QualityLevel::MAX]);
+    // A trace oscillating around the Q10/Q11 bitrates with spare capacity
+    // creates both in-transit losses (queue drops) and idle windows.
+    let trace = generators::att_lte(9, 300);
+    let r = run(&s, Box::new(AbrStar::default()), trace, 3, TransportMode::Split);
+    if r.bytes_lost > 0 {
+        assert!(
+            r.bytes_recovered > 0,
+            "idle-window retransmission should recover some of {} lost bytes",
+            r.bytes_lost
+        );
+    }
+}
+
+#[test]
+fn voxel_unaware_server_falls_back_to_reliable_delivery() {
+    let s = setup(VideoId::Bbb, &[QualityLevel::MAX]);
+    let trace = BandwidthTrace::constant(20.0, 600);
+    let session = Session::new(
+        PathConfig::new(trace, 64),
+        s.manifest.clone(),
+        s.video.clone(),
+        s.qoe.clone(),
+        Box::new(AbrStar::default()),
+        PlayerConfig::new(3, TransportMode::Split),
+    )
+    .with_voxel_unaware_server();
+    let r = session.run();
+    // Everything still plays; there are simply no unreliable-transit losses.
+    assert_eq!(r.segment_scores.len(), 75);
+    assert!(r.buf_ratio_pct() < 2.0);
+    assert_eq!(r.bytes_lost, 0, "reliable fallback loses nothing");
+}
+
+#[test]
+fn deterministic_replay_of_a_full_session() {
+    let s = setup(VideoId::Ed, &[QualityLevel::MAX]);
+    let trace = generators::tmobile_lte(42, 300);
+    let run_once = || {
+        let session = Session::new(
+            PathConfig::new(trace.clone(), 32),
+            s.manifest.clone(),
+            s.video.clone(),
+            s.qoe.clone(),
+            Box::new(AbrStar::default()),
+            PlayerConfig::new(2, TransportMode::Split),
+        );
+        session.run()
+    };
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a.stall_s, b.stall_s);
+    assert_eq!(a.bytes_downloaded, b.bytes_downloaded);
+    assert_eq!(a.ssims(), b.ssims());
+}
+
+#[test]
+fn live_edge_mode_paces_downloads_to_the_encoder() {
+    let s = setup(VideoId::Bbb, &[QualityLevel::MAX]);
+    // A fat pipe: without the live gate, the whole video would be fetched
+    // in seconds. With it, the session must last about the video duration.
+    let trace = BandwidthTrace::constant(50.0, 600);
+    let session = Session::new(
+        PathConfig::new(trace, 64),
+        s.manifest.clone(),
+        s.video.clone(),
+        s.qoe.clone(),
+        Box::new(AbrStar::default()),
+        {
+            // A 2-segment live latency budget (hold-back), as real live
+            // players configure: streaming the true edge with zero slack
+            // leaves a zero buffer by construction.
+            let mut p = PlayerConfig::new(2, TransportMode::Split);
+            p.live = true;
+            p.startup_segments = 2;
+            p
+        },
+    );
+    let r = session.run();
+    assert_eq!(r.segment_scores.len(), 75);
+    // Startup waits for the first two live segments (second at t=8s).
+    assert!(r.startup_s >= 8.0, "startup {}", r.startup_s);
+    // The live edge keeps quality near-pristine on a fat pipe.
+    assert!(r.avg_ssim() > 0.97, "ssim {}", r.avg_ssim());
+    assert!(r.buf_ratio_pct() < 3.0, "bufRatio {}", r.buf_ratio_pct());
+}
+
+#[test]
+fn mpc_star_streams_with_virtual_levels() {
+    let s = setup(VideoId::Tos, &[QualityLevel::MAX]);
+    let trace = generators::verizon_lte(21, 300);
+    let r = run(
+        &s,
+        Box::new(voxel::abr::MpcStar::default()),
+        trace,
+        2,
+        TransportMode::Split,
+    );
+    assert_eq!(r.segment_scores.len(), 75);
+    assert!(r.avg_ssim() > 0.78, "ssim {}", r.avg_ssim());
+    assert!(r.buf_ratio_pct() < 8.0, "bufRatio {}", r.buf_ratio_pct());
+}
+
+#[test]
+fn delay_cc_survives_deep_queues() {
+    use voxel::quic::CcKind;
+    let s = setup(VideoId::Bbb, &[QualityLevel::MAX]);
+    let trace = generators::verizon_lte(31, 300);
+    // 750-packet queue: the Appendix B bufferbloat scenario.
+    let session = Session::with_cc(
+        PathConfig::new(trace, 750),
+        s.manifest.clone(),
+        s.video.clone(),
+        s.qoe.clone(),
+        Box::new(AbrStar::default()),
+        PlayerConfig::new(2, TransportMode::Split),
+        CcKind::Delay,
+    );
+    let r = session.run();
+    assert_eq!(r.segment_scores.len(), 75);
+    assert!(r.buf_ratio_pct() < 10.0, "bufRatio {}", r.buf_ratio_pct());
+}

@@ -1,0 +1,172 @@
+//! Integration tests pinning the paper's *offline* claims (§3, §4.1) —
+//! the insight analyses that do not require network simulation.
+
+use voxel::media::content::VideoId;
+use voxel::media::gop::{FrameKind, FRAMES_PER_SEGMENT};
+use voxel::media::ladder::QualityLevel;
+use voxel::media::qoe::QoeModel;
+use voxel::media::video::Video;
+use voxel::prep::analysis::{analyze_segment, drop_tolerance};
+use voxel::prep::manifest::Manifest;
+use voxel::prep::ordering::OrderingKind;
+
+#[test]
+fn insight_1_half_the_segments_tolerate_10_to_20_percent_drops() {
+    // §3 insight 1 at Q12 / SSIM 0.99, across all four evaluation videos.
+    let model = QoeModel::default();
+    for id in VideoId::EVAL {
+        let video = Video::generate(id);
+        let tolerant = video
+            .segments
+            .iter()
+            .filter(|s| {
+                model.max_droppable_frames(s, QualityLevel::MAX, 0.99) as f64
+                    >= 0.10 * FRAMES_PER_SEGMENT as f64
+            })
+            .count();
+        assert!(
+            tolerant * 2 >= video.segments.len(),
+            "{id}: only {tolerant}/75 segments tolerate a 10% drop"
+        );
+    }
+}
+
+#[test]
+fn insight_1_referenced_frames_are_among_the_droppable() {
+    // The paper stresses that the droppable sets include *referenced*
+    // frames (6-24% of them, video-dependent) — the capability BETA lacks.
+    let model = QoeModel::default();
+    let video = Video::generate(VideoId::Bbb);
+    let mut referenced_dropped = 0usize;
+    let mut dropped = 0usize;
+    for seg in &video.segments {
+        let n = model.max_droppable_frames(seg, QualityLevel::MAX, 0.99);
+        for &f in voxel::media::qoe::drop_order(seg).iter().take(n) {
+            dropped += 1;
+            if !seg.gop.dependents[f].is_empty() {
+                referenced_dropped += 1;
+            }
+        }
+    }
+    assert!(dropped > 0);
+    let share = referenced_dropped as f64 / dropped as f64;
+    assert!(
+        share > 0.05,
+        "referenced frames are {:.1}% of droppable frames; expected a meaningful share",
+        100.0 * share
+    );
+}
+
+#[test]
+fn insight_2_rank_ordering_dominates_tail_grouping() {
+    let model = QoeModel::default();
+    for id in [VideoId::Bbb, VideoId::Tos] {
+        let video = Video::generate(id);
+        let mut rank_wins = 0usize;
+        for seg in &video.segments {
+            let rank = drop_tolerance(&model, seg, QualityLevel::MAX, OrderingKind::InboundRank, 0.99);
+            let tail =
+                drop_tolerance(&model, seg, QualityLevel::MAX, OrderingKind::UnreferencedTail, 0.99);
+            if rank >= tail {
+                rank_wins += 1;
+            }
+        }
+        assert!(
+            rank_wins * 10 >= video.segments.len() * 9,
+            "{id}: rank ordering beats tail grouping on only {rank_wins}/75 segments"
+        );
+    }
+}
+
+#[test]
+fn insight_3_virtual_levels_sit_between_real_levels() {
+    // Fig 2c/2d: Q12/0.99 bitrates fall between Q11 and Q12 on average.
+    let model = QoeModel::default();
+    let video = Video::generate(VideoId::Bbb);
+    let mut virt = Vec::new();
+    let mut q11 = Vec::new();
+    let mut q12 = Vec::new();
+    for seg in &video.segments {
+        let map = voxel::prep::analysis::BytesQoeMap::compute(
+            &model,
+            seg,
+            QualityLevel::MAX,
+            OrderingKind::InboundRank,
+        );
+        if let Some(p) = map.min_bytes_for(0.99) {
+            virt.push(p.bytes as f64);
+            q12.push(map.full_bytes() as f64);
+            q11.push(seg.bytes(QualityLevel(11)) as f64);
+        }
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&q11) < mean(&virt) && mean(&virt) < mean(&q12),
+        "virtual level {:.0} should sit between Q11 {:.0} and Q12 {:.0}",
+        mean(&virt),
+        mean(&q11),
+        mean(&q12)
+    );
+}
+
+#[test]
+fn manifest_analysis_respects_the_lower_bound_everywhere() {
+    let model = QoeModel::default();
+    let video = Video::generate(VideoId::Tos);
+    for seg in video.segments.iter().step_by(7) {
+        for level in [QualityLevel(9), QualityLevel::MAX] {
+            let a = analyze_segment(&model, seg, level);
+            // Delivering min_bytes achieves at least the bound.
+            let reached = a
+                .best
+                .points
+                .iter()
+                .find(|p| p.bytes >= a.min_bytes)
+                .expect("min_bytes is a map point");
+            assert!(
+                reached.ssim >= a.bound - 1e-9,
+                "seg {} {level}: ssim {} below bound {}",
+                seg.index,
+                reached.ssim,
+                a.bound
+            );
+        }
+    }
+}
+
+#[test]
+fn beta_ordering_ends_with_unreferenced_b_frames_only() {
+    let model = QoeModel::default();
+    let video = Video::generate(VideoId::Ed);
+    let manifest = Manifest::prepare_levels(&video, &model, &[QualityLevel::MAX]);
+    let entry = manifest.entry(4, QualityLevel::MAX);
+    let seg = &video.segments[4];
+    let tail = &entry.beta_order[entry.beta_order.len() - 32..];
+    for &f in tail {
+        assert_eq!(
+            seg.gop.frames[f].kind,
+            FrameKind::BUnref,
+            "frame {f} in BETA's tail is not an unreferenced b-frame"
+        );
+    }
+}
+
+#[test]
+fn p_frames_carry_most_of_the_bytes() {
+    // §6: "the videos contain more than 30% P-frames, which constitute at
+    // least 56% of video data".
+    for id in VideoId::EVAL {
+        let video = Video::generate(id);
+        let mut shares = Vec::new();
+        for seg in &video.segments {
+            let (_, p_share, _) = seg.gop.byte_shares();
+            shares.push(p_share);
+            // Even static/title segments keep P dominant-ish.
+            assert!(p_share > 0.4, "{id} seg {}: P share {p_share}", seg.index);
+            let (_, p_count, _, _) = seg.gop.kind_counts();
+            assert!(p_count as f64 / FRAMES_PER_SEGMENT as f64 > 0.30);
+        }
+        let mean = shares.iter().sum::<f64>() / shares.len() as f64;
+        assert!(mean > 0.56, "{id}: mean P byte share {mean}");
+    }
+}
