@@ -48,7 +48,6 @@ impl AbrStar {
     pub fn safety(&self) -> f64 {
         self.inner.safety
     }
-
 }
 
 impl Abr for AbrStar {

@@ -106,8 +106,7 @@ impl Abr for Beta {
         if p.bytes_received >= boundary.bytes {
             return AbandonAction::KeepPartial;
         }
-        let projected = p.bytes_received as f64
-            + p.download_rate_bps / 8.0 * p.buffer_s.max(0.3);
+        let projected = p.bytes_received as f64 + p.download_rate_bps / 8.0 * p.buffer_s.max(0.3);
         if projected >= boundary.bytes as f64 {
             return AbandonAction::Continue; // boundary reachable in time
         }

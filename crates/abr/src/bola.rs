@@ -70,7 +70,6 @@ impl Bola {
     fn score(&self, v: f64, gp: f64, u: f64, q_s: f64, bits: f64) -> f64 {
         (v * (u + gp) - q_s) / bits
     }
-
 }
 
 impl Abr for Bola {
@@ -87,8 +86,7 @@ impl Abr for Bola {
         if ctx.last_level.is_none() && self.placeholder_s == 0.0 {
             if let Some(est) = ctx.throughput_bps {
                 let sustainable = QualityLevel::all()
-                    .filter(|l| l.avg_bitrate_bps() <= est * 0.9)
-                    .next_back()
+                    .rfind(|l| l.avg_bitrate_bps() <= est * 0.9)
                     .unwrap_or(QualityLevel::MIN);
                 // Buffer level at which BOLA would pick `sustainable`:
                 // V(u + gp) of that level.
@@ -193,7 +191,12 @@ mod tests {
         Manifest::prepare_levels(&video, &QoeModel::default(), &[])
     }
 
-    fn ctx<'a>(m: &'a Manifest, buffer_s: f64, capacity_s: f64, tput: Option<f64>) -> AbrContext<'a> {
+    fn ctx<'a>(
+        m: &'a Manifest,
+        buffer_s: f64,
+        capacity_s: f64,
+        tput: Option<f64>,
+    ) -> AbrContext<'a> {
         AbrContext {
             segment_index: 20,
             buffer_s,

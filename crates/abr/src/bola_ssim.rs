@@ -128,10 +128,7 @@ impl BolaSsim {
         let mut best = all[0];
         let mut best_score = f64::NEG_INFINITY;
         for c in &all {
-            let reliable = ctx
-                .manifest
-                .entry(ctx.segment_index, c.level)
-                .reliable_size;
+            let reliable = ctx.manifest.entry(ctx.segment_index, c.level).reliable_size;
             let bits = (c.point.bytes + reliable) as f64 * 8.0;
             let u = utility(self.metric, c.point.ssim);
             let score = (v * (u + gp) - q_s) / bits;
@@ -157,8 +154,7 @@ impl Abr for BolaSsim {
         if ctx.last_level.is_none() && self.placeholder_s == 0.0 {
             if let Some(est) = ctx.throughput_bps {
                 let sustainable = QualityLevel::all()
-                    .filter(|l| l.avg_bitrate_bps() <= est * self.safety * 0.9)
-                    .next_back()
+                    .rfind(|l| l.avg_bitrate_bps() <= est * self.safety * 0.9)
                     .unwrap_or(QualityLevel::MIN);
                 let e = ctx.manifest.entry(ctx.segment_index, sustainable);
                 let u = utility(self.metric, e.pristine_ssim);
@@ -180,10 +176,7 @@ impl Abr for BolaSsim {
             let est = ctx.throughput_bps.map(|e| e * self.safety);
             let budget_s = (ctx.buffer_s * 0.9).max(SEGMENT_DURATION_S * 0.5);
             let entry = |c: &Candidate| {
-                ctx.manifest
-                    .entry(ctx.segment_index, c.level)
-                    .reliable_size
-                    + c.point.bytes
+                ctx.manifest.entry(ctx.segment_index, c.level).reliable_size + c.point.bytes
             };
             match est {
                 Some(est) => {
@@ -192,9 +185,7 @@ impl Abr for BolaSsim {
                         // per level, lowest levels last.
                         let mut all: Vec<Candidate> = Vec::new();
                         for level in QualityLevel::all() {
-                            all.extend(candidates(
-                                ctx.manifest.entry(ctx.segment_index, level),
-                            ));
+                            all.extend(candidates(ctx.manifest.entry(ctx.segment_index, level)));
                         }
                         all.sort_by(|a, b| {
                             b.point
@@ -237,10 +228,7 @@ impl Abr for BolaSsim {
             return AbandonAction::Continue;
         };
         let remaining = p.bytes_target.saturating_sub(p.bytes_received);
-        if p.elapsed_s < 0.3
-            || remaining * 4 < p.bytes_target
-            || p.eta_s() < p.buffer_s
-        {
+        if p.elapsed_s < 0.3 || remaining * 4 < p.bytes_target || p.eta_s() < p.buffer_s {
             return AbandonAction::Continue;
         }
         // Compare continuing (remaining bytes at the current utility)
@@ -255,7 +243,9 @@ impl Abr for BolaSsim {
         let mut level = current.level.lower();
         while let Some(l) = level {
             let e = ctx.manifest.entry(ctx.segment_index, l);
-            let bound_point = e.cheapest_reaching(e.bound).unwrap_or(*e.ssims.last().expect("non-empty"));
+            let bound_point = e
+                .cheapest_reaching(e.bound)
+                .unwrap_or(*e.ssims.last().expect("non-empty"));
             let bits = (bound_point.bytes + e.reliable_size) as f64 * 8.0;
             let s = score(utility(self.metric, bound_point.ssim), bits);
             if best.is_none_or(|(_, bs)| s > bs) {
@@ -308,7 +298,12 @@ mod tests {
         )
     }
 
-    fn ctx<'a>(m: &'a Manifest, buffer_s: f64, capacity_s: f64, tput: Option<f64>) -> AbrContext<'a> {
+    fn ctx<'a>(
+        m: &'a Manifest,
+        buffer_s: f64,
+        capacity_s: f64,
+        tput: Option<f64>,
+    ) -> AbrContext<'a> {
         AbrContext {
             segment_index: 5,
             buffer_s,

@@ -26,6 +26,7 @@ pub mod bola_ssim;
 pub mod mpc;
 pub mod mpc_star;
 pub mod throughput;
+pub mod trace;
 pub mod traits;
 
 pub use abr_star::AbrStar;

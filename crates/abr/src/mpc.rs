@@ -44,14 +44,8 @@ impl Default for Mpc {
 const BUCKET_S: f64 = 0.25;
 
 impl Mpc {
-    fn plan(
-        &self,
-        ctx: &AbrContext<'_>,
-        predicted_bps: f64,
-    ) -> QualityLevel {
-        let last = ctx
-            .last_level
-            .unwrap_or(QualityLevel::MIN);
+    fn plan(&self, ctx: &AbrContext<'_>, predicted_bps: f64) -> QualityLevel {
+        let last = ctx.last_level.unwrap_or(QualityLevel::MIN);
         let num_segments = ctx.manifest.num_segments();
         let mut memo: HashMap<(usize, usize, i64), (f64, usize)> = HashMap::new();
         let (_, first) = self.search(
@@ -92,8 +86,8 @@ impl Mpc {
             let bits = ctx.manifest.entry(seg, q).total_bytes() as f64 * 8.0;
             let download_s = bits / bps.max(1.0);
             let stall = (download_s - buffer_s).max(0.0);
-            let next_buffer = ((buffer_s - download_s).max(0.0) + SEGMENT_DURATION_S)
-                .min(ctx.buffer_capacity_s);
+            let next_buffer =
+                ((buffer_s - download_s).max(0.0) + SEGMENT_DURATION_S).min(ctx.buffer_capacity_s);
             let bitrate_mbps = bits / SEGMENT_DURATION_S / 1e6;
             // Switch penalty on the ladder's nominal bitrates for *both*
             // levels — mixing exact segment sizes with ladder averages
@@ -103,15 +97,8 @@ impl Mpc {
             let qoe = bitrate_mbps
                 - self.rebuffer_penalty * stall
                 - self.switch_penalty * (level_mbps - prev_mbps).abs();
-            let (future, _) = self.search(
-                ctx,
-                bps,
-                step + 1,
-                level,
-                next_buffer,
-                num_segments,
-                memo,
-            );
+            let (future, _) =
+                self.search(ctx, bps, step + 1, level, next_buffer, num_segments, memo);
             let total = qoe + future;
             if total > best.0 {
                 best = (total, level);
@@ -170,7 +157,10 @@ mod tests {
     fn no_estimate_starts_at_lowest() {
         let m = manifest();
         let mut mpc = Mpc::default();
-        assert_eq!(mpc.choose(&ctx(&m, 0.0, None, None)).level, QualityLevel::MIN);
+        assert_eq!(
+            mpc.choose(&ctx(&m, 0.0, None, None)).level,
+            QualityLevel::MIN
+        );
     }
 
     #[test]

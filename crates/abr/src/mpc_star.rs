@@ -69,7 +69,9 @@ impl MpcStar {
     fn options(ctx: &AbrContext<'_>, seg: usize) -> Vec<Option_> {
         let mut out = Vec::with_capacity(65);
         for level in QualityLevel::all() {
-            let entry = ctx.manifest.entry(seg.min(ctx.manifest.num_segments() - 1), level);
+            let entry = ctx
+                .manifest
+                .entry(seg.min(ctx.manifest.num_segments() - 1), level);
             for c in candidates(entry) {
                 out.push(Option_ {
                     level,
@@ -106,8 +108,8 @@ impl MpcStar {
             let bits = (opt.point.bytes + reliable) as f64 * 8.0;
             let download_s = bits / bps.max(1.0);
             let stall = (download_s - buffer_s).max(0.0);
-            let next_buffer = ((buffer_s - download_s).max(0.0) + SEGMENT_DURATION_S)
-                .min(ctx.buffer_capacity_s);
+            let next_buffer =
+                ((buffer_s - download_s).max(0.0) + SEGMENT_DURATION_S).min(ctx.buffer_capacity_s);
             let u = utility(opt.point.ssim);
             // Quantize utility for the memo key of the next step.
             let u_q = (u * 10.0) as i64;

@@ -222,7 +222,7 @@ mod tests {
         let high = abr.choose(&ctx(Some(100e6))).level;
         assert_eq!(high, QualityLevel::MAX);
         // Moderate bandwidth → something in between, and monotone in rate.
-        let mid = abr.choose(&ctx(Some(4e6))).level;
+        let mid = abr.choose(&ctx(Some(3e6))).level;
         assert!(mid > QualityLevel::MIN && mid < QualityLevel::MAX);
         let low = abr.choose(&ctx(Some(1e6))).level;
         assert!(low < mid);

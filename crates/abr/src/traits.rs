@@ -43,9 +43,7 @@ impl AbrContext<'_> {
     /// per-segment sizes the paper feeds BOLA and MPC instead of
     /// video-average bitrates (§5 "ABR algorithms", footnote 3).
     pub fn segment_bytes(&self, level: QualityLevel) -> u64 {
-        self.manifest
-            .entry(self.segment_index, level)
-            .total_bytes()
+        self.manifest.entry(self.segment_index, level).total_bytes()
     }
 }
 
@@ -117,7 +115,11 @@ pub trait Abr {
     fn choose(&mut self, ctx: &AbrContext<'_>) -> Decision;
 
     /// Consulted periodically during a download; default: never abandon.
-    fn on_progress(&mut self, _ctx: &AbrContext<'_>, _progress: &DownloadProgress) -> AbandonAction {
+    fn on_progress(
+        &mut self,
+        _ctx: &AbrContext<'_>,
+        _progress: &DownloadProgress,
+    ) -> AbandonAction {
         AbandonAction::Continue
     }
 

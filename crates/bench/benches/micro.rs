@@ -96,11 +96,7 @@ fn bench_end_to_end_trial(c: &mut Criterion) {
 
     let video = Arc::new(Video::generate(VideoId::Bbb));
     let qoe = QoeModel::default();
-    let manifest = Arc::new(Manifest::prepare_levels(
-        &video,
-        &qoe,
-        &[QualityLevel::MAX],
-    ));
+    let manifest = Arc::new(Manifest::prepare_levels(&video, &qoe, &[QualityLevel::MAX]));
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(10);
     group.bench_function("voxel_trial_constant_10mbps", |b| {

@@ -10,7 +10,10 @@ fn main() {
     let buffer: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
 
     let mut cache = ContentCache::new();
-    println!("trace={trace} video={video} buffer={buffer} trials={}", voxel_bench::trial_count());
+    println!(
+        "trace={trace} video={video} buffer={buffer} trials={}",
+        voxel_bench::trial_count()
+    );
     for system in ["BOLA", "BETA", "VOXEL", "BOLA-SSIM"] {
         let t0 = std::time::Instant::now();
         let agg = voxel_bench::run(

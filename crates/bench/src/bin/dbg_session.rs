@@ -18,17 +18,16 @@ fn main() {
     let video = Video::generate(VideoId::Bbb);
     let qoe = QoeModel::default();
     let t0 = std::time::Instant::now();
-    let manifest = Arc::new(Manifest::prepare_levels(
-        &video,
-        &qoe,
-        &[QualityLevel::MAX],
-    ));
+    let manifest = Arc::new(Manifest::prepare_levels(&video, &qoe, &[QualityLevel::MAX]));
     eprintln!("prepare: {:?}", t0.elapsed());
 
     let path = PathConfig::new(BandwidthTrace::constant(mbps, 3600), 64);
     let (abr, transport): (Box<dyn voxel_abr::Abr>, _) = match mode {
         "bola" => (Box::new(voxel_abr::Bola::new()), TransportMode::Reliable),
-        _ => (Box::new(voxel_abr::AbrStar::default()), TransportMode::Split),
+        _ => (
+            Box::new(voxel_abr::AbrStar::default()),
+            TransportMode::Split,
+        ),
     };
     let session = Session::new(
         path,

@@ -1,0 +1,84 @@
+//! Merged cross-layer timeline of one traced session (not a paper figure).
+//!
+//! Runs a single trial with an in-memory tracer and renders every event —
+//! QUIC\* packets, HTTP requests/responses, ABR decisions, player
+//! stalls/startup — as one timeline ordered by (sim time, sequence
+//! number), followed by the end-of-session metrics snapshot.
+//!
+//! ```text
+//! dbg_trace [mode] [mbps] [max_events]
+//!   mode:       voxel (default) | bola
+//!   mbps:       constant bottleneck bandwidth, default 6
+//!   max_events: ring-buffer capacity, default 200000
+//! ```
+
+use std::sync::Arc;
+use voxel_core::client::{PlayerConfig, TransportMode};
+use voxel_core::session::Session;
+use voxel_media::content::VideoId;
+use voxel_media::ladder::QualityLevel;
+use voxel_media::qoe::QoeModel;
+use voxel_media::video::Video;
+use voxel_netem::{BandwidthTrace, PathConfig};
+use voxel_prep::manifest::Manifest;
+use voxel_trace::Tracer;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mode = args.get(1).map(String::as_str).unwrap_or("voxel");
+    let mbps: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(6.0);
+    let cap: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(200_000);
+
+    let video = Video::generate(VideoId::Bbb);
+    let qoe = QoeModel::default();
+    let manifest = Arc::new(Manifest::prepare_levels(&video, &qoe, &[QualityLevel::MAX]));
+
+    let path = PathConfig::new(BandwidthTrace::constant(mbps, 3600), 32);
+    let (abr, transport): (Box<dyn voxel_abr::Abr>, _) = match mode {
+        "bola" => (Box::new(voxel_abr::Bola::new()), TransportMode::Reliable),
+        _ => (
+            Box::new(voxel_abr::AbrStar::default()),
+            TransportMode::Split,
+        ),
+    };
+    let (tracer, handle) = Tracer::memory(0, cap);
+    let session = Session::new(
+        path,
+        manifest,
+        Arc::new(video),
+        qoe,
+        abr,
+        PlayerConfig::new(3, transport),
+    )
+    .with_tracer(tracer);
+    let r = session.run();
+
+    let mut events = handle.events();
+    // Back-dated events (stall_start, segment_play) are emitted out of
+    // time order; the sequence number breaks ties deterministically.
+    events.sort_by_key(|e| (e.t, e.seq));
+    let dropped = handle.dropped();
+    for e in &events {
+        println!("{}", e.to_human());
+    }
+    if dropped > 0 {
+        eprintln!("({dropped} oldest events dropped; raise max_events to keep them)");
+    }
+
+    eprintln!(
+        "\nsummary: mode={mode} mbps={mbps} events={} segments={} bufRatio={:.2}% ssim={:.4} \
+         pkts={} loss_events={} ptos={} mean_cwnd={:.0}B mean_srtt={:.1}ms",
+        events.len(),
+        r.segment_scores.len(),
+        r.buf_ratio_pct(),
+        r.avg_ssim(),
+        r.transport.packets_sent,
+        r.transport.loss_events,
+        r.transport.ptos,
+        r.transport.mean_cwnd_bytes,
+        r.transport.mean_srtt_ms,
+    );
+    if let Some(snap) = &r.metrics {
+        eprintln!("\nmetrics snapshot:\n{}", snap.to_json());
+    }
+}

@@ -17,8 +17,7 @@ fn tolerance_cdf(video: &Video, model: &QoeModel, level: QualityLevel, target: f
         .segments
         .iter()
         .map(|s| {
-            100.0 * model.max_droppable_frames(s, level, target) as f64
-                / FRAMES_PER_SEGMENT as f64
+            100.0 * model.max_droppable_frames(s, level, target) as f64 / FRAMES_PER_SEGMENT as f64
         })
         .collect()
 }
@@ -28,25 +27,49 @@ fn main() {
     let videos = ["BBB", "ED", "Sintel", "ToS", "P2", "P4"];
     let probes: Vec<f64> = (0..=10).map(|i| i as f64 * 10.0).collect();
 
-    header("Fig 1a", "CDF of frames droppable at Q12 while keeping SSIM >= 0.99");
+    header(
+        "Fig 1a",
+        "CDF of frames droppable at Q12 while keeping SSIM >= 0.99",
+    );
     for name in videos {
         let v = Video::generate(video_by_name(name));
-        print_cdf(name, &tolerance_cdf(&v, &model, QualityLevel::MAX, 0.99), &probes);
+        print_cdf(
+            name,
+            &tolerance_cdf(&v, &model, QualityLevel::MAX, 0.99),
+            &probes,
+        );
     }
 
-    header("Fig 1b", "CDF of frames droppable at Q9 while keeping SSIM >= 0.99");
+    header(
+        "Fig 1b",
+        "CDF of frames droppable at Q9 while keeping SSIM >= 0.99",
+    );
     for name in videos {
         let v = Video::generate(video_by_name(name));
-        print_cdf(name, &tolerance_cdf(&v, &model, QualityLevel(9), 0.99), &probes);
+        print_cdf(
+            name,
+            &tolerance_cdf(&v, &model, QualityLevel(9), 0.99),
+            &probes,
+        );
     }
 
-    header("Fig 1c", "CDF of frames droppable at Q9 while keeping SSIM >= 0.95");
+    header(
+        "Fig 1c",
+        "CDF of frames droppable at Q9 while keeping SSIM >= 0.95",
+    );
     for name in videos {
         let v = Video::generate(video_by_name(name));
-        print_cdf(name, &tolerance_cdf(&v, &model, QualityLevel(9), 0.95), &probes);
+        print_cdf(
+            name,
+            &tolerance_cdf(&v, &model, QualityLevel(9), 0.95),
+            &probes,
+        );
     }
 
-    header("Fig 1d", "CDF of pristine segment SSIM at low quality levels");
+    header(
+        "Fig 1d",
+        "CDF of pristine segment SSIM at low quality levels",
+    );
     let ssim_probes: Vec<f64> = (0..=10).map(|i| 0.75 + i as f64 * 0.025).collect();
     for (name, level) in [("ToS", 6), ("ToS", 9), ("BBB", 6), ("BBB", 9)] {
         let v = Video::generate(video_by_name(name));
@@ -57,7 +80,10 @@ fn main() {
             .collect();
         print_cdf(&format!("{name}/Q{level}"), &ssims, &ssim_probes);
         let below = ssims.iter().filter(|&&s| s < 0.99).count() as f64 / ssims.len() as f64;
-        println!("{name}/Q{level}: fraction below SSIM 0.99 = {:.0}%", below * 100.0);
+        println!(
+            "{name}/Q{level}: fraction below SSIM 0.99 = {:.0}%",
+            below * 100.0
+        );
     }
 
     // Headline check from §3 insight 1.

@@ -25,9 +25,15 @@ fn accumulated_avg(series: &[f64]) -> Vec<f64> {
 
 fn main() {
     let mut cache = ContentCache::new();
-    header("Fig 11a", "accumulated average SSIM while streaming BBB, 28 s buffer");
+    header(
+        "Fig 11a",
+        "accumulated average SSIM while streaming BBB, 28 s buffer",
+    );
     let traces = [
-        ("const", BandwidthTrace::constant(10.5, voxel_bench::TRACE_DURATION_S)),
+        (
+            "const",
+            BandwidthTrace::constant(10.5, voxel_bench::TRACE_DURATION_S),
+        ),
         (
             "step",
             BandwidthTrace::step(10.75, 10.5, 70, voxel_bench::TRACE_DURATION_S),
@@ -69,7 +75,10 @@ fn main() {
         }
     }
 
-    header("Fig 11d + Fig 13", "in-the-wild trials (university-WiFi-like trace)");
+    header(
+        "Fig 11d + Fig 13",
+        "in-the-wild trials (university-WiFi-like trace)",
+    );
     for buffer in [1usize, 7] {
         for video in ["BBB", "ED", "Sintel", "ToS"] {
             for system in ["BOLA", "VOXEL"] {

@@ -7,7 +7,10 @@ use voxel_netem::crosstraffic::{available_bandwidth, CrossTrafficConfig};
 
 fn main() {
     let mut cache = ContentCache::new();
-    header("Fig 12", "BOLA vs VOXEL with 20 Mbps cross-traffic on a 20 Mbps link");
+    header(
+        "Fig 12",
+        "BOLA vs VOXEL with 20 Mbps cross-traffic on a 20 Mbps link",
+    );
     let trace = available_bandwidth(
         &CrossTrafficConfig::paper(20.0),
         voxel_bench::TRACE_DURATION_S,

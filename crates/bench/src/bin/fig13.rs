@@ -2,6 +2,8 @@
 //! distributions). This binary simply delegates.
 
 fn main() {
-    println!("# Fig 13 shares the Fig 11 harness; run `cargo run --release -p voxel-bench --bin fig11`");
+    println!(
+        "# Fig 13 shares the Fig 11 harness; run `cargo run --release -p voxel-bench --bin fig11`"
+    );
     println!("# The in-the-wild rows (1- and 7-segment buffers) are the Fig 13 series.");
 }

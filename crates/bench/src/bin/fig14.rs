@@ -31,8 +31,8 @@ fn main() {
     let mut stop_b = 0.0;
     let mut mos = [[0.0f64; 4]; 2];
     let pairs = 6;
-    for i in 0..pairs {
-        let trace = generators::norway_3g_raw(by_mean[i], voxel_bench::TRACE_DURATION_S);
+    for (i, &idx) in by_mean.iter().enumerate().take(pairs) {
+        let trace = generators::norway_3g_raw(idx, voxel_bench::TRACE_DURATION_S);
         let bola = voxel_bench::run(
             &mut cache,
             sys_config(VideoId::Bbb, "BOLA", 1, trace.clone()).with_trials(1),
@@ -53,7 +53,10 @@ fn main() {
         }
     }
     let n = pairs as f64;
-    println!("{:10} {:>8} {:>8} {:>8} {:>10}", "system", "clarity", "glitches", "fluidity", "experience");
+    println!(
+        "{:10} {:>8} {:>8} {:>8} {:>10}",
+        "system", "clarity", "glitches", "fluidity", "experience"
+    );
     for (k, name) in ["BOLA", "VOXEL"].into_iter().enumerate() {
         println!(
             "{:10} {:>8.2} {:>8.2} {:>8.2} {:>10.2}",

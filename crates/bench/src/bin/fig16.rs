@@ -15,14 +15,19 @@ fn main() {
     for (trace, videos) in [("T-Mobile", ["BBB", "ED"]), ("Verizon", ["Sintel", "ToS"])] {
         for video in videos {
             for buffer in [1usize, 2, 3, 7] {
-                let voxel = if trace == "T-Mobile" { "VOXEL-tuned" } else { "VOXEL" };
+                let voxel = if trace == "T-Mobile" {
+                    "VOXEL-tuned"
+                } else {
+                    "VOXEL"
+                };
                 for (label, system, delay_cc) in [
                     ("BOLA", "BOLA", false),
                     (voxel, voxel, false),
                     ("VOXEL+delayCC", voxel, true),
                 ] {
-                    let mut cfg = sys_config(video_by_name(video), system, buffer, trace_by_name(trace))
-                        .with_queue(750);
+                    let mut cfg =
+                        sys_config(video_by_name(video), system, buffer, trace_by_name(trace))
+                            .with_queue(750);
                     if delay_cc {
                         cfg = cfg.with_delay_cc();
                     }

@@ -8,7 +8,10 @@ use voxel_core::experiment::ContentCache;
 fn main() {
     let mut cache = ContentCache::new();
 
-    header("Fig 18a/18b", "FCC trace: bufRatio and bitrate, BOLA vs VOXEL");
+    header(
+        "Fig 18a/18b",
+        "FCC trace: bufRatio and bitrate, BOLA vs VOXEL",
+    );
     for video in ["BBB", "ED", "Sintel", "ToS"] {
         for buffer in [1usize, 2, 3, 7] {
             let bola = voxel_bench::run(
@@ -42,7 +45,12 @@ fn main() {
                 let voxel = if tuned { "VOXEL-tuned" } else { "VOXEL" };
                 let rel = voxel_bench::run(
                     &mut cache,
-                    sys_config(video_by_name(video), "VOXEL-rel", buffer, trace_by_name(trace)),
+                    sys_config(
+                        video_by_name(video),
+                        "VOXEL-rel",
+                        buffer,
+                        trace_by_name(trace),
+                    ),
                 );
                 let vox = voxel_bench::run(
                     &mut cache,
@@ -64,5 +72,7 @@ fn main() {
     println!("\n# expectation (paper): partial reliability roughly halves bufRatio on Verizon; wins all but one T-Mobile case.");
     println!("# In this reproduction ABR*'s deadline-driven cut already prevents stalls in both modes, so the");
     println!("# partial-reliability gain shows up as delivered quality/bitrate (reliable mode wastes capacity");
-    println!("# retransmitting data whose deadline will pass, and cannot recover mid-stream holes).");
+    println!(
+        "# retransmitting data whose deadline will pass, and cannot recover mid-stream holes)."
+    );
 }

@@ -16,7 +16,10 @@ fn main() {
         ("Fig 19b", QualityLevel(9), 0.99),
         ("Fig 19c", QualityLevel(9), 0.95),
     ] {
-        header(fig, &format!("droppable-frame CDF at {level}, SSIM >= {target}"));
+        header(
+            fig,
+            &format!("droppable-frame CDF at {level}, SSIM >= {target}"),
+        );
         for name in videos {
             let v = Video::generate(video_by_name(name));
             let tol: Vec<f64> = v

@@ -12,13 +12,16 @@ use voxel_media::gop::FRAMES_PER_SEGMENT;
 use voxel_media::ladder::QualityLevel;
 use voxel_media::qoe::QoeModel;
 use voxel_media::video::{Video, SEGMENT_DURATION_S};
-use voxel_prep::analysis::{droppable_by_position, drop_tolerance, BytesQoeMap};
+use voxel_prep::analysis::{drop_tolerance, droppable_by_position, BytesQoeMap};
 use voxel_prep::ordering::OrderingKind;
 
 fn main() {
     let model = QoeModel::default();
 
-    header("Fig 2a", "fraction of segments whose frame at position p is droppable (Q12, SSIM 0.99)");
+    header(
+        "Fig 2a",
+        "fraction of segments whose frame at position p is droppable (Q12, SSIM 0.99)",
+    );
     for name in ["BBB", "ToS"] {
         let v = Video::generate(video_by_name(name));
         let frac = droppable_by_position(&model, &v.segments, QualityLevel::MAX, 0.99);
@@ -32,7 +35,10 @@ fn main() {
         println!("{name:8} {}", cells.join(" "));
     }
 
-    header("Fig 2b", "CDF of tolerable drop % at Q12/0.99: rank ordering vs tail-only");
+    header(
+        "Fig 2b",
+        "CDF of tolerable drop % at Q12/0.99: rank ordering vs tail-only",
+    );
     let probes: Vec<f64> = (0..=10).map(|i| i as f64 * 10.0).collect();
     for name in ["BBB", "ToS"] {
         let v = Video::generate(video_by_name(name));
@@ -43,15 +49,16 @@ fn main() {
             let tol: Vec<f64> = v
                 .segments
                 .iter()
-                .map(|s| {
-                    100.0 * drop_tolerance(&model, s, QualityLevel::MAX, ordering, 0.99)
-                })
+                .map(|s| 100.0 * drop_tolerance(&model, s, QualityLevel::MAX, ordering, 0.99))
                 .collect();
             print_cdf(&label, &tol, &probes);
         }
     }
 
-    header("Fig 2c/2d", "segment-bitrate CDFs: virtual levels vs real levels (Mbps)");
+    header(
+        "Fig 2c/2d",
+        "segment-bitrate CDFs: virtual levels vs real levels (Mbps)",
+    );
     let rate_probes: Vec<f64> = (0..=10).map(|i| i as f64 * 2.0).collect();
     for name in ["BBB", "ToS"] {
         let v = Video::generate(video_by_name(name));
@@ -67,8 +74,12 @@ fn main() {
                 .segments
                 .iter()
                 .map(|s| {
-                    let map =
-                        BytesQoeMap::compute(&model, s, QualityLevel::MAX, OrderingKind::InboundRank);
+                    let map = BytesQoeMap::compute(
+                        &model,
+                        s,
+                        QualityLevel::MAX,
+                        OrderingKind::InboundRank,
+                    );
                     let bytes = map
                         .min_bytes_for(target)
                         .map(|p| p.bytes)
@@ -82,7 +93,9 @@ fn main() {
 
     // §3 insight 2 headline: tail-only drops force many more referenced
     // frames into the dropped set than the rank ordering does.
-    println!("\n# summary: mean tolerable drops at Q12/0.99 by ordering (paper: rank > tail > original)");
+    println!(
+        "\n# summary: mean tolerable drops at Q12/0.99 by ordering (paper: rank > tail > original)"
+    );
     for name in ["BBB", "ToS"] {
         let v = Video::generate(video_by_name(name));
         for ordering in OrderingKind::ALL {

@@ -6,7 +6,7 @@
 //! the minimal split (I-frames reliable, all other frames unreliable) and
 //! no other ABR change.
 
-use voxel_bench::{header, sys_config, trace_by_name, video_by_name, trial_count};
+use voxel_bench::{header, sys_config, trace_by_name, trial_count, video_by_name};
 use voxel_core::experiment::ContentCache;
 use voxel_core::TransportMode;
 
@@ -23,10 +23,14 @@ fn main() {
         "Fig 3 + Fig 4",
         "vanilla ABRs over QUIC (Q) vs QUIC* (Q*): p90 bufRatio and avg bitrate",
     );
-    println!("{:28} {:>6} {:>10} {:>12} {:>9} {:>14}", "panel", "buf", "transport", "bufRatio-p90", "stderr", "bitrate-kbps");
+    println!(
+        "{:28} {:>6} {:>10} {:>12} {:>9} {:>14}",
+        "panel", "buf", "transport", "bufRatio-p90", "stderr", "bitrate-kbps"
+    );
     for (abr, trace, video) in panels {
         for buffer in [5usize, 6, 7] {
-            for (label, transport) in [("Q", TransportMode::Reliable), ("Q*", TransportMode::Split)] {
+            for (label, transport) in [("Q", TransportMode::Reliable), ("Q*", TransportMode::Split)]
+            {
                 let cfg = sys_config(video_by_name(video), abr, buffer, trace_by_name(trace))
                     .with_transport(transport)
                     .with_trials(trial_count());

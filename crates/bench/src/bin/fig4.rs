@@ -2,6 +2,8 @@
 //! bitrate columns). This binary simply delegates.
 
 fn main() {
-    println!("# Fig 4 shares the Fig 3 matrix; run `cargo run --release -p voxel-bench --bin fig3`");
+    println!(
+        "# Fig 4 shares the Fig 3 matrix; run `cargo run --release -p voxel-bench --bin fig3`"
+    );
     println!("# The `bitrate-kbps` column is the Fig 4 series.");
 }

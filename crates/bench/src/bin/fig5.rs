@@ -20,7 +20,12 @@ fn main() {
         "{:24} {:>8} {:>6} {:>10} {:>12} {:>14}",
         "panel", "offered", "buf", "transport", "bufRatio-p90", "bitrate-kbps"
     );
-    let panels = [("BOLA", "BBB"), ("MPC", "ED"), ("BOLA", "Sintel"), ("MPC", "ToS")];
+    let panels = [
+        ("BOLA", "BBB"),
+        ("MPC", "ED"),
+        ("BOLA", "Sintel"),
+        ("MPC", "ToS"),
+    ];
     for offered in [20.0f64, 15.0, 10.0] {
         let trace = available_bandwidth(
             &CrossTrafficConfig::paper(offered),

@@ -21,7 +21,15 @@ fn main() {
     for (trace, video) in FIG6_PAIRS {
         for buffer in [1usize, 2, 3, 7] {
             let mut bola_p90 = None;
-            for system in ["BOLA", "BETA", if trace == "T-Mobile" { "VOXEL-tuned" } else { "VOXEL" }] {
+            for system in [
+                "BOLA",
+                "BETA",
+                if trace == "T-Mobile" {
+                    "VOXEL-tuned"
+                } else {
+                    "VOXEL"
+                },
+            ] {
                 let agg = voxel_bench::run(
                     &mut cache,
                     sys_config(video_by_name(video), system, buffer, trace_by_name(trace)),
@@ -29,7 +37,11 @@ fn main() {
                 let p90 = agg.buf_ratio_p90();
                 let restarts: f64 = agg.trials.iter().map(|t| t.restarts as f64).sum::<f64>()
                     / agg.trials.len() as f64;
-                let partials: f64 = agg.trials.iter().map(|t| t.kept_partials as f64).sum::<f64>()
+                let partials: f64 = agg
+                    .trials
+                    .iter()
+                    .map(|t| t.kept_partials as f64)
+                    .sum::<f64>()
                     / agg.trials.len() as f64;
                 println!(
                     "{:18} {:>4} {:>12} {:>11.2}% {:>7.2}% {:>10.1} {:>9.1}",
@@ -57,7 +69,10 @@ fn main() {
     }
     if !improvements.is_empty() {
         let min = improvements.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = improvements.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max = improvements
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         println!(
             "\n# VOXEL vs BOLA p90-bufRatio reduction: min {:.0}%, max {:.0}% (paper: 25%-97%+ across conditions)",
             min, max

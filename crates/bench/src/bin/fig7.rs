@@ -16,7 +16,10 @@ fn main() {
     let mut cache = ContentCache::new();
     let trace = trace_by_name("Verizon");
 
-    header("Fig 7a", "bufRatio p90 of BOLA vs VOXEL under different QoE utilities (BBB, Verizon)");
+    header(
+        "Fig 7a",
+        "bufRatio p90 of BOLA vs VOXEL under different QoE utilities (BBB, Verizon)",
+    );
     for buffer in [1usize, 2, 3, 7] {
         let bola = voxel_bench::run(
             &mut cache,
@@ -41,9 +44,18 @@ fn main() {
         println!();
     }
 
-    header("Fig 7b/7c", "SSIM and VMAF distributions of streamed segments (BBB, Verizon, 3-seg buffer)");
-    let bola = voxel_bench::run(&mut cache, sys_config(VideoId::Bbb, "BOLA", 3, trace.clone()));
-    let voxel = voxel_bench::run(&mut cache, sys_config(VideoId::Bbb, "VOXEL", 3, trace.clone()));
+    header(
+        "Fig 7b/7c",
+        "SSIM and VMAF distributions of streamed segments (BBB, Verizon, 3-seg buffer)",
+    );
+    let bola = voxel_bench::run(
+        &mut cache,
+        sys_config(VideoId::Bbb, "BOLA", 3, trace.clone()),
+    );
+    let voxel = voxel_bench::run(
+        &mut cache,
+        sys_config(VideoId::Bbb, "VOXEL", 3, trace.clone()),
+    );
     let ssim_probes: Vec<f64> = (0..=10).map(|i| 0.85 + i as f64 * 0.015).collect();
     print_cdf("SSIM BOLA", &bola.pooled_ssims(), &ssim_probes);
     print_cdf("SSIM VOXEL", &voxel.pooled_ssims(), &ssim_probes);
@@ -60,7 +72,10 @@ fn main() {
         perfect(&voxel)
     );
 
-    header("Fig 7d", "percent of segment data skipped by VOXEL vs buffer size (Verizon)");
+    header(
+        "Fig 7d",
+        "percent of segment data skipped by VOXEL vs buffer size (Verizon)",
+    );
     for video in ["BBB", "ED", "Sintel", "ToS"] {
         print!("{video:8}");
         for buffer in [1usize, 2, 3, 7] {

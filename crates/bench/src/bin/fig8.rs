@@ -7,10 +7,7 @@ use voxel_core::experiment::ContentCache;
 fn main() {
     let mut cache = ContentCache::new();
     header("Fig 8", "average bitrates (kbps): BOLA vs VOXEL");
-    println!(
-        "{:20} {:>4} {:>10} {:>10}",
-        "panel", "buf", "BOLA", "VOXEL"
-    );
+    println!("{:20} {:>4} {:>10} {:>10}", "panel", "buf", "BOLA", "VOXEL");
     for trace in ["T-Mobile", "Verizon"] {
         for video in ["BBB", "ED", "Sintel", "ToS"] {
             for buffer in [1usize, 2, 3, 7] {
@@ -22,7 +19,11 @@ fn main() {
                     &mut cache,
                     sys_config(
                         video_by_name(video),
-                        if trace == "T-Mobile" { "VOXEL-tuned" } else { "VOXEL" },
+                        if trace == "T-Mobile" {
+                            "VOXEL-tuned"
+                        } else {
+                            "VOXEL"
+                        },
                         buffer,
                         trace_by_name(trace),
                     ),

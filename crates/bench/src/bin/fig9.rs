@@ -7,7 +7,10 @@ use voxel_core::experiment::ContentCache;
 
 fn main() {
     let mut cache = ContentCache::new();
-    header("Fig 9", "SSIM distributions of streamed segments: BOLA vs BETA vs VOXEL");
+    header(
+        "Fig 9",
+        "SSIM distributions of streamed segments: BOLA vs BETA vs VOXEL",
+    );
     let panels = [
         ("AT&T", "ToS", 2usize, "VOXEL"),
         ("3G", "Sintel", 3, "VOXEL"),
@@ -25,7 +28,9 @@ fn main() {
             print_cdf(system, &agg.pooled_ssims(), &probes);
             println!(
                 "{:24} mean SSIM {:.4}  bufRatio p90 {:.2}%",
-                "", agg.mean_ssim(), agg.buf_ratio_p90()
+                "",
+                agg.mean_ssim(),
+                agg.buf_ratio_p90()
             );
         }
     }

@@ -12,7 +12,10 @@ use voxel_media::content::VideoId;
 
 fn main() {
     let mut cache = ContentCache::new();
-    header("§4.2/§5.2 text", "selective retransmission + frame-drop composition (VOXEL, Verizon)");
+    header(
+        "§4.2/§5.2 text",
+        "selective retransmission + frame-drop composition (VOXEL, Verizon)",
+    );
     println!(
         "{:>4} {:>12} {:>12} {:>14} {:>16} {:>18}",
         "buf", "lost(kB)", "recovered", "residual-loss", "segs-with-drops", "ref-drop-share"
@@ -32,7 +35,11 @@ fn main() {
             "{:>4} {:>12} {:>11.0}% {:>13.1}% {:>15.1}% {:>17.1}%",
             buffer,
             lost / 1000,
-            if lost > 0 { 100.0 * rec as f64 / lost as f64 } else { 100.0 },
+            if lost > 0 {
+                100.0 * rec as f64 / lost as f64
+            } else {
+                100.0
+            },
             agg.residual_loss_mean_pct(),
             100.0 * segs as f64 / total_segs.max(1) as f64,
             if dropped > 0 {

@@ -1,0 +1,48 @@
+//! A/B: untraced session vs session with a null-sink tracer enabled.
+use std::sync::Arc;
+use std::time::Instant;
+use voxel_core::client::{PlayerConfig, TransportMode};
+use voxel_core::session::Session;
+use voxel_media::content::VideoId;
+use voxel_media::ladder::QualityLevel;
+use voxel_media::qoe::QoeModel;
+use voxel_media::video::Video;
+use voxel_netem::{BandwidthTrace, PathConfig};
+use voxel_prep::manifest::Manifest;
+use voxel_trace::{NullSink, Tracer};
+
+fn main() {
+    let video = Video::generate(VideoId::Bbb);
+    let qoe = QoeModel::default();
+    let manifest = Arc::new(Manifest::prepare_levels(&video, &qoe, &[QualityLevel::MAX]));
+    let video = Arc::new(video);
+    let run = |traced: bool| {
+        let mut s = Session::new(
+            PathConfig::new(BandwidthTrace::constant(10.0, 600), 32),
+            manifest.clone(),
+            video.clone(),
+            qoe.clone(),
+            Box::new(voxel_abr::AbrStar::default()),
+            PlayerConfig::new(3, TransportMode::Split),
+        );
+        if traced {
+            s = s.with_tracer(Tracer::new(0, Box::new(NullSink)));
+        }
+        s.run()
+    };
+    // warmup
+    run(false);
+    run(true);
+    for label in ["disabled", "null-sink"] {
+        let traced = label == "null-sink";
+        let mut times = Vec::new();
+        for _ in 0..7 {
+            let t0 = Instant::now();
+            let r = run(traced);
+            std::hint::black_box(r);
+            times.push(t0.elapsed().as_secs_f64());
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        println!("{label:9} median {:.4}s min {:.4}s", times[3], times[0]);
+    }
+}

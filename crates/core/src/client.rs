@@ -30,6 +30,7 @@ use voxel_prep::manifest::Manifest;
 use voxel_quic::range::RangeSet;
 use voxel_quic::{Connection, Event, Reliability, StreamId};
 use voxel_sim::{SimDuration, SimTime};
+use voxel_trace::{trace_event, Layer, Tracer};
 
 /// How segment data travels (§5.1 studies these separately from the ABR).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +174,7 @@ pub struct ClientApp {
     stats: ClientStats,
     /// The ABR uses BETA's frame ordering.
     is_beta: bool,
+    tracer: Tracer,
 }
 
 impl ClientApp {
@@ -207,7 +209,18 @@ impl ClientApp {
             active_retx: Vec::new(),
             stats: ClientStats::default(),
             is_beta,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Install a tracer (shared with the rest of the session).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The player configuration this client runs with.
+    pub fn config(&self) -> &PlayerConfig {
+        &self.config
     }
 
     /// Debug snapshot: (next segment index, download in flight, records).
@@ -257,7 +270,9 @@ impl ClientApp {
             Phase::Init => {
                 let sid = conn.open_stream(Reliability::Reliable);
                 self.fetches.insert(sid, FetchKind::Manifest);
-                conn.send(sid, &Request::get("/manifest").encode());
+                let req = Request::get("/manifest");
+                voxel_http::trace::trace_request(&self.tracer, now, sid.0, &req);
+                conn.send(sid, &req.encode());
                 conn.finish(sid);
                 self.phase = Phase::FetchingManifest;
             }
@@ -408,6 +423,14 @@ impl ClientApp {
                     if fin {
                         self.fetches.remove(&id);
                         self.active_retx.retain(|&s| s != id);
+                        trace_event!(
+                            self.tracer,
+                            now,
+                            Layer::Player,
+                            "retx_close",
+                            "seg" = seg,
+                            "stream" = id.0,
+                        );
                     }
                 }
             }
@@ -460,7 +483,9 @@ impl ClientApp {
                 self.next_segment,
                 self.play_started && buffer <= 0.0,
             );
-            self.abr.choose(&ctx)
+            let d = self.abr.choose(&ctx);
+            voxel_abr::trace::trace_decision(&self.tracer, now, &ctx, &d);
+            d
         };
         self.begin_fetch(now, conn, decision, 0);
     }
@@ -486,10 +511,9 @@ impl ClientApp {
         // Head request (always reliable).
         let head = conn.open_stream(Reliability::Reliable);
         self.fetches.insert(head, FetchKind::Head { seg });
-        conn.send(
-            head,
-            &Request::get(format!("/seg/{}/{}/head", seg, decision.level.index())).encode(),
-        );
+        let head_req = Request::get(format!("/seg/{}/{}/head", seg, decision.level.index()));
+        voxel_http::trace::trace_request(&self.tracer, now, head.0, &head_req);
+        conn.send(head, &head_req.encode());
         conn.finish(head);
 
         // Body request.
@@ -504,6 +528,7 @@ impl ClientApp {
         if self.config.transport == TransportMode::Split {
             req = req.with_unreliable();
         }
+        voxel_http::trace::trace_request(&self.tracer, now, body.0, &req);
         conn.send(body, &req.encode());
         conn.finish(body);
 
@@ -598,16 +623,36 @@ impl ClientApp {
                 // Discard and refetch: the classic, wasteful abandonment.
                 self.stats.bytes_wasted += rec_received;
                 self.stats.restarts += 1;
+                voxel_http::trace::trace_abandon(
+                    &self.tracer,
+                    now,
+                    dl.seg as u64,
+                    "restart",
+                    rec_received,
+                    dl.body_goal,
+                );
                 self.cancel_streams(conn, &dl);
                 let restarts = dl.restarts_here + 1;
                 // Cap restarts per segment to avoid livelock on hostile
                 // traces; after that, continue at the lowest quality.
-                let level = if restarts > 2 { QualityLevel::MIN } else { level };
+                let level = if restarts > 2 {
+                    QualityLevel::MIN
+                } else {
+                    level
+                };
                 self.begin_fetch(now, conn, voxel_abr::Decision::full(level), restarts);
             }
             AbandonAction::KeepPartial => {
                 let dl = self.dl.take().expect("checked");
                 self.stats.kept_partials += 1;
+                voxel_http::trace::trace_abandon(
+                    &self.tracer,
+                    now,
+                    dl.seg as u64,
+                    "keep_partial",
+                    rec_received,
+                    dl.body_goal,
+                );
                 self.cancel_streams(conn, &dl);
                 self.finish_segment(now, dl);
             }
@@ -661,6 +706,22 @@ impl ClientApp {
         let sampled = entry.reliable_size + rec_received;
         self.estimator
             .on_sample(sampled, now.saturating_since(dl.started).as_secs_f64());
+        if self.tracer.enabled() {
+            let dur_ms = now.saturating_since(dl.started).as_micros() / 1000;
+            self.tracer.observe("player.download_ms", dur_ms);
+            self.tracer.observe("player.segment_bytes", sampled);
+            trace_event!(
+                self.tracer,
+                now,
+                Layer::Player,
+                "download_done",
+                "seg" = dl.seg,
+                "level" = dl.level.index(),
+                "bytes" = sampled,
+                "dur_ms" = dur_ms,
+                "restarts" = u64::from(dl.restarts_here),
+            );
+        }
 
         // In-transit loss accounting: holes *below the receive high-water
         // mark* were sent and lost (selective retx may recover them); bytes
@@ -692,6 +753,16 @@ impl ClientApp {
                 self.play_started = true;
                 self.startup_at = Some(now);
                 self.play_end = now;
+                self.tracer
+                    .observe("player.startup_ms", now.as_micros() / 1000);
+                trace_event!(
+                    self.tracer,
+                    now,
+                    Layer::Player,
+                    "startup",
+                    "seg" = dl.seg,
+                    "ready" = ready,
+                );
                 let mut starts: Vec<usize> = self
                     .records
                     .iter()
@@ -707,6 +778,29 @@ impl ClientApp {
             }
         } else if now > self.play_end {
             // Stall: the buffer ran dry before this segment arrived.
+            let stall = now.saturating_since(self.play_end);
+            if self.tracer.enabled() {
+                self.tracer.count("player.stalls", 1);
+                self.tracer
+                    .observe("player.stall_ms", stall.as_micros() / 1000);
+                // Start/end emitted back to back at detection time; the
+                // start is back-dated to when playback actually ran dry.
+                trace_event!(
+                    self.tracer,
+                    self.play_end,
+                    Layer::Player,
+                    "stall_start",
+                    "seg" = dl.seg,
+                );
+                trace_event!(
+                    self.tracer,
+                    now,
+                    Layer::Player,
+                    "stall_end",
+                    "seg" = dl.seg,
+                    "dur_ms" = stall.as_micros() / 1000,
+                );
+            }
             self.total_stall += now - self.play_end;
             self.abr.on_rebuffer();
             rec.play_start = now;
@@ -774,11 +868,7 @@ impl ClientApp {
         let level = rec.level;
         // Inclusive HTTP ranges, capped at 64 per request. (At most one
         // in-flight re-request per segment, so holes are never duplicated.)
-        let ranges: Vec<(u64, u64)> = holes
-            .iter()
-            .take(64)
-            .map(|&(s, e)| (s, e - 1))
-            .collect();
+        let ranges: Vec<(u64, u64)> = holes.iter().take(64).map(|&(s, e)| (s, e - 1)).collect();
         let sid = conn.open_stream(Reliability::Reliable);
         self.fetches.insert(
             sid,
@@ -792,6 +882,20 @@ impl ClientApp {
             req = req.with_range(*s, *e);
         }
         req = req.with_unreliable();
+        voxel_http::trace::trace_request(&self.tracer, now, sid.0, &req);
+        if self.tracer.enabled() {
+            self.tracer.count("player.retx_windows", 1);
+            trace_event!(
+                self.tracer,
+                now,
+                Layer::Player,
+                "retx_open",
+                "seg" = seg,
+                "stream" = sid.0,
+                "nranges" = ranges.len(),
+                "bytes" = req.range_bytes(),
+            );
+        }
         conn.send(sid, &req.encode());
         conn.finish(sid);
         self.active_retx.push(sid);
@@ -840,6 +944,22 @@ impl ClientApp {
             rec.frames_dropped = dropped;
             rec.referenced_dropped = ref_dropped;
             rec.scores = Some(qoe.eval(seg, rec.level, &loss));
+            if self.tracer.enabled() && rec.play_start != SimTime::MAX {
+                self.tracer.count("player.segments_played", 1);
+                self.tracer
+                    .count("player.frames_dropped", u64::from(dropped));
+                trace_event!(
+                    self.tracer,
+                    rec.play_start,
+                    Layer::Player,
+                    "segment_play",
+                    "seg" = rec.seg,
+                    "level" = rec.level.index(),
+                    "ssim" = rec.scores.as_ref().map_or(f64::NAN, |s| s.ssim),
+                    "dropped" = u64::from(dropped),
+                    "ref_dropped" = u64::from(ref_dropped),
+                );
+            }
         }
     }
 
@@ -901,6 +1021,8 @@ impl ClientApp {
             segments_with_drops: segs_with_drops,
             frames_dropped,
             referenced_frames_dropped: ref_dropped,
+            transport: crate::metrics::TransportStats::default(),
+            metrics: None,
         }
     }
 }
@@ -932,11 +1054,7 @@ fn make_ctx<'a>(
 ///
 /// The response body is the concatenation of the requested (inclusive)
 /// ranges; a received `[resp_off, resp_off+len)` window may span several.
-fn map_response_to_body(
-    ranges: &[(u64, u64)],
-    resp_off: u64,
-    len: u64,
-) -> Vec<(u64, u64)> {
+fn map_response_to_body(ranges: &[(u64, u64)], resp_off: u64, len: u64) -> Vec<(u64, u64)> {
     let mut out = Vec::new();
     let mut cursor = 0u64; // response offset at the start of each range
     let resp_end = resp_off + len;

@@ -19,6 +19,23 @@ use voxel_netem::{BandwidthTrace, PathConfig};
 use voxel_prep::manifest::Manifest;
 use voxel_quic::CcKind;
 use voxel_sim::SimDuration;
+use voxel_trace::Tracer;
+
+/// Whether (and where) trials emit their cross-layer event timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No tracing: the null path, zero overhead on the session hot loop.
+    #[default]
+    Off,
+    /// Human-readable event lines on stderr (interactive debugging).
+    Stderr,
+    /// One JSONL timeline (`trial-<shift>.jsonl`) plus one metrics
+    /// snapshot (`trial-<shift>.metrics.json`) per trial, under `dir`.
+    Jsonl {
+        /// Output directory; created if missing.
+        dir: std::path::PathBuf,
+    },
+}
 
 /// Which ABR algorithm a configuration runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -134,11 +151,18 @@ pub struct Config {
     /// Congestion controller (CUBIC = the paper; Delay = Appendix B
     /// future-work ablation).
     pub cc: CcKind,
+    /// Per-trial event tracing (off by default).
+    pub tracing: TraceMode,
 }
 
 impl Config {
     /// A §5-style configuration with the paper's defaults.
-    pub fn new(video: VideoId, abr: AbrKind, buffer_segments: usize, trace: BandwidthTrace) -> Config {
+    pub fn new(
+        video: VideoId,
+        abr: AbrKind,
+        buffer_segments: usize,
+        trace: BandwidthTrace,
+    ) -> Config {
         Config {
             video,
             transport: abr.default_transport(),
@@ -149,6 +173,7 @@ impl Config {
             trials: 30,
             selective_retx: true,
             cc: CcKind::Cubic,
+            tracing: TraceMode::default(),
         }
     }
 
@@ -179,6 +204,18 @@ impl Config {
     /// Use the delay-based congestion controller (Appendix B ablation).
     pub fn with_delay_cc(mut self) -> Config {
         self.cc = CcKind::Delay;
+        self
+    }
+
+    /// Emit per-trial JSONL timelines and metrics snapshots under `dir`.
+    pub fn with_trace_jsonl(mut self, dir: impl Into<std::path::PathBuf>) -> Config {
+        self.tracing = TraceMode::Jsonl { dir: dir.into() };
+        self
+    }
+
+    /// Emit human-readable trace lines on stderr.
+    pub fn with_trace_stderr(mut self) -> Config {
+        self.tracing = TraceMode::Stderr;
         self
     }
 }
@@ -273,6 +310,24 @@ fn run_prepared_trial(
     path.delay_down = SimDuration::from_millis(30);
     let mut player = PlayerConfig::new(config.buffer_segments, config.transport);
     player.selective_retx = config.selective_retx && config.transport == TransportMode::Split;
+    // The trace-shift doubles as the session id: it uniquely names the
+    // trial within a configuration and keeps identically-seeded runs
+    // byte-identical.
+    let tracer = match &config.tracing {
+        TraceMode::Off => Tracer::disabled(),
+        TraceMode::Stderr => Tracer::stderr(shift_s as u64),
+        TraceMode::Jsonl { dir } => {
+            let _ = std::fs::create_dir_all(dir);
+            let path = dir.join(format!("trial-{shift_s:04}.jsonl"));
+            Tracer::jsonl(shift_s as u64, &path).unwrap_or_else(|e| {
+                eprintln!(
+                    "warning: cannot write timeline {}: {e}; tracing disabled",
+                    path.display()
+                );
+                Tracer::disabled()
+            })
+        }
+    };
     let session = Session::with_cc(
         path,
         manifest.clone(),
@@ -281,9 +336,16 @@ fn run_prepared_trial(
         config.abr.make(),
         player,
         config.cc,
-    );
+    )
+    .with_tracer(tracer);
     let mut r = session.run();
     r.abr = config.abr.label();
+    if let (TraceMode::Jsonl { dir }, Some(snap)) = (&config.tracing, &r.metrics) {
+        let _ = std::fs::write(
+            dir.join(format!("trial-{shift_s:04}.metrics.json")),
+            snap.to_json(),
+        );
+    }
     r
 }
 

@@ -28,6 +28,6 @@ pub mod session;
 pub mod survey;
 
 pub use client::{PlayerConfig, TransportMode};
-pub use experiment::{AbrKind, Config};
-pub use metrics::{Aggregate, TrialResult};
+pub use experiment::{AbrKind, Config, TraceMode};
+pub use metrics::{Aggregate, TransportStats, TrialResult};
 pub use session::Session;

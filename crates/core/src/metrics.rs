@@ -1,6 +1,32 @@
 //! Per-trial results and aggregation helpers for the figures.
 
 use voxel_media::qoe::QoeScores;
+use voxel_trace::MetricsSnapshot;
+
+/// Transport-layer statistics of one trial, taken from the server-side
+/// (data-sending) QUIC\* connection at session end. Counter fields come
+/// from the connection's own accounting and are always filled; the two
+/// mean fields are sourced from the trace metrics registry when tracing is
+/// on, and fall back to the final instantaneous values when it is off.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct TransportStats {
+    /// Packets sent.
+    pub packets_sent: u64,
+    /// Packets declared lost.
+    pub packets_lost: u64,
+    /// Loss events (bursts the congestion controller reacted to once).
+    pub loss_events: u64,
+    /// PTO fires.
+    pub ptos: u64,
+    /// Ack-eliciting wire bytes sent.
+    pub bytes_sent: u64,
+    /// Reliable-stream payload bytes retransmitted.
+    pub bytes_retransmitted: u64,
+    /// Mean congestion window over all sends, bytes.
+    pub mean_cwnd_bytes: f64,
+    /// Mean smoothed RTT over all acks, milliseconds.
+    pub mean_srtt_ms: f64,
+}
 
 /// Outcome of one playback trial (one video, one trace shift).
 #[derive(Debug, Clone)]
@@ -41,6 +67,10 @@ pub struct TrialResult {
     pub frames_dropped: u32,
     /// Dropped frames that were referenced by other frames.
     pub referenced_frames_dropped: u32,
+    /// Transport-layer statistics (server-side connection).
+    pub transport: TransportStats,
+    /// Metrics-registry snapshot at session end (None with tracing off).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl TrialResult {
@@ -156,6 +186,36 @@ impl Aggregate {
         let v: Vec<f64> = self.trials.iter().map(|t| t.residual_loss_pct()).collect();
         voxel_sim::stats::mean(&v)
     }
+
+    /// Mean congestion window across trials, bytes.
+    pub fn mean_cwnd_bytes(&self) -> f64 {
+        let v: Vec<f64> = self
+            .trials
+            .iter()
+            .map(|t| t.transport.mean_cwnd_bytes)
+            .collect();
+        voxel_sim::stats::mean(&v)
+    }
+
+    /// Mean loss-event count per trial.
+    pub fn mean_loss_events(&self) -> f64 {
+        let v: Vec<f64> = self
+            .trials
+            .iter()
+            .map(|t| t.transport.loss_events as f64)
+            .collect();
+        voxel_sim::stats::mean(&v)
+    }
+
+    /// Mean PTO count per trial.
+    pub fn mean_ptos(&self) -> f64 {
+        let v: Vec<f64> = self
+            .trials
+            .iter()
+            .map(|t| t.transport.ptos as f64)
+            .collect();
+        voxel_sim::stats::mean(&v)
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +249,8 @@ mod tests {
             segments_with_drops: 3,
             frames_dropped: 10,
             referenced_frames_dropped: 4,
+            transport: TransportStats::default(),
+            metrics: None,
         }
     }
 
@@ -214,7 +276,9 @@ mod tests {
 
     #[test]
     fn aggregate_percentiles() {
-        let trials: Vec<TrialResult> = (0..10).map(|i| trial(i as f64 * 3.0, 4000.0, 0.99)).collect();
+        let trials: Vec<TrialResult> = (0..10)
+            .map(|i| trial(i as f64 * 3.0, 4000.0, 0.99))
+            .collect();
         let agg = Aggregate::new(trials);
         // stalls 0..27 s → bufRatio 0..9 %, p90 = 8.1 %.
         assert!((agg.buf_ratio_p90() - 8.1).abs() < 1e-9);
@@ -222,5 +286,20 @@ mod tests {
         assert!(agg.buf_ratio_stderr() > 0.0);
         assert_eq!(agg.pooled_ssims().len(), 750);
         assert!((agg.mean_ssim() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transport_means_aggregate() {
+        let mut a = trial(0.0, 1.0, 0.9);
+        a.transport.loss_events = 4;
+        a.transport.ptos = 2;
+        a.transport.mean_cwnd_bytes = 100_000.0;
+        let mut b = trial(0.0, 1.0, 0.9);
+        b.transport.loss_events = 6;
+        b.transport.mean_cwnd_bytes = 200_000.0;
+        let agg = Aggregate::new(vec![a, b]);
+        assert_eq!(agg.mean_loss_events(), 5.0);
+        assert_eq!(agg.mean_ptos(), 1.0);
+        assert_eq!(agg.mean_cwnd_bytes(), 150_000.0);
     }
 }

@@ -22,6 +22,8 @@ use voxel_http::{Request, Response};
 use voxel_media::ladder::QualityLevel;
 use voxel_prep::manifest::Manifest;
 use voxel_quic::{Connection, Event, Reliability, StreamId};
+use voxel_sim::SimTime;
+use voxel_trace::Tracer;
 
 /// Server-side application state.
 pub struct ServerApp {
@@ -36,6 +38,7 @@ pub struct ServerApp {
     pub served_bodies: u64,
     /// Range re-requests served (selective retransmission).
     pub served_retx: u64,
+    tracer: Tracer,
 }
 
 impl ServerApp {
@@ -48,12 +51,19 @@ impl ServerApp {
             served_heads: 0,
             served_bodies: 0,
             served_retx: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
+    /// Install a tracer (shared with the rest of the session).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     /// Pump the server side: consume connection events, parse requests, and
-    /// write responses back into `conn`.
-    pub fn handle(&mut self, conn: &mut Connection) {
+    /// write responses back into `conn`. `now` is the current sim time,
+    /// used only to timestamp trace events.
+    pub fn handle(&mut self, now: SimTime, conn: &mut Connection) {
         while let Some(ev) = conn.poll_event() {
             match ev {
                 Event::StreamOpened(..) | Event::StreamFinished(_) | Event::StreamReset(_) => {}
@@ -68,7 +78,7 @@ impl ServerApp {
                     if buf.windows(4).any(|w| w == b"\r\n\r\n") {
                         let raw = self.inbox.remove(&id).expect("present");
                         if let Some(req) = Request::decode(&raw) {
-                            self.respond(conn, id, &req);
+                            self.respond(now, conn, id, &req);
                         }
                     }
                 }
@@ -77,13 +87,14 @@ impl ServerApp {
         }
     }
 
-    fn respond(&mut self, conn: &mut Connection, id: StreamId, req: &Request) {
+    fn respond(&mut self, now: SimTime, conn: &mut Connection, id: StreamId, req: &Request) {
         let (len, unreliable) = match self.resolve(req) {
             Some(x) => x,
             None => {
                 conn.open_reply_stream(id, Reliability::Reliable);
-                let hdr = Response::error(voxel_http::StatusCode::NotFound).encode();
-                conn.send(id, &hdr);
+                let resp = Response::error(voxel_http::StatusCode::NotFound);
+                voxel_http::trace::trace_response(&self.tracer, now, id.0, &resp, 0, false);
+                conn.send(id, &resp.encode());
                 conn.finish(id);
                 return;
             }
@@ -100,12 +111,21 @@ impl ServerApp {
         };
         conn.open_reply_stream(id, reliability);
         if !headerless {
-            let hdr = if req.ranges.is_empty() {
-                Response::ok(len).encode()
+            let resp = if req.ranges.is_empty() {
+                Response::ok(len)
             } else {
-                Response::partial(req.ranges.clone()).encode()
+                Response::partial(req.ranges.clone())
             };
-            conn.send(id, &hdr);
+            voxel_http::trace::trace_response(&self.tracer, now, id.0, &resp, len, unreliable);
+            conn.send(id, &resp.encode());
+        } else if self.tracer.enabled() {
+            // Headerless body replies still count as served responses.
+            let status = if req.ranges.is_empty() {
+                Response::ok(len)
+            } else {
+                Response::partial(req.ranges.clone())
+            };
+            voxel_http::trace::trace_response(&self.tracer, now, id.0, &status, len, unreliable);
         }
         conn.send(id, &zeros(len as usize));
         conn.finish(id);
@@ -227,7 +247,8 @@ mod tests {
     fn body_range_requests_and_retx_counting() {
         let (mut app, _) = server();
         // Prefix range: a partial-target fetch, not a retransmission.
-        let (len, _) = resolve(&mut app, Request::get("/seg/0/12/body").with_range(0, 999)).unwrap();
+        let (len, _) =
+            resolve(&mut app, Request::get("/seg/0/12/body").with_range(0, 999)).unwrap();
         assert_eq!(len, 1000);
         assert_eq!(app.served_retx, 0);
         // Mid-stream ranges: selective retransmission.
@@ -276,7 +297,7 @@ mod tests {
                 server_conn.on_datagram(now, p.encode());
                 moved = true;
             }
-            app.handle(&mut server_conn);
+            app.handle(now, &mut server_conn);
             while let Some(p) = server_conn.poll_transmit(now) {
                 client.on_datagram(now, p.encode());
                 moved = true;

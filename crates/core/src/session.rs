@@ -6,8 +6,8 @@
 //! earliest pending event (datagram delivery, transport timer, or the
 //! player's 100 ms tick).
 
-use crate::client::{ClientApp, PlayerConfig};
-use crate::metrics::TrialResult;
+use crate::client::{ClientApp, PlayerConfig, TransportMode};
+use crate::metrics::{TransportStats, TrialResult};
 use crate::server::ServerApp;
 use bytes::Bytes;
 use std::sync::Arc;
@@ -18,6 +18,7 @@ use voxel_netem::{BottleneckPath, PathConfig};
 use voxel_prep::manifest::Manifest;
 use voxel_quic::{CcKind, Connection, ConnectionConfig, Role};
 use voxel_sim::{EventQueue, SimDuration, SimTime};
+use voxel_trace::{trace_event, Layer, Tracer};
 
 /// Events of the session loop.
 enum Ev {
@@ -39,6 +40,7 @@ pub struct Session {
     client: ClientApp,
     /// Hard cap on simulated time (safety net; never reached in practice).
     cap: SimTime,
+    tracer: Tracer,
 }
 
 impl Session {
@@ -51,7 +53,15 @@ impl Session {
         abr: Box<dyn Abr>,
         player: PlayerConfig,
     ) -> Session {
-        Self::with_cc(path_config, manifest, video, qoe, abr, player, CcKind::Cubic)
+        Self::with_cc(
+            path_config,
+            manifest,
+            video,
+            qoe,
+            abr,
+            player,
+            CcKind::Cubic,
+        )
     }
 
     /// Assemble a session with an explicit congestion controller (the
@@ -79,6 +89,7 @@ impl Session {
             server: ServerApp::new(manifest, true),
             client,
             cap: SimTime::from_secs_f64(duration * 5.0 + 120.0),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -88,34 +99,81 @@ impl Session {
         self
     }
 
+    /// Install a tracer. One handle is shared by every layer: the client
+    /// (ABR decisions, HTTP requests, player events), the server (HTTP
+    /// responses), and the server-side QUIC\* connection — the data sender,
+    /// whose cwnd/loss/PTO telemetry is the interesting one. Events from
+    /// all layers interleave into a single per-session stream with one
+    /// monotone sequence counter.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Session {
+        self.server_conn.set_tracer(tracer.clone());
+        self.server.set_tracer(tracer.clone());
+        self.client.set_tracer(tracer.clone());
+        self.tracer = tracer;
+        self
+    }
+
     /// Run to completion and produce the trial result.
     pub fn run(mut self) -> TrialResult {
         // Boot: first tick at t=0 starts the manifest fetch.
         self.queue.schedule(SimTime::ZERO, Ev::Tick);
         let mut last_tick = SimTime::ZERO;
-        let debug = std::env::var("VOXEL_SESSION_DEBUG").is_ok();
+        // Periodic loop-progress lines for interactive debugging: the old
+        // raw `eprintln!` dump, now structured events through the stderr
+        // sink (independent of whatever tracer the session was built with).
+        let debug = if std::env::var("VOXEL_SESSION_DEBUG").is_ok() {
+            Tracer::stderr(self.tracer.session_id())
+        } else {
+            Tracer::disabled()
+        };
         let mut iters: u64 = 0;
         let mut pkts: u64 = 0;
+
+        {
+            let cfg = self.client.config();
+            trace_event!(
+                self.tracer,
+                SimTime::ZERO,
+                Layer::Session,
+                "trial_start",
+                "buffer_segments" = cfg.buffer_capacity_segments,
+                "transport" = match cfg.transport {
+                    TransportMode::Reliable => "reliable",
+                    TransportMode::Split => "split",
+                },
+                "selective_retx" = cfg.selective_retx,
+                "live" = cfg.live,
+            );
+        }
 
         loop {
             let now = self.queue.now();
             iters += 1;
-            if debug && iters.is_multiple_of(10_000) {
+            if iters.is_multiple_of(10_000) {
                 let (seg, dl, recs) = self.client.debug_state();
-                eprintln!(
-                    "iter={}k now={now} pkts={} queue={} cwnd={} inflight_srv seg={seg} dl={dl} recs={recs} | {}",
-                    iters / 1000,
-                    pkts,
-                    self.queue.len(),
-                    self.server_conn.cwnd(),
-                    format!("stats={:?} timer={:?}", self.server_conn.stats(), self.server_conn.next_timeout()),
+                let stats = self.server_conn.stats();
+                trace_event!(
+                    debug,
+                    now,
+                    Layer::Session,
+                    "progress",
+                    "iters_k" = iters / 1000,
+                    "pkts" = pkts,
+                    "queue" = self.queue.len(),
+                    "cwnd" = self.server_conn.cwnd(),
+                    "seg" = seg,
+                    "dl" = dl,
+                    "recs" = recs,
+                    "pkts_sent" = stats.packets_sent,
+                    "pkts_lost" = stats.packets_lost,
+                    "ptos" = stats.ptos,
                 );
             }
             // Application pumps.
-            self.server.handle(&mut self.server_conn);
+            self.server.handle(now, &mut self.server_conn);
             self.client.on_wake(now, &mut self.client_conn);
             if self.client.is_done() {
-                return self.client.into_result(now);
+                return self.finish(now);
             }
 
             // Drain transmissions until neither side has anything to send.
@@ -163,7 +221,8 @@ impl Session {
             };
             if next > self.cap {
                 // Safety cap: freeze what we have.
-                return self.client.into_result(self.cap);
+                let cap = self.cap;
+                return self.finish(cap);
             }
 
             // Deliver everything due at `next`.
@@ -189,6 +248,46 @@ impl Session {
                 self.queue.pop();
             }
         }
+    }
+
+    /// Close out the trial: emit the end-of-session event, snapshot the
+    /// metrics registry, attach transport statistics, and flush the sink.
+    fn finish(self, now: SimTime) -> TrialResult {
+        let stats = self.server_conn.stats();
+        trace_event!(
+            self.tracer,
+            now,
+            Layer::Session,
+            "trial_end",
+            "packets_sent" = stats.packets_sent,
+            "packets_lost" = stats.packets_lost,
+            "loss_events" = stats.loss_events,
+            "ptos" = stats.ptos,
+            "bytes_sent" = stats.bytes_sent,
+        );
+        let snapshot = self.tracer.metrics_snapshot(now);
+        let mut r = self.client.into_result(now);
+        r.transport = TransportStats {
+            packets_sent: stats.packets_sent,
+            packets_lost: stats.packets_lost,
+            loss_events: stats.loss_events,
+            ptos: stats.ptos,
+            bytes_sent: stats.bytes_sent,
+            bytes_retransmitted: stats.bytes_retransmitted,
+            mean_cwnd_bytes: snapshot
+                .as_ref()
+                .and_then(|s| s.histogram("quic.cwnd_bytes"))
+                .map(|h| h.mean)
+                .unwrap_or(self.server_conn.cwnd() as f64),
+            mean_srtt_ms: snapshot
+                .as_ref()
+                .and_then(|s| s.histogram("quic.srtt_us"))
+                .map(|h| h.mean / 1e3)
+                .unwrap_or_else(|| self.server_conn.srtt().as_secs_f64() * 1e3),
+        };
+        r.metrics = snapshot;
+        self.tracer.flush();
+        r
     }
 }
 
@@ -225,7 +324,11 @@ mod tests {
         assert!(r.buf_ratio_pct() < 1.0, "bufRatio {}", r.buf_ratio_pct());
         // 50 Mbps is plenty for Q12: the mean delivered bitrate should be
         // high.
-        assert!(r.avg_bitrate_kbps() > 5_000.0, "bitrate {}", r.avg_bitrate_kbps());
+        assert!(
+            r.avg_bitrate_kbps() > 5_000.0,
+            "bitrate {}",
+            r.avg_bitrate_kbps()
+        );
         assert!(r.avg_ssim() > 0.98, "ssim {}", r.avg_ssim());
     }
 
@@ -351,7 +454,7 @@ mod stall_accounting_tests {
         let manifest = Arc::new(Manifest::prepare_levels(&video, &qoe, &[]));
         let mut rates = Vec::new();
         for step in 0..5 {
-            rates.extend(std::iter::repeat(1.0 + step as f64 * 3.0).take(60));
+            rates.extend(std::iter::repeat_n(1.0 + step as f64 * 3.0, 60));
         }
         let trace = BandwidthTrace::new("staircase", rates);
         let session = Session::new(

@@ -171,6 +171,8 @@ mod tests {
             segments_with_drops: drops,
             frames_dropped: drops,
             referenced_frames_dropped: 0,
+            transport: crate::metrics::TransportStats::default(),
+            metrics: None,
         }
     }
 

@@ -18,5 +18,6 @@
 //! codec is testable byte-for-byte.
 
 pub mod message;
+pub mod trace;
 
 pub use message::{Request, Response, StatusCode, UNRELIABLE_HEADER};

@@ -1,0 +1,165 @@
+//! HTTP-layer trace instrumentation.
+//!
+//! The HTTP codec itself is pure data ([`Request`]/[`Response`] carry no
+//! clock and no tracer), so the emission helpers live here and are called
+//! by whoever drives the codec (the client when it issues a request, the
+//! server when it answers one). Keeping them in this crate keeps the
+//! HTTP event taxonomy next to the messages it describes:
+//!
+//! | kind            | emitted when                                  |
+//! |-----------------|-----------------------------------------------|
+//! | `request`       | a whole-resource GET is sent                  |
+//! | `range_request` | a GET with `Range:` is sent (incl. retx)      |
+//! | `response`      | the server resolves a request                 |
+//! | `abandon`       | the client gives up on an in-flight download  |
+//!
+//! Metrics: counters `http.requests`, `http.range_requests`,
+//! `http.responses`, `http.abandons`; histograms `http.range_bytes`,
+//! `http.response_bytes`.
+
+use crate::message::{Request, Response};
+use voxel_sim::SimTime;
+use voxel_trace::{trace_event, Layer, Tracer};
+
+/// Record an outgoing request on stream `stream`.
+pub fn trace_request(tracer: &Tracer, t: SimTime, stream: u64, req: &Request) {
+    if !tracer.enabled() {
+        return;
+    }
+    if req.ranges.is_empty() {
+        tracer.count("http.requests", 1);
+        trace_event!(
+            tracer,
+            t,
+            Layer::Http,
+            "request",
+            "stream" = stream,
+            "path" = req.path.as_str(),
+            "unreliable" = req.unreliable,
+        );
+    } else {
+        tracer.count("http.range_requests", 1);
+        tracer.observe("http.range_bytes", req.range_bytes());
+        trace_event!(
+            tracer,
+            t,
+            Layer::Http,
+            "range_request",
+            "stream" = stream,
+            "path" = req.path.as_str(),
+            "nranges" = req.ranges.len(),
+            "bytes" = req.range_bytes(),
+            "unreliable" = req.unreliable,
+        );
+    }
+}
+
+/// Record a served response (body of `body_len` bytes) on stream `stream`.
+pub fn trace_response(
+    tracer: &Tracer,
+    t: SimTime,
+    stream: u64,
+    resp: &Response,
+    body_len: u64,
+    unreliable: bool,
+) {
+    if !tracer.enabled() {
+        return;
+    }
+    tracer.count("http.responses", 1);
+    tracer.observe("http.response_bytes", body_len);
+    trace_event!(
+        tracer,
+        t,
+        Layer::Http,
+        "response",
+        "stream" = stream,
+        "status" = u64::from(resp.status.as_u16()),
+        "bytes" = body_len,
+        "unreliable" = unreliable,
+    );
+}
+
+/// Record the client abandoning an in-flight download (`action` is
+/// `"restart"` or `"keep_partial"`).
+pub fn trace_abandon(
+    tracer: &Tracer,
+    t: SimTime,
+    seg: u64,
+    action: &'static str,
+    received: u64,
+    target: u64,
+) {
+    if !tracer.enabled() {
+        return;
+    }
+    tracer.count("http.abandons", 1);
+    trace_event!(
+        tracer,
+        t,
+        Layer::Http,
+        "abandon",
+        "seg" = seg,
+        "action" = action,
+        "received" = received,
+        "target" = target,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::StatusCode;
+    use voxel_trace::Tracer;
+
+    #[test]
+    fn request_kinds_split_on_ranges() {
+        let (tracer, handle) = Tracer::memory(1, 16);
+        trace_request(&tracer, SimTime::ZERO, 0, &Request::get("/manifest"));
+        trace_request(
+            &tracer,
+            SimTime::from_millis(5),
+            4,
+            &Request::get("/seg/0/12/body")
+                .with_range(0, 999)
+                .with_unreliable(),
+        );
+        let events = handle.events();
+        assert_eq!(events[0].kind, "request");
+        assert_eq!(events[1].kind, "range_request");
+        let snap = tracer.metrics_snapshot(SimTime::from_millis(5)).unwrap();
+        assert_eq!(snap.counter("http.requests"), 1);
+        assert_eq!(snap.counter("http.range_requests"), 1);
+        assert_eq!(snap.histogram("http.range_bytes").unwrap().count, 1);
+    }
+
+    #[test]
+    fn response_and_abandon_record_counters() {
+        let (tracer, handle) = Tracer::memory(1, 16);
+        let resp = Response::partial(vec![(0, 999)]);
+        trace_response(&tracer, SimTime::ZERO, 4, &resp, 1000, true);
+        trace_abandon(
+            &tracer,
+            SimTime::from_millis(9),
+            3,
+            "keep_partial",
+            500,
+            2000,
+        );
+        let events = handle.events();
+        assert_eq!(events[0].kind, "response");
+        assert_eq!(events[1].kind, "abandon");
+        let snap = tracer.metrics_snapshot(SimTime::from_millis(9)).unwrap();
+        assert_eq!(snap.counter("http.responses"), 1);
+        assert_eq!(snap.counter("http.abandons"), 1);
+        assert_eq!(StatusCode::PartialContent.as_u16(), 206);
+    }
+
+    #[test]
+    fn helpers_are_inert_when_disabled() {
+        let tracer = Tracer::disabled();
+        trace_request(&tracer, SimTime::ZERO, 0, &Request::get("/x"));
+        trace_abandon(&tracer, SimTime::ZERO, 0, "restart", 0, 0);
+        assert!(tracer.metrics_snapshot(SimTime::ZERO).is_none());
+    }
+}

@@ -24,19 +24,71 @@ pub struct LadderRung {
 
 /// Table 2 of the paper: quality levels of the encoded videos.
 pub const BITRATE_LADDER: [LadderRung; NUM_LEVELS] = [
-    LadderRung { resolution_p: 144, avg_bitrate_mbps: 0.16, total_size_mb: 5.8 },
-    LadderRung { resolution_p: 240, avg_bitrate_mbps: 0.23, total_size_mb: 8.5 },
-    LadderRung { resolution_p: 240, avg_bitrate_mbps: 0.37, total_size_mb: 14.0 },
-    LadderRung { resolution_p: 360, avg_bitrate_mbps: 0.56, total_size_mb: 21.0 },
-    LadderRung { resolution_p: 360, avg_bitrate_mbps: 0.75, total_size_mb: 27.0 },
-    LadderRung { resolution_p: 480, avg_bitrate_mbps: 1.05, total_size_mb: 38.0 },
-    LadderRung { resolution_p: 480, avg_bitrate_mbps: 1.75, total_size_mb: 63.0 },
-    LadderRung { resolution_p: 720, avg_bitrate_mbps: 2.35, total_size_mb: 84.0 },
-    LadderRung { resolution_p: 720, avg_bitrate_mbps: 3.0, total_size_mb: 108.0 },
-    LadderRung { resolution_p: 1080, avg_bitrate_mbps: 4.3, total_size_mb: 154.0 },
-    LadderRung { resolution_p: 1080, avg_bitrate_mbps: 5.8, total_size_mb: 207.0 },
-    LadderRung { resolution_p: 1440, avg_bitrate_mbps: 7.4, total_size_mb: 264.0 },
-    LadderRung { resolution_p: 2160, avg_bitrate_mbps: 10.0, total_size_mb: 357.0 },
+    LadderRung {
+        resolution_p: 144,
+        avg_bitrate_mbps: 0.16,
+        total_size_mb: 5.8,
+    },
+    LadderRung {
+        resolution_p: 240,
+        avg_bitrate_mbps: 0.23,
+        total_size_mb: 8.5,
+    },
+    LadderRung {
+        resolution_p: 240,
+        avg_bitrate_mbps: 0.37,
+        total_size_mb: 14.0,
+    },
+    LadderRung {
+        resolution_p: 360,
+        avg_bitrate_mbps: 0.56,
+        total_size_mb: 21.0,
+    },
+    LadderRung {
+        resolution_p: 360,
+        avg_bitrate_mbps: 0.75,
+        total_size_mb: 27.0,
+    },
+    LadderRung {
+        resolution_p: 480,
+        avg_bitrate_mbps: 1.05,
+        total_size_mb: 38.0,
+    },
+    LadderRung {
+        resolution_p: 480,
+        avg_bitrate_mbps: 1.75,
+        total_size_mb: 63.0,
+    },
+    LadderRung {
+        resolution_p: 720,
+        avg_bitrate_mbps: 2.35,
+        total_size_mb: 84.0,
+    },
+    LadderRung {
+        resolution_p: 720,
+        avg_bitrate_mbps: 3.0,
+        total_size_mb: 108.0,
+    },
+    LadderRung {
+        resolution_p: 1080,
+        avg_bitrate_mbps: 4.3,
+        total_size_mb: 154.0,
+    },
+    LadderRung {
+        resolution_p: 1080,
+        avg_bitrate_mbps: 5.8,
+        total_size_mb: 207.0,
+    },
+    LadderRung {
+        resolution_p: 1440,
+        avg_bitrate_mbps: 7.4,
+        total_size_mb: 264.0,
+    },
+    LadderRung {
+        resolution_p: 2160,
+        avg_bitrate_mbps: 10.0,
+        total_size_mb: 357.0,
+    },
 ];
 
 impl QualityLevel {

@@ -188,8 +188,8 @@ impl QoeModel {
             let inherited = if frame.refs.is_empty() {
                 0.0
             } else {
-                let mean_ref: f64 = frame.refs.iter().map(|&r| d_total[r]).sum::<f64>()
-                    / frame.refs.len() as f64;
+                let mean_ref: f64 =
+                    frame.refs.iter().map(|&r| d_total[r]).sum::<f64>() / frame.refs.len() as f64;
                 self.attenuation * mean_ref
             };
             d_total[fi] = (own + inherited).min(1.0);
@@ -350,7 +350,11 @@ mod tests {
         let v = video(VideoId::Sintel);
         let seg = &v.segments[5];
         let clean = m.pristine(seg, QualityLevel::MAX);
-        let lossy = m.eval(seg, QualityLevel::MAX, &LossMap::drop_frames(&[3, 6, 9, 12]));
+        let lossy = m.eval(
+            seg,
+            QualityLevel::MAX,
+            &LossMap::drop_frames(&[3, 6, 9, 12]),
+        );
         assert!(lossy.ssim < clean.ssim);
         assert!(lossy.vmaf < clean.vmaf);
         assert!(lossy.psnr_db < clean.psnr_db);

@@ -148,8 +148,7 @@ impl Video {
         let mut total_bytes = [0u64; NUM_LEVELS];
         let mut frame_bytes = Vec::with_capacity(NUM_LEVELS);
         for level in QualityLevel::all() {
-            let total =
-                (level.avg_bitrate_bps() * SEGMENT_DURATION_S / 8.0 * mult).round() as u64;
+            let total = (level.avg_bitrate_bps() * SEGMENT_DURATION_S / 8.0 * mult).round() as u64;
             total_bytes[level.index()] = total;
 
             // Distribute by weight with exact total: round each, dump the
@@ -193,7 +192,11 @@ impl Video {
     /// Standard deviation of per-segment bitrate at `level` in Mbps
     /// (the Tables 1/3 statistic when `level` = Q12).
     pub fn bitrate_std_mbps(&self, level: QualityLevel) -> f64 {
-        let rates: Vec<f64> = self.segments.iter().map(|s| s.bitrate_mbps(level)).collect();
+        let rates: Vec<f64> = self
+            .segments
+            .iter()
+            .map(|s| s.bitrate_mbps(level))
+            .collect();
         voxel_sim::stats::std_dev(&rates)
     }
 }
@@ -249,8 +252,8 @@ mod tests {
         for id in VideoId::all() {
             let v = Video::generate(id);
             for seg in &v.segments {
-                let ratio = seg.bitrate_mbps(QualityLevel::MAX)
-                    / QualityLevel::MAX.avg_bitrate_mbps();
+                let ratio =
+                    seg.bitrate_mbps(QualityLevel::MAX) / QualityLevel::MAX.avg_bitrate_mbps();
                 assert!(ratio <= 2.0 + 1e-9, "{id} seg {} ratio {ratio}", seg.index);
                 assert!(ratio >= 0.3 - 1e-9);
             }

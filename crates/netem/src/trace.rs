@@ -338,7 +338,12 @@ mod tests {
                 t.mean_mbps()
             );
             let rel = (t.std_mbps() - target_std).abs() / target_std;
-            assert!(rel < tol, "{}: std {} vs {target_std}", t.name, t.std_mbps());
+            assert!(
+                rel < tol,
+                "{}: std {} vs {target_std}",
+                t.name,
+                t.std_mbps()
+            );
         }
     }
 

@@ -228,7 +228,12 @@ mod tests {
     #[test]
     fn map_is_monotone_in_bytes_and_frames() {
         let (m, v) = setup();
-        let map = BytesQoeMap::compute(&m, &v.segments[0], QualityLevel::MAX, OrderingKind::InboundRank);
+        let map = BytesQoeMap::compute(
+            &m,
+            &v.segments[0],
+            QualityLevel::MAX,
+            OrderingKind::InboundRank,
+        );
         assert_eq!(map.points.len(), voxel_media::gop::FRAMES_PER_SEGMENT);
         for w in map.points.windows(2) {
             assert!(w[0].frames < w[1].frames);
@@ -240,7 +245,12 @@ mod tests {
     fn inbound_rank_ssim_is_monotone_nondecreasing() {
         // Under the harm-sorted ordering, delivering more frames never hurts.
         let (m, v) = setup();
-        let map = BytesQoeMap::compute(&m, &v.segments[7], QualityLevel::MAX, OrderingKind::InboundRank);
+        let map = BytesQoeMap::compute(
+            &m,
+            &v.segments[7],
+            QualityLevel::MAX,
+            OrderingKind::InboundRank,
+        );
         for w in map.points.windows(2) {
             assert!(
                 w[1].ssim >= w[0].ssim - 1e-9,
@@ -266,7 +276,12 @@ mod tests {
     #[test]
     fn min_bytes_for_respects_target() {
         let (m, v) = setup();
-        let map = BytesQoeMap::compute(&m, &v.segments[0], QualityLevel::MAX, OrderingKind::InboundRank);
+        let map = BytesQoeMap::compute(
+            &m,
+            &v.segments[0],
+            QualityLevel::MAX,
+            OrderingKind::InboundRank,
+        );
         let p = map.min_bytes_for(0.99).expect("Q12 can reach 0.99");
         assert!(p.ssim >= 0.99);
         assert!(p.bytes <= map.full_bytes());
@@ -276,9 +291,16 @@ mod tests {
     #[test]
     fn best_ssim_within_budget() {
         let (m, v) = setup();
-        let map = BytesQoeMap::compute(&m, &v.segments[0], QualityLevel::MAX, OrderingKind::InboundRank);
+        let map = BytesQoeMap::compute(
+            &m,
+            &v.segments[0],
+            QualityLevel::MAX,
+            OrderingKind::InboundRank,
+        );
         let full = map.full_bytes();
-        let p = map.best_ssim_within(full / 2).expect("half budget is above I-frame size");
+        let p = map
+            .best_ssim_within(full / 2)
+            .expect("half budget is above I-frame size");
         assert!(p.bytes <= full / 2);
         // A larger budget can only improve the achievable SSIM.
         let p2 = map.best_ssim_within(full).unwrap();
@@ -350,7 +372,10 @@ mod tests {
             }
         }
         // Most segments must offer some savings at SSIM 0.99.
-        assert!(saved as f64 / v.segments.len() as f64 > 0.5, "saved {saved}/75");
+        assert!(
+            saved as f64 / v.segments.len() as f64 > 0.5,
+            "saved {saved}/75"
+        );
     }
 
     #[test]

@@ -51,11 +51,10 @@ pub fn frame_order(seg: &Segment, kind: OrderingKind) -> Vec<usize> {
             // Keep decode order, but move frames with no inbound references
             // to the end (still in decode order among themselves). Errors in
             // those tail frames affect nothing else.
-            let (head, tail): (Vec<usize>, Vec<usize>) = gop
-                .decode_order
-                .iter()
-                .copied()
-                .partition(|&f| !gop.dependents[f].is_empty() || gop.frames[f].kind == FrameKind::I);
+            let (head, tail): (Vec<usize>, Vec<usize>) =
+                gop.decode_order.iter().copied().partition(|&f| {
+                    !gop.dependents[f].is_empty() || gop.frames[f].kind == FrameKind::I
+                });
             head.into_iter().chain(tail).collect()
         }
         OrderingKind::InboundRank => {
@@ -132,9 +131,8 @@ mod tests {
         // The average inbound rank of the first third must exceed that of
         // the last third.
         let third = order.len() / 3;
-        let rank_avg = |fs: &[usize]| {
-            fs.iter().map(|&f| s.gop.inbound_rank(f)).sum::<f64>() / fs.len() as f64
-        };
+        let rank_avg =
+            |fs: &[usize]| fs.iter().map(|&f| s.gop.inbound_rank(f)).sum::<f64>() / fs.len() as f64;
         assert!(rank_avg(&order[..third]) > rank_avg(&order[order.len() - third..]));
     }
 

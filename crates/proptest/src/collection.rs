@@ -1,0 +1,82 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A length range accepted by [`vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+/// Strategy generating a `Vec` of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// A `Vec` whose length is drawn from `size` and whose elements come from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u128;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_span_the_size_range() {
+        let strat = vec(0u8..=255, 1..5);
+        let mut seen = [false; 5];
+        let mut rng = TestRng::for_case(11, 0);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            seen[v.len()] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3] && seen[4]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no route to crates.io, so the workspace vendors
+//! the subset of proptest the test suites use: the `proptest!` macro with
+//! `ident in strategy` bindings, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`, integer/float range strategies, tuples, `collection::vec`,
+//! `bool::ANY`, `num::u8::ANY`, and string-from-regex strategies (the small
+//! character-class/quantifier subset actually used).
+//!
+//! Unlike upstream there is no shrinking: a failing case panics with the
+//! case number and generated values left to the assertion message. Cases are
+//! generated from a deterministic per-test seed, so failures reproduce
+//! exactly across runs.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod collection;
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    pub use crate::strategy::BoolAny;
+    /// Uniformly random `true`/`false`.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+/// Numeric strategies (`proptest::num::u8::ANY` and friends).
+pub mod num {
+    /// `u8` strategies.
+    pub mod u8 {
+        pub use crate::strategy::U8Any;
+        /// Any `u8`, uniformly.
+        pub const ANY: U8Any = U8Any;
+    }
+}
+
+/// The traits and macros most tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Run property-based tests.
+///
+/// Supports the upstream form used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     /// Doc comment.
+///     #[test]
+///     fn my_property(x in 0u64..100, flag in proptest::bool::ANY) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal: expand each `fn name(args in strategies) { body }` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config = $cfg;
+            let __seed = $crate::test_runner::fnv1a(concat!(
+                ::core::module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__seed, __case as u64);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__msg),
+                    ) => {
+                        panic!("proptest case #{} of {}: {}", __case, stringify!($name), __msg);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Assert inside a `proptest!` body; failure records the case and message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            __l,
+            __r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "assertion failed: `{:?}` == `{:?}`", __l, __r);
+    }};
+}
+
+/// Discard the current case (counts as neither pass nor fail).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(
+            a in 5u64..10,
+            b in 0.0f64..=1.0,
+            pair in (0usize..4, 1u32..3),
+            flag in crate::bool::ANY,
+            bytes in crate::collection::vec(crate::num::u8::ANY, 2..6),
+            s in "/[a-z0-9]{1,5}",
+        ) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!((0.0..=1.0).contains(&b));
+            prop_assert!(pair.0 < 4 && (1..3).contains(&pair.1));
+            let _ = flag;
+            prop_assert!(bytes.len() >= 2 && bytes.len() < 6);
+            prop_assert!(s.starts_with('/'));
+            prop_assert!(s.len() >= 2 && s.len() <= 6);
+            prop_assert!(s[1..].chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_and_assume(x in 0u32..100) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+            prop_assert_eq!(x, x, "x = {}", x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case #")]
+    fn failures_panic_with_case_number() {
+        proptest! {
+            fn always_fails(x in 0u8..4) {
+                prop_assert!(x > 200, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = crate::collection::vec(0u64..1000, 1..20);
+        let a: Vec<Vec<u64>> = (0..10)
+            .map(|c| strat.generate(&mut TestRng::for_case(99, c)))
+            .collect();
+        let b: Vec<Vec<u64>> = (0..10)
+            .map(|c| strat.generate(&mut TestRng::for_case(99, c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,254 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] produces one value per call from the deterministic
+//! [`TestRng`]; there is no shrinking in this vendored subset.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of generated values for `proptest!` bindings.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty float range strategy");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty float range strategy");
+                // Map the 53-bit draw onto [lo, hi]: scale by span / (max+1)
+                // then clamp, which reaches both endpoints.
+                let u = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Strategy for `bool` (`proptest::bool::ANY`).
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for `u8` (`proptest::num::u8::ANY`).
+#[derive(Debug, Clone, Copy)]
+pub struct U8Any;
+
+impl Strategy for U8Any {
+    type Value = u8;
+    fn generate(&self, rng: &mut TestRng) -> u8 {
+        rng.below(256) as u8
+    }
+}
+
+/// String-from-regex strategies: a `&str` pattern is itself a strategy, as
+/// upstream. Supports the subset this workspace's tests use — literal
+/// characters, `[...]` classes of single characters and `a-z` ranges, and
+/// `{m}`/`{m,n}`/`?`/`*`/`+` quantifiers (`*`/`+` capped at 8 repeats).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a class or a literal (possibly escaped).
+        let atom: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unterminated character class in pattern")
+                    + i;
+                let set = expand_class(&chars[i + 1..close]);
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated quantifier in pattern")
+                    + i;
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse::<usize>().expect("bad quantifier"),
+                        n.parse::<usize>().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let m = spec.parse::<usize>().expect("bad quantifier");
+                        (m, m)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        let reps = min + rng.below((max - min + 1) as u128) as usize;
+        for _ in 0..reps {
+            let pick = rng.below(atom.len() as u128) as usize;
+            out.push(atom[pick]);
+        }
+    }
+    out
+}
+
+/// Expand the inside of a `[...]` class into its member characters.
+fn expand_class(body: &[char]) -> Vec<char> {
+    assert!(
+        body.first() != Some(&'^'),
+        "negated character classes are not supported"
+    );
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if body[i] == '\\' {
+            set.push(body[i + 1]);
+            i += 2;
+        } else if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+            assert!(lo <= hi, "inverted range in character class");
+            for c in lo..=hi {
+                set.push(char::from_u32(c).expect("valid char range"));
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    assert!(!set.is_empty(), "empty character class");
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_expansion_handles_ranges_and_literals() {
+        let set = expand_class(&"a-c/._-".chars().collect::<Vec<_>>());
+        assert_eq!(set, vec!['a', 'b', 'c', '/', '.', '_', '-']);
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        // `[a-z0-9/._-]` — the final `-` must parse as a literal member.
+        let set = expand_class(&"a-z0-9/._-".chars().collect::<Vec<_>>());
+        assert!(set.contains(&'-') && set.contains(&'q') && set.contains(&'7'));
+        assert_eq!(set.len(), 26 + 10 + 4);
+    }
+
+    #[test]
+    fn pattern_generation_respects_quantifiers() {
+        let mut rng = TestRng::for_case(5, 0);
+        for _ in 0..200 {
+            let s = generate_from_pattern("/[a-z0-9/._-]{1,40}", &mut rng);
+            assert!(s.starts_with('/'));
+            assert!(s.len() >= 2 && s.len() <= 41, "len {}", s.len());
+        }
+        let s = generate_from_pattern("ab{3}c?", &mut rng);
+        assert!(s.starts_with("abbb"));
+    }
+
+    #[test]
+    fn inclusive_float_range_hits_interior() {
+        let mut rng = TestRng::for_case(6, 0);
+        for _ in 0..100 {
+            let v = (0.25f64..=0.75).generate(&mut rng);
+            assert!((0.25..=0.75).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Test-runner plumbing: configuration, the per-case RNG, and the error
+//! type `prop_assert!`/`prop_assume!` thread out of a test body.
+
+/// Configuration for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; 64 keeps the suite quick while still
+        // exercising each property across a spread of inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// How a single generated case ended, when it did not simply pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(&'static str),
+    /// `prop_assert!`-style failure with a rendered message.
+    Fail(String),
+}
+
+/// FNV-1a over a string — stable seed derivation from a test's path.
+pub const fn fnv1a(label: &str) -> u64 {
+    let bytes = label.as_bytes();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut i = 0;
+    while i < bytes.len() {
+        h ^= bytes[i] as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        i += 1;
+    }
+    h
+}
+
+/// Deterministic per-case generator (xoshiro256++ seeded by SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// The generator for case number `case` of the test seeded with `seed`.
+    pub fn for_case(seed: u64, case: u64) -> TestRng {
+        let mut sm = seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = (self.s[0].wrapping_add(self.s[3]))
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, span)` (`span` > 0).
+    pub fn below(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        // 128-bit widening multiply avoids modulo bias for every span the
+        // strategies here produce.
+        let wide = (self.next_u64() as u128) * span;
+        wide >> 64
+    }
+}

@@ -41,6 +41,15 @@ impl CongestionControl {
         }
     }
 
+    /// Slow-start threshold in bytes (`u64::MAX` when the controller has
+    /// none: before CUBIC's first loss, or always for the delay controller).
+    pub fn ssthresh(&self) -> u64 {
+        match self {
+            CongestionControl::Cubic(c) => c.ssthresh(),
+            CongestionControl::Delay(_) => u64::MAX,
+        }
+    }
+
     /// Bytes currently in flight.
     pub fn in_flight(&self) -> usize {
         match self {

@@ -22,6 +22,7 @@ use crate::stream::{RecvStream, Reliability, SendStream, StreamId};
 use bytes::Bytes;
 use std::collections::{BTreeMap, VecDeque};
 use voxel_sim::{SimDuration, SimTime};
+use voxel_trace::{trace_event, Layer, Tracer};
 
 /// Which side of the connection this endpoint is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +91,9 @@ pub struct ConnStats {
     pub packets_sent: u64,
     /// Packets declared lost.
     pub packets_lost: u64,
+    /// Loss events (bursts of packets declared lost together — what CUBIC
+    /// reacts to once, however many packets the burst contained).
+    pub loss_events: u64,
     /// Ack-eliciting bytes sent (wire).
     pub bytes_sent: u64,
     /// Stream payload bytes retransmitted (reliable streams).
@@ -127,6 +131,7 @@ pub struct Connection {
     pace_next: SimTime,
     closed: bool,
     stats: ConnStats,
+    tracer: Tracer,
 }
 
 impl Connection {
@@ -154,7 +159,14 @@ impl Connection {
             pace_next: SimTime::ZERO,
             closed: false,
             stats: ConnStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer; transport events and metrics flow through it from
+    /// now on. A disabled tracer (the default) costs one branch per site.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Endpoint with default configuration.
@@ -208,7 +220,9 @@ impl Connection {
     /// server replies on the stream that carried the request (HTTP
     /// semantics over bidirectional streams).
     pub fn open_reply_stream(&mut self, id: StreamId, reliability: Reliability) {
-        let prev = self.send_streams.insert(id, SendStream::new(id, reliability));
+        let prev = self
+            .send_streams
+            .insert(id, SendStream::new(id, reliability));
         debug_assert!(prev.is_none(), "reply stream {id} already open");
     }
 
@@ -317,12 +331,9 @@ impl Connection {
                 }
             }
             Frame::Ack { ranges, delay_us } => {
-                let outcome = self.loss.on_ack(
-                    now,
-                    &ranges,
-                    SimDuration::from_micros(delay_us),
-                    &self.rtt,
-                );
+                let outcome =
+                    self.loss
+                        .on_ack(now, &ranges, SimDuration::from_micros(delay_us), &self.rtt);
                 if let Some((sample, delay)) = outcome.rtt_sample {
                     self.rtt.update(sample, delay);
                 }
@@ -335,14 +346,44 @@ impl Connection {
                         }
                     }
                 }
+                if self.tracer.enabled() && !outcome.acked.is_empty() {
+                    let bytes: usize = outcome.acked.iter().map(|p| p.wire_bytes).sum();
+                    let largest = outcome.acked.iter().map(|p| p.pkt_num).max().expect("some");
+                    self.tracer
+                        .count("quic.packets_acked", outcome.acked.len() as u64);
+                    self.tracer
+                        .observe("quic.srtt_us", self.rtt.srtt().as_micros());
+                    self.tracer
+                        .observe("quic.cwnd_bytes", self.cc.cwnd() as u64);
+                    trace_event!(
+                        self.tracer,
+                        now,
+                        Layer::Quic,
+                        "pkt_acked",
+                        "largest" = largest,
+                        "pkts" = outcome.acked.len(),
+                        "bytes" = bytes,
+                        "cwnd" = self.cc.cwnd(),
+                        // 0 encodes "no threshold yet" (before the first
+                        // loss), keeping the JSON in safe-integer range.
+                        "ssthresh" = {
+                            let s = self.cc.ssthresh();
+                            if s == u64::MAX {
+                                0
+                            } else {
+                                s
+                            }
+                        },
+                        "srtt_us" = self.rtt.srtt().as_micros(),
+                    );
+                }
                 self.handle_lost(now, outcome.lost);
                 // Garbage-collect fully acknowledged reliable streams (a
                 // session opens hundreds; scanning completed ones on every
                 // send would be quadratic). Unreliable streams stay: their
                 // late loss reports must still reach the application.
-                self.send_streams.retain(|_, s| {
-                    !(s.reliability == Reliability::Reliable && s.is_complete())
-                });
+                self.send_streams
+                    .retain(|_, s| !(s.reliability == Reliability::Reliable && s.is_complete()));
             }
             Frame::MaxData { limit } => {
                 self.max_data_remote = self.max_data_remote.max(limit);
@@ -370,10 +411,27 @@ impl Connection {
             return;
         }
         self.stats.packets_lost += lost.len() as u64;
+        self.stats.loss_events += 1;
         let largest_sent = self.next_pkt_num.saturating_sub(1);
         let largest_lost = lost.iter().map(|p| p.pkt_num).max().expect("non-empty");
         let bytes: usize = lost.iter().map(|p| p.wire_bytes).sum();
         self.cc.on_loss(now, largest_sent, largest_lost, bytes);
+        if self.tracer.enabled() {
+            self.tracer.count("quic.loss_events", 1);
+            self.tracer.count("quic.packets_lost", lost.len() as u64);
+            self.tracer
+                .observe("quic.loss_burst_pkts", lost.len() as u64);
+            trace_event!(
+                self.tracer,
+                now,
+                Layer::Quic,
+                "loss",
+                "pkts" = lost.len(),
+                "bytes" = bytes,
+                "largest_lost" = largest_lost,
+                "cwnd_after" = self.cc.cwnd(),
+            );
+        }
 
         let mut unreliable_reports: BTreeMap<StreamId, Vec<(u64, u64)>> = BTreeMap::new();
         for pkt in lost {
@@ -392,6 +450,19 @@ impl Connection {
             }
         }
         for (id, ranges) in unreliable_reports {
+            if self.tracer.enabled() {
+                let lost_bytes: u64 = ranges.iter().map(|&(s, e)| e - s).sum();
+                self.tracer.count("quic.unreliable_loss_reports", 1);
+                trace_event!(
+                    self.tracer,
+                    now,
+                    Layer::Quic,
+                    "unreliable_loss",
+                    "stream" = id.0,
+                    "ranges" = ranges.len(),
+                    "bytes" = lost_bytes,
+                );
+            }
             self.events.push_back(Event::UnreliableLoss { id, ranges });
         }
     }
@@ -437,9 +508,8 @@ impl Connection {
         // The pacer gates data (not ACK/control) until `pace_next`, except
         // small post-idle bursts (in-flight below the initial window).
         let bypass_cc = std::mem::take(&mut self.probe_pending);
-        let paced_out = !bypass_cc
-            && now < self.pace_next
-            && self.cc.in_flight() >= 10 * self.config.mss;
+        let paced_out =
+            !bypass_cc && now < self.pace_next && self.cc.in_flight() >= 10 * self.config.mss;
         let mut chunks: Vec<SentChunk> = Vec::new();
         #[allow(clippy::while_immutable_condition)]
         while !paced_out {
@@ -464,10 +534,7 @@ impl Connection {
             else {
                 break;
             };
-            let unreliable = matches!(
-                self.send_streams[&id].reliability,
-                Reliability::Unreliable
-            );
+            let unreliable = matches!(self.send_streams[&id].reliability, Reliability::Unreliable);
             self.data_sent += data.len() as u64;
             chunks.push(SentChunk {
                 id,
@@ -502,10 +569,28 @@ impl Connection {
         let pkt = Packet::new(self.next_pkt_num, frames);
         self.next_pkt_num += 1;
         self.stats.packets_sent += 1;
+        if self.tracer.enabled() {
+            self.tracer.count("quic.packets_sent", 1);
+            self.tracer
+                .observe("quic.cwnd_bytes", self.cc.cwnd() as u64);
+            self.tracer
+                .observe("quic.pkt_bytes", pkt.wire_size() as u64);
+            trace_event!(
+                self.tracer,
+                now,
+                Layer::Quic,
+                "pkt_sent",
+                "pn" = pkt.pkt_num,
+                "bytes" = pkt.wire_size(),
+                "cwnd" = self.cc.cwnd(),
+                "in_flight" = self.cc.in_flight(),
+                "retx" = !chunks.is_empty() && bypass_cc,
+            );
+        }
         if !chunks.is_empty() {
             // Pacing rate: 1.25 x cwnd per SRTT, floored at 1 Mbps.
-            let rate_bps = (self.cc.cwnd() as f64 * 8.0 / self.rtt.srtt().as_secs_f64().max(1e-3))
-                * 1.25;
+            let rate_bps =
+                (self.cc.cwnd() as f64 * 8.0 / self.rtt.srtt().as_secs_f64().max(1e-3)) * 1.25;
             let gap = SimDuration::serialization(pkt.wire_size() as u64, rate_bps.max(1e6));
             self.pace_next = self.pace_next.max(now) + gap;
         }
@@ -557,6 +642,17 @@ impl Connection {
                 TimeoutOutcome::Lost(lost) => self.handle_lost(now, lost),
                 TimeoutOutcome::Pto { count, probe } => {
                     self.stats.ptos += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.count("quic.ptos", 1);
+                        trace_event!(
+                            self.tracer,
+                            now,
+                            Layer::Quic,
+                            "pto",
+                            "count" = count,
+                            "cwnd" = self.cc.cwnd(),
+                        );
+                    }
                     if count >= self.config.persistent_congestion_ptos {
                         self.cc.on_persistent_congestion();
                     }
@@ -579,7 +675,9 @@ impl Connection {
 
     /// Whether any stream still has data to send or awaiting ack.
     pub fn is_idle(&self) -> bool {
-        self.send_streams.values().all(|s| s.is_complete() || s.is_drained())
+        self.send_streams
+            .values()
+            .all(|s| s.is_complete() || s.is_drained())
             && self.loss.outstanding() == 0
     }
 }
@@ -679,7 +777,12 @@ mod tests {
         let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 256) as u8).collect();
         server.send(id, &payload);
         server.finish(id);
-        run_pipe(&mut server, &mut client, |_, _| false, SimTime::from_secs(30));
+        run_pipe(
+            &mut server,
+            &mut client,
+            |_, _| false,
+            SimTime::from_secs(30),
+        );
         assert_eq!(read_all(&mut client, id), payload);
         assert!(client
             .recv_stream(id)
@@ -725,7 +828,11 @@ mod tests {
         // Client got fin and knows the total length, with holes.
         let (received, missing, complete) = {
             let rs = client.recv_stream(id).expect("stream exists");
-            (rs.bytes_received(), rs.missing_ranges(None), rs.is_complete())
+            (
+                rs.bytes_received(),
+                rs.missing_ranges(None),
+                rs.is_complete(),
+            )
         };
         assert_eq!(
             missing.iter().map(|(a, b)| b - a).sum::<u64>() + received,
@@ -762,7 +869,12 @@ mod tests {
         let id = server.open_stream(Reliability::Reliable);
         server.send(id, b"hello");
         server.finish(id);
-        run_pipe(&mut server, &mut client, |_, _| false, SimTime::from_secs(5));
+        run_pipe(
+            &mut server,
+            &mut client,
+            |_, _| false,
+            SimTime::from_secs(5),
+        );
         let mut opened = false;
         let mut readable = false;
         let mut finished = false;
@@ -818,7 +930,12 @@ mod tests {
         let mut server = Connection::with_defaults(Role::Server);
         let mut client = Connection::with_defaults(Role::Client);
         server.close(42);
-        run_pipe(&mut server, &mut client, |_, _| false, SimTime::from_secs(2));
+        run_pipe(
+            &mut server,
+            &mut client,
+            |_, _| false,
+            SimTime::from_secs(2),
+        );
         assert!(server.is_closed());
         assert!(client.is_closed());
         let mut saw = false;
@@ -865,7 +982,12 @@ mod tests {
         let id = server.open_stream(Reliability::Reliable);
         server.send(id, &vec![0u8; 200_000]);
         server.finish(id);
-        run_pipe(&mut server, &mut client, |_, _| false, SimTime::from_secs(30));
+        run_pipe(
+            &mut server,
+            &mut client,
+            |_, _| false,
+            SimTime::from_secs(30),
+        );
         // Pipe delay 30 ms each way → RTT 60 ms (+ ack delay tolerance).
         let srtt = server.srtt().as_millis_f64();
         assert!(

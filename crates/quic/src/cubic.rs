@@ -68,6 +68,15 @@ impl Cubic {
         self.cwnd < self.ssthresh
     }
 
+    /// Slow-start threshold in bytes (`u64::MAX` before the first loss).
+    pub fn ssthresh(&self) -> u64 {
+        if self.ssthresh.is_finite() {
+            self.ssthresh as u64
+        } else {
+            u64::MAX
+        }
+    }
+
     /// A packet of `bytes` was sent.
     pub fn on_sent(&mut self, bytes: usize) {
         self.in_flight += bytes;

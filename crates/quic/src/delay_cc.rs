@@ -176,11 +176,7 @@ mod tests {
         for _ in 0..steps {
             t += 1080;
             cc.on_sent(MSS);
-            cc.on_ack(
-                SimTime::from_micros(t),
-                MSS,
-                SimDuration::from_millis(60),
-            );
+            cc.on_ack(SimTime::from_micros(t), MSS, SimDuration::from_millis(60));
         }
     }
 
@@ -276,11 +272,7 @@ mod tests {
         for _ in 0..4000 {
             t += 540;
             cc.on_sent(MSS);
-            cc.on_ack(
-                SimTime::from_micros(t),
-                MSS,
-                SimDuration::from_millis(60),
-            );
+            cc.on_ack(SimTime::from_micros(t), MSS, SimDuration::from_millis(60));
         }
         assert!(
             cc.cwnd() as f64 > w_10mbps as f64 * 1.5,

@@ -105,9 +105,7 @@ impl Frame {
                 s
             }
             Frame::MaxData { limit } => 1 + varint::size(*limit),
-            Frame::MaxStreamData { id, limit } => {
-                1 + varint::size(id.0) + varint::size(*limit)
-            }
+            Frame::MaxStreamData { id, limit } => 1 + varint::size(id.0) + varint::size(*limit),
             Frame::ResetStream { id } => 1 + varint::size(id.0),
             Frame::Stream {
                 id, offset, data, ..

@@ -25,12 +25,12 @@
 pub mod ack;
 pub mod cc;
 pub mod connection;
-pub mod delay_cc;
-pub mod range;
 pub mod cubic;
+pub mod delay_cc;
 pub mod frame;
 pub mod loss;
 pub mod packet;
+pub mod range;
 pub mod rtt;
 pub mod stream;
 pub mod varint;

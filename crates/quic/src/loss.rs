@@ -336,7 +336,12 @@ mod tests {
         d.on_timeout(t, &rtt);
         assert_eq!(d.pto_count(), 1);
         d.on_sent(pkt(1, 300));
-        d.on_ack(SimTime::from_millis(360), &[(1, 1)], SimDuration::ZERO, &rtt);
+        d.on_ack(
+            SimTime::from_millis(360),
+            &[(1, 1)],
+            SimDuration::ZERO,
+            &rtt,
+        );
         assert_eq!(d.pto_count(), 0);
     }
 

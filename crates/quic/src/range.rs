@@ -30,7 +30,8 @@ impl RangeSet {
             new_end = new_end.max(self.ranges[hi].1);
             hi += 1;
         }
-        self.ranges.splice(lo..hi, std::iter::once((new_start, new_end)));
+        self.ranges
+            .splice(lo..hi, std::iter::once((new_start, new_end)));
     }
 
     /// Whether the whole `[start, end)` is covered.

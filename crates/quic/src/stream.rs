@@ -109,7 +109,9 @@ impl SendStream {
         match self.reliability {
             Reliability::Reliable => {
                 self.fin_acked
-                    && self.fin_offset.is_some_and(|fo| self.acked.covers(0, fo) || fo == 0)
+                    && self
+                        .fin_offset
+                        .is_some_and(|fo| self.acked.covers(0, fo) || fo == 0)
             }
             Reliability::Unreliable => self.is_drained(),
         }
@@ -489,10 +491,7 @@ mod tests {
         r.on_data(2500, Bytes::from(vec![2u8; 500]), true);
         assert_eq!(r.final_len(), Some(3000));
         assert!(!r.is_complete());
-        assert_eq!(
-            r.missing_ranges(None),
-            vec![(0, 1000), (1500, 2500)]
-        );
+        assert_eq!(r.missing_ranges(None), vec![(0, 1000), (1500, 2500)]);
         let chunks = r.take_received();
         assert_eq!(chunks.len(), 2);
         assert_eq!(chunks[0].0, 1000);

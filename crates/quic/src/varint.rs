@@ -65,17 +65,7 @@ mod tests {
 
     #[test]
     fn roundtrips_boundaries() {
-        for v in [
-            0,
-            1,
-            63,
-            64,
-            16_383,
-            16_384,
-            (1 << 30) - 1,
-            1 << 30,
-            MAX,
-        ] {
+        for v in [0, 1, 63, 64, 16_383, 16_384, (1 << 30) - 1, 1 << 30, MAX] {
             assert_eq!(roundtrip(v), v, "value {v}");
         }
     }

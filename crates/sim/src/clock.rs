@@ -205,7 +205,10 @@ mod tests {
         let b = SimDuration::from_millis(12);
         assert_eq!((a + b).as_micros(), 42_000);
         assert_eq!((a - b).as_micros(), 18_000);
-        assert_eq!(a.saturating_sub(SimDuration::from_secs(1)), SimDuration::ZERO);
+        assert_eq!(
+            a.saturating_sub(SimDuration::from_secs(1)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -90,7 +90,11 @@ impl<E> EventQueue<E> {
     /// alternative — time moving backwards — corrupts every downstream
     /// timestamp.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;

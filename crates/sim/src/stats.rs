@@ -204,6 +204,52 @@ mod tests {
     }
 
     #[test]
+    fn empty_slices_are_benign() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_err(&[]), 0.0);
+        assert!(ecdf(&[]).is_empty());
+        // ecdf_at over no samples: every probe gets F = 0, not NaN.
+        let rows = ecdf_at(&[], &[0.0, 1.0]);
+        assert_eq!(rows, vec![(0.0, 0.0), (1.0, 0.0)]);
+    }
+
+    #[test]
+    fn single_element_statistics() {
+        let xs = [42.0];
+        assert_eq!(mean(&xs), 42.0);
+        assert_eq!(std_dev(&xs), 0.0);
+        assert_eq!(std_err(&xs), 0.0);
+        assert_eq!(percentile(&xs, 0.0), 42.0);
+        assert_eq!(percentile(&xs, 0.5), 42.0);
+        assert_eq!(percentile(&xs, 1.0), 42.0);
+        assert_eq!(ecdf(&xs), vec![(42.0, 1.0)]);
+        let mut acc = Accumulator::new();
+        acc.add(42.0);
+        assert_eq!(acc.std_dev(), 0.0);
+        assert_eq!((acc.min(), acc.max()), (Some(42.0), Some(42.0)));
+    }
+
+    #[test]
+    fn percentile_extremes_hit_order_statistics_exactly() {
+        // p = 0 and p = 1 must return min/max with no interpolation error,
+        // including on unsorted input and negative values.
+        let xs = [5.0, -3.0, 9.5, 0.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), -3.0);
+        assert_eq!(percentile(&xs, 1.0), 9.5);
+    }
+
+    #[test]
+    fn empty_accumulator_reports_nothing() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.count(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.std_dev(), 0.0);
+        assert_eq!(acc.min(), None);
+        assert_eq!(acc.max(), None);
+    }
+
+    #[test]
     fn accumulator_matches_batch() {
         let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
         let mut acc = Accumulator::new();

@@ -1,0 +1,282 @@
+//! The event type, its layer tag, and deterministic JSON rendering.
+
+use std::fmt;
+use voxel_sim::SimTime;
+
+/// Which layer of the stack emitted an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// QUIC\* transport: packets, acks, losses, congestion control.
+    Quic,
+    /// HTTP semantics: requests, range requests, responses, abandonment.
+    Http,
+    /// ABR decisions (real or virtual levels).
+    Abr,
+    /// Player state: startup, stalls, segment playback, retransmission.
+    Player,
+    /// Session harness: trial boundaries, progress, summaries.
+    Session,
+}
+
+impl Layer {
+    /// Stable lowercase name used on the wire and in timelines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Layer::Quic => "quic",
+            Layer::Http => "http",
+            Layer::Abr => "abr",
+            Layer::Player => "player",
+            Layer::Session => "session",
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A field value. Small closed set so rendering stays deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (rendered with Rust's shortest-roundtrip formatting, which is
+    /// deterministic; non-finite values render as `null`).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (JSON-escaped on output).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl Value {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => {
+                out.push_str(&v.to_string());
+            }
+            Value::I64(v) => {
+                out.push_str(&v.to_string());
+            }
+            Value::F64(v) if v.is_finite() => {
+                out.push_str(&v.to_string());
+            }
+            Value::F64(_) => out.push_str("null"),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(s) => write_json_string(s, out),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// JSON string escaping (quotes, backslash, control characters).
+pub(crate) fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One structured, sim-time-stamped event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Sim time of the event.
+    pub t: SimTime,
+    /// Monotone per-session sequence number (total emission order, which
+    /// can run ahead of `t` for events reported retroactively, e.g. a
+    /// stall detected when the segment that ends it arrives).
+    pub seq: u64,
+    /// Session the event belongs to.
+    pub session_id: u64,
+    /// Emitting layer.
+    pub layer: Layer,
+    /// Event kind, e.g. `pkt_sent`, `decision`, `stall_start`.
+    pub kind: &'static str,
+    /// Event-specific key/value payload.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl TraceEvent {
+    /// One JSON object (no trailing newline), keys in fixed order:
+    /// `t`, `seq`, `sid`, `layer`, `kind`, then the payload fields.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"t\":");
+        out.push_str(&self.t.as_micros().to_string());
+        out.push_str(",\"seq\":");
+        out.push_str(&self.seq.to_string());
+        out.push_str(",\"sid\":");
+        out.push_str(&self.session_id.to_string());
+        out.push_str(",\"layer\":\"");
+        out.push_str(self.layer.as_str());
+        out.push_str("\",\"kind\":\"");
+        out.push_str(self.kind);
+        out.push('"');
+        for (name, value) in &self.fields {
+            out.push(',');
+            write_json_string(name, &mut out);
+            out.push(':');
+            value.write_json(&mut out);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Human-readable single line for stderr / timeline rendering.
+    pub fn to_human(&self) -> String {
+        let mut out = format!(
+            "[{:>13}] {:<7} {:<16}",
+            format!("{}", self.t),
+            self.layer.as_str(),
+            self.kind
+        );
+        for (name, value) in &self.fields {
+            out.push(' ');
+            out.push_str(name);
+            out.push('=');
+            out.push_str(&value.to_string());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event() -> TraceEvent {
+        TraceEvent {
+            t: SimTime::from_millis(1500),
+            seq: 3,
+            session_id: 7,
+            layer: Layer::Abr,
+            kind: "decision",
+            fields: vec![
+                ("level", Value::U64(9)),
+                ("buffer_s", Value::F64(4.25)),
+                ("virtual", Value::Bool(true)),
+                ("path", Value::Str("/seg/3/9/body".into())),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_key_order_and_values_are_stable() {
+        assert_eq!(
+            event().to_json(),
+            "{\"t\":1500000,\"seq\":3,\"sid\":7,\"layer\":\"abr\",\"kind\":\"decision\",\
+             \"level\":9,\"buffer_s\":4.25,\"virtual\":true,\"path\":\"/seg/3/9/body\"}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_strings_and_nonfinite_floats() {
+        let ev = TraceEvent {
+            t: SimTime::ZERO,
+            seq: 0,
+            session_id: 0,
+            layer: Layer::Session,
+            kind: "note",
+            fields: vec![
+                ("msg", Value::Str("a\"b\\c\nd\u{1}".into())),
+                ("bad", Value::F64(f64::NAN)),
+            ],
+        };
+        let json = ev.to_json();
+        assert!(
+            json.contains("\"msg\":\"a\\\"b\\\\c\\nd\\u0001\""),
+            "{json}"
+        );
+        assert!(json.contains("\"bad\":null"));
+    }
+
+    #[test]
+    fn human_line_includes_all_fields() {
+        let line = event().to_human();
+        assert!(line.contains("abr"), "{line}");
+        assert!(line.contains("decision"));
+        assert!(line.contains("level=9"));
+        assert!(line.contains("buffer_s=4.25"));
+        assert!(line.contains("1.500000s"));
+    }
+
+    #[test]
+    fn layer_names_are_stable() {
+        let all = [
+            Layer::Quic,
+            Layer::Http,
+            Layer::Abr,
+            Layer::Player,
+            Layer::Session,
+        ];
+        let names: Vec<&str> = all.iter().map(|l| l.as_str()).collect();
+        assert_eq!(names, ["quic", "http", "abr", "player", "session"]);
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! # voxel-trace
+//!
+//! Cross-layer observability for the VOXEL reproduction: a structured event
+//! bus plus a metrics registry, both stamped in **sim time** so telemetry
+//! from the transport, HTTP, ABR, and player layers lines up on one
+//! timeline — the view the paper's cross-layer argument (§4.2–4.3) is made
+//! in.
+//!
+//! - [`TraceEvent`]: one timestamped, layer-tagged, key/value event.
+//! - [`Tracer`]: a cheap cloneable handle threaded through every layer. A
+//!   disabled tracer is a `None` — emitting through it is one branch, so
+//!   instrumented hot paths cost nothing measurable when tracing is off.
+//! - [`TraceSink`] implementations: [`NullSink`], ring-buffered
+//!   [`MemorySink`], [`StderrSink`] (human-readable), and [`JsonlSink`]
+//!   (one JSON object per line, replayable).
+//! - [`MetricsRegistry`]: counters, gauges, and log-scale-bucket
+//!   [`Histogram`]s, snapshotable at any sim time.
+//!
+//! Everything is deterministic: identically-seeded sessions produce
+//! byte-identical JSONL streams (event order, sequence numbers, and float
+//! formatting are all reproducible).
+
+mod event;
+mod metrics;
+mod sink;
+mod tracer;
+
+pub use event::{Layer, TraceEvent, Value};
+pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use sink::{JsonlSink, MemoryHandle, MemorySink, NullSink, SharedBuf, StderrSink, TraceSink};
+pub use tracer::Tracer;
+
+/// Emit a structured event through a [`Tracer`], paying for field
+/// construction only when tracing is enabled.
+///
+/// ```
+/// use voxel_trace::{trace_event, Layer, Tracer};
+/// use voxel_sim::SimTime;
+///
+/// let (tracer, handle) = Tracer::memory(1, 64);
+/// trace_event!(tracer, SimTime::from_millis(5), Layer::Player, "stall_start",
+///              "buffer_s" = 0.0, "segment" = 7u64);
+/// assert_eq!(handle.events().len(), 1);
+/// ```
+#[macro_export]
+macro_rules! trace_event {
+    ($tracer:expr, $t:expr, $layer:expr, $kind:expr $(, $name:literal = $val:expr)* $(,)?) => {
+        if $tracer.enabled() {
+            $tracer.emit($t, $layer, $kind, vec![$(($name, $crate::Value::from($val))),*]);
+        }
+    };
+}

@@ -1,0 +1,423 @@
+//! Counters, gauges, and log-scale histograms, snapshotable at any sim time.
+
+use crate::event::write_json_string;
+use std::collections::BTreeMap;
+use voxel_sim::SimTime;
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i` (1..=64)
+/// holds values in `[2^(i-1), 2^i)`.
+const BUCKETS: usize = 65;
+
+/// A fixed-bucket histogram with power-of-two (log-scale) buckets.
+///
+/// Designed for the quantities the instrumentation records — RTTs in
+/// microseconds, byte counts, stall durations — whose interesting structure
+/// spans orders of magnitude. Insertion is O(1); percentile queries
+/// interpolate linearly inside a bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a value.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// `[lo, hi)` bounds of bucket `i` (saturating at `u64::MAX`).
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 1)
+    } else {
+        let lo = 1u64 << (i - 1);
+        let hi = if i >= 64 { u64::MAX } else { 1u64 << i };
+        (lo, hi)
+    }
+}
+
+impl Histogram {
+    /// Record one value.
+    pub fn observe(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate `p`-quantile (`p` in `[0, 1]`), linearly interpolated
+    /// inside the containing bucket and clamped to the observed `min`/`max`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // Rank in [0, count-1], same convention as voxel_sim::stats.
+        let rank = p * (self.count - 1) as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let first = seen as f64;
+            let last = (seen + c - 1) as f64;
+            if rank <= last {
+                let (lo, hi) = bucket_bounds(i);
+                // Clamp the bucket span to what was actually observed so
+                // single-bucket histograms report exact values.
+                let lo = lo.max(self.min) as f64;
+                let hi = (hi - 1).min(self.max) as f64;
+                if c == 1 || hi <= lo {
+                    return lo;
+                }
+                let frac = (rank - first) / (last - first).max(1.0);
+                return lo + (hi - lo) * frac.clamp(0.0, 1.0);
+            }
+            seen += c;
+        }
+        self.max as f64
+    }
+}
+
+/// A point-in-time summary of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median (interpolated).
+    pub p50: f64,
+    /// 90th percentile (interpolated).
+    pub p90: f64,
+    /// 99th percentile (interpolated).
+    pub p99: f64,
+}
+
+/// Registry of named counters, gauges, and histograms.
+///
+/// Names are `&'static str` so the instrumented hot paths never allocate
+/// for metric bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to a counter (creating it at zero).
+    pub fn count(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn gauge(&mut self, name: &'static str, v: f64) {
+        self.gauges.insert(name, v);
+    }
+
+    /// Record a histogram sample.
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        self.histograms.entry(name).or_default().observe(v);
+    }
+
+    /// Current counter value (0 if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current gauge value, if ever set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Freeze the registry into a snapshot stamped `at` sim time.
+    pub fn snapshot(&self, at: SimTime) -> MetricsSnapshot {
+        MetricsSnapshot {
+            at,
+            counters: self
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(&k, h)| {
+                    (
+                        k.to_string(),
+                        HistogramSummary {
+                            count: h.count(),
+                            mean: h.mean(),
+                            min: h.min(),
+                            max: h.max(),
+                            p50: h.percentile(0.5),
+                            p90: h.percentile(0.9),
+                            p99: h.percentile(0.99),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// All metric values at one sim time, sorted by name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Sim time of the snapshot.
+    pub at: SimTime,
+    /// Counter name → value.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → latest value.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram name → summary.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Histogram summary, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// One JSON object capturing the whole snapshot.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"at\":");
+        out.push_str(&self.at.as_micros().to_string());
+        out.push_str(",\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(name, &mut out);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(name, &mut out);
+            out.push(':');
+            if v.is_finite() {
+                out.push_str(&v.to_string());
+            } else {
+                out.push_str("null");
+            }
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(name, &mut out);
+            out.push_str(&format!(
+                ":{{\"count\":{},\"mean\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                h.count, h.mean, h.min, h.max, h.p50, h.p90, h.p99
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_covers_the_u64_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 1..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(hi - 1), i, "last value of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let mut h = Histogram::default();
+        for v in [3, 0, 10, 500, 7] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 500);
+        assert!((h.mean() - 104.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn single_value_histogram_reports_it_exactly() {
+        let mut h = Histogram::default();
+        h.observe(777);
+        for p in [0.0, 0.5, 1.0] {
+            assert_eq!(h.percentile(p), 777.0, "p={p}");
+        }
+        assert_eq!(h.mean(), 777.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let p = i as f64 / 20.0;
+            let q = h.percentile(p);
+            assert!(q >= prev, "p{p}: {q} < {prev}");
+            assert!((1.0..=1000.0).contains(&q), "p{p} = {q}");
+            prev = q;
+        }
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(1.0), 1000.0);
+        // The median of 1..=1000 is ~500; log-bucket resolution puts it in
+        // [256, 512) — accept the bucket-level approximation.
+        let p50 = h.percentile(0.5);
+        assert!((256.0..512.0).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn counters_and_gauges_snapshot_semantics() {
+        let mut reg = MetricsRegistry::new();
+        reg.count("quic.packets_sent", 2);
+        reg.count("quic.packets_sent", 3);
+        reg.gauge("player.buffer_s", 1.5);
+        reg.gauge("player.buffer_s", 9.75);
+        reg.observe("quic.srtt_us", 60_000);
+        let snap = reg.snapshot(SimTime::from_secs(12));
+        assert_eq!(snap.at, SimTime::from_secs(12));
+        assert_eq!(snap.counter("quic.packets_sent"), 5);
+        assert_eq!(snap.counter("missing"), 0);
+        // Gauges keep the latest value only.
+        assert_eq!(snap.gauges, vec![("player.buffer_s".to_string(), 9.75)]);
+        let h = snap.histogram("quic.srtt_us").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.p50, 60_000.0);
+        // Snapshots are frozen: later mutation must not leak in.
+        reg.count("quic.packets_sent", 100);
+        assert_eq!(snap.counter("quic.packets_sent"), 5);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_sorted() {
+        let mut reg = MetricsRegistry::new();
+        reg.count("b.second", 1);
+        reg.count("a.first", 2);
+        reg.gauge("g", 0.5);
+        reg.observe("h", 8);
+        let json = reg.snapshot(SimTime::from_micros(42)).to_json();
+        assert_eq!(json, reg.snapshot(SimTime::from_micros(42)).to_json());
+        let a = json.find("a.first").unwrap();
+        let b = json.find("b.second").unwrap();
+        assert!(a < b, "counters sorted by name: {json}");
+        assert!(json.starts_with("{\"at\":42,"));
+        assert!(json.contains("\"g\":0.5"));
+        assert!(json.contains("\"count\":1"));
+    }
+}

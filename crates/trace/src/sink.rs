@@ -1,0 +1,238 @@
+//! Pluggable event sinks.
+
+use crate::event::TraceEvent;
+use std::collections::VecDeque;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Destination for emitted [`TraceEvent`]s.
+///
+/// Sinks are owned by a [`crate::Tracer`] behind a mutex, so implementations
+/// take `&mut self` and must be `Send` (trials run on worker threads).
+pub trait TraceSink: Send {
+    /// Record one event.
+    fn record(&mut self, event: &TraceEvent);
+    /// Flush any buffered output (end of session).
+    fn flush(&mut self) {}
+}
+
+/// Discards everything — tracing's off-switch with the wiring still in
+/// place. Useful for measuring instrumentation overhead.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// Ring-buffered in-memory sink: keeps the most recent `capacity` events.
+#[derive(Debug)]
+pub struct MemorySink {
+    buf: Arc<Mutex<VecDeque<TraceEvent>>>,
+    capacity: usize,
+    dropped: Arc<std::sync::atomic::AtomicU64>,
+}
+
+/// Reader half of a [`MemorySink`]; stays valid after the sink moves into a
+/// tracer.
+#[derive(Debug, Clone)]
+pub struct MemoryHandle {
+    buf: Arc<Mutex<VecDeque<TraceEvent>>>,
+    dropped: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl MemorySink {
+    /// A sink retaining up to `capacity` events, plus its reader handle.
+    pub fn shared(capacity: usize) -> (MemorySink, MemoryHandle) {
+        assert!(capacity > 0, "MemorySink capacity must be positive");
+        let buf = Arc::new(Mutex::new(VecDeque::with_capacity(capacity)));
+        let dropped = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        (
+            MemorySink {
+                buf: buf.clone(),
+                capacity,
+                dropped: dropped.clone(),
+            },
+            MemoryHandle { buf, dropped },
+        )
+    }
+
+    /// Events evicted by the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, event: &TraceEvent) {
+        let mut buf = self.buf.lock().expect("memory sink poisoned");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+impl MemoryHandle {
+    /// Copy out the retained events in emission order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.buf
+            .lock()
+            .expect("memory sink poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("memory sink poisoned").len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted by the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// Human-readable lines to stderr — the debug-run sink.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl TraceSink for StderrSink {
+    fn record(&mut self, event: &TraceEvent) {
+        eprintln!("{}", event.to_human());
+    }
+}
+
+/// One JSON object per line to any writer — the machine-readable timeline.
+pub struct JsonlSink {
+    out: BufWriter<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Write JSONL to `path` (truncating).
+    pub fn create(path: impl AsRef<Path>) -> io::Result<JsonlSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::to_writer(Box::new(file)))
+    }
+
+    /// Write JSONL to an arbitrary writer.
+    pub fn to_writer(out: Box<dyn Write + Send>) -> JsonlSink {
+        JsonlSink {
+            out: BufWriter::new(out),
+        }
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, event: &TraceEvent) {
+        // Sinks have no error channel; losing telemetry must not kill a
+        // simulation, so write errors are ignored (matching eprintln!).
+        let _ = self.out.write_all(event.to_json().as_bytes());
+        let _ = self.out.write_all(b"\n");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// A `Write` implementation over shared memory, for capturing JSONL output
+/// in tests (e.g. byte-identical determinism checks).
+#[derive(Debug, Default, Clone)]
+pub struct SharedBuf {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedBuf {
+    /// New empty buffer.
+    pub fn new() -> SharedBuf {
+        SharedBuf::default()
+    }
+
+    /// Copy out everything written so far.
+    pub fn contents(&self) -> Vec<u8> {
+        self.buf.lock().expect("shared buf poisoned").clone()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf
+            .lock()
+            .expect("shared buf poisoned")
+            .extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Layer, Value};
+    use voxel_sim::SimTime;
+
+    fn event(seq: u64) -> TraceEvent {
+        TraceEvent {
+            t: SimTime::from_micros(seq * 10),
+            seq,
+            session_id: 1,
+            layer: Layer::Quic,
+            kind: "pkt_sent",
+            fields: vec![("pn", Value::U64(seq))],
+        }
+    }
+
+    #[test]
+    fn memory_sink_rings_at_capacity() {
+        let (mut sink, handle) = MemorySink::shared(3);
+        for i in 0..5 {
+            sink.record(&event(i));
+        }
+        assert_eq!(sink.dropped(), 2);
+        let seqs: Vec<u64> = handle.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(handle.len(), 3);
+        assert!(!handle.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_roundtrips_through_a_writer() {
+        let buf = SharedBuf::new();
+        let mut sink = JsonlSink::to_writer(Box::new(buf.clone()));
+        sink.record(&event(0));
+        sink.record(&event(1));
+        sink.flush();
+        let text = String::from_utf8(buf.contents()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], event(0).to_json());
+        assert_eq!(lines[1], event(1).to_json());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_files() {
+        let path = std::env::temp_dir().join("voxel_trace_sink_test.jsonl");
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            sink.record(&event(7));
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, format!("{}\n", event(7).to_json()));
+        let _ = std::fs::remove_file(&path);
+    }
+}

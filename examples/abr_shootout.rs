@@ -58,7 +58,11 @@ fn main() {
             .with_transport(transport)
             .with_trials(6);
         let agg = run_config(&cfg, &mut cache);
-        let wasted: f64 = agg.trials.iter().map(|t| t.bytes_wasted as f64).sum::<f64>()
+        let wasted: f64 = agg
+            .trials
+            .iter()
+            .map(|t| t.bytes_wasted as f64)
+            .sum::<f64>()
             / agg.trials.len() as f64
             / 1e6;
         println!(

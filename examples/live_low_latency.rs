@@ -39,9 +39,13 @@ fn main() {
             .with_transport(transport)
             .with_trials(6);
         let agg = run_config(&config, &mut cache);
-        let restarts: f64 = agg.trials.iter().map(|t| t.restarts as f64).sum::<f64>()
-            / agg.trials.len() as f64;
-        let partials: f64 = agg.trials.iter().map(|t| t.kept_partials as f64).sum::<f64>()
+        let restarts: f64 =
+            agg.trials.iter().map(|t| t.restarts as f64).sum::<f64>() / agg.trials.len() as f64;
+        let partials: f64 = agg
+            .trials
+            .iter()
+            .map(|t| t.kept_partials as f64)
+            .sum::<f64>()
             / agg.trials.len() as f64;
         println!(
             "{:18} {:>11.2}% {:>8.0}kbps {:>10.4} {:>10.1} {:>9.1}",

@@ -66,7 +66,10 @@ fn main() {
         FrameKind::BUnref => "b",
     };
     let head: Vec<&str> = order[..12].iter().map(|&f| kind_of(f)).collect();
-    let tail: Vec<&str> = order[order.len() - 12..].iter().map(|&f| kind_of(f)).collect();
+    let tail: Vec<&str> = order[order.len() - 12..]
+        .iter()
+        .map(|&f| kind_of(f))
+        .collect();
     println!("download order head: {}", head.join(" "));
     println!("download order tail: {}", tail.join(" "));
 
@@ -77,11 +80,8 @@ fn main() {
     }
 
     // The Listing 1 serialization for this video.
-    let manifest = voxel::prep::manifest::Manifest::prepare_levels(
-        &video,
-        &model,
-        &[QualityLevel::MAX],
-    );
+    let manifest =
+        voxel::prep::manifest::Manifest::prepare_levels(&video, &model, &[QualityLevel::MAX]);
     let mpd = manifest.to_mpd();
     let line = mpd
         .lines()

@@ -157,9 +157,18 @@ fn cmd_survey(flags: &HashMap<String, String>) {
     );
     let s = run_survey(&bola.trials[0], &voxel.trials[0], 54, 14);
     println!("{:12} {:>8} {:>8}", "dimension", "BOLA", "VOXEL");
-    println!("{:12} {:>8.2} {:>8.2}", "clarity", s.mos_a.clarity, s.mos_b.clarity);
-    println!("{:12} {:>8.2} {:>8.2}", "glitches", s.mos_a.glitches, s.mos_b.glitches);
-    println!("{:12} {:>8.2} {:>8.2}", "fluidity", s.mos_a.fluidity, s.mos_b.fluidity);
+    println!(
+        "{:12} {:>8.2} {:>8.2}",
+        "clarity", s.mos_a.clarity, s.mos_b.clarity
+    );
+    println!(
+        "{:12} {:>8.2} {:>8.2}",
+        "glitches", s.mos_a.glitches, s.mos_b.glitches
+    );
+    println!(
+        "{:12} {:>8.2} {:>8.2}",
+        "fluidity", s.mos_a.fluidity, s.mos_b.fluidity
+    );
     println!(
         "{:12} {:>8.2} {:>8.2}",
         "experience", s.mos_a.experience, s.mos_b.experience
@@ -200,7 +209,7 @@ mod tests {
         assert_eq!(f.get("abr").map(String::as_str), Some("BOLA"));
         assert_eq!(f.get("live").map(String::as_str), Some("true"));
         assert_eq!(f.get("buffer").map(String::as_str), Some("2"));
-        assert!(f.get("missing").is_none());
+        assert!(!f.contains_key("missing"));
     }
 
     #[test]

@@ -84,7 +84,13 @@ fn voxel_beats_bola_on_rebuffering_under_a_challenging_trace() {
         1,
         TransportMode::Reliable,
     );
-    let voxel = run(&s, Box::new(AbrStar::default()), trace, 1, TransportMode::Split);
+    let voxel = run(
+        &s,
+        Box::new(AbrStar::default()),
+        trace,
+        1,
+        TransportMode::Split,
+    );
     assert!(
         voxel.buf_ratio_pct() <= bola.buf_ratio_pct(),
         "VOXEL {} vs BOLA {}",
@@ -104,7 +110,13 @@ fn voxel_beats_bola_on_rebuffering_under_a_challenging_trace() {
 fn voxel_abandons_by_keeping_partials_never_restarting() {
     let s = setup(VideoId::Sintel, &[QualityLevel::MAX]);
     let trace = generators::tmobile_lte(3, 300);
-    let r = run(&s, Box::new(AbrStar::default()), trace, 2, TransportMode::Split);
+    let r = run(
+        &s,
+        Box::new(AbrStar::default()),
+        trace,
+        2,
+        TransportMode::Split,
+    );
     assert_eq!(r.restarts, 0, "ABR* never discards fetched data");
     assert!(r.kept_partials > 0, "challenging trace forces partials");
     assert!(r.bytes_wasted == 0);
@@ -126,12 +138,25 @@ fn partial_segments_zero_pad_and_score_below_pristine() {
     // Starve the link so partials are inevitable, then verify QoE reflects
     // the losses rather than assuming complete delivery.
     let trace = BandwidthTrace::constant(3.0, 1200);
-    let r = run(&s, Box::new(AbrStar::default()), trace, 2, TransportMode::Split);
+    let r = run(
+        &s,
+        Box::new(AbrStar::default()),
+        trace,
+        2,
+        TransportMode::Split,
+    );
     assert_eq!(r.segment_scores.len(), 75);
-    assert!(r.buf_ratio_pct() < 10.0, "VOXEL absorbs starvation by skipping");
+    assert!(
+        r.buf_ratio_pct() < 10.0,
+        "VOXEL absorbs starvation by skipping"
+    );
     // 3 Mbps cannot deliver pristine Q12 everywhere.
     assert!(r.avg_ssim() < 0.9999);
-    assert!(r.avg_ssim() > 0.8, "quality degrades gracefully: {}", r.avg_ssim());
+    assert!(
+        r.avg_ssim() > 0.8,
+        "quality degrades gracefully: {}",
+        r.avg_ssim()
+    );
 }
 
 #[test]
@@ -140,7 +165,13 @@ fn selective_retransmission_recovers_losses_with_roomy_buffers() {
     // A trace oscillating around the Q10/Q11 bitrates with spare capacity
     // creates both in-transit losses (queue drops) and idle windows.
     let trace = generators::att_lte(9, 300);
-    let r = run(&s, Box::new(AbrStar::default()), trace, 3, TransportMode::Split);
+    let r = run(
+        &s,
+        Box::new(AbrStar::default()),
+        trace,
+        3,
+        TransportMode::Split,
+    );
     if r.bytes_lost > 0 {
         assert!(
             r.bytes_recovered > 0,

@@ -64,9 +64,20 @@ fn insight_2_rank_ordering_dominates_tail_grouping() {
         let video = Video::generate(id);
         let mut rank_wins = 0usize;
         for seg in &video.segments {
-            let rank = drop_tolerance(&model, seg, QualityLevel::MAX, OrderingKind::InboundRank, 0.99);
-            let tail =
-                drop_tolerance(&model, seg, QualityLevel::MAX, OrderingKind::UnreferencedTail, 0.99);
+            let rank = drop_tolerance(
+                &model,
+                seg,
+                QualityLevel::MAX,
+                OrderingKind::InboundRank,
+                0.99,
+            );
+            let tail = drop_tolerance(
+                &model,
+                seg,
+                QualityLevel::MAX,
+                OrderingKind::UnreferencedTail,
+                0.99,
+            );
             if rank >= tail {
                 rank_wins += 1;
             }
