@@ -10,6 +10,15 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> voxel-lint (static invariant pass, DESIGN.md §10)"
+cargo run -q --release -p voxel-lint
+
+echo "==> cargo test -q -p voxel-lint -p voxel-quic (lint self-tests + property tests)"
+cargo test -q -p voxel-lint -p voxel-quic
+
+echo "==> cargo test -q --features paranoid (runtime invariant audits)"
+cargo test -q --features paranoid
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

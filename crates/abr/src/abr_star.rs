@@ -104,6 +104,10 @@ impl Abr for AbrStar {
     fn on_rebuffer(&mut self) {
         self.inner.on_rebuffer();
     }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        self.inner.check_invariants()
+    }
 }
 
 #[cfg(test)]

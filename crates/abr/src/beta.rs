@@ -41,6 +41,7 @@ impl Beta {
         // Under BETA's unreferenced-tail ordering the last 32 frames of the
         // download order are exactly the unreferenced b-frames; the
         // boundary point keeps everything before them.
+        // lint: allow(panic) prep builds every BETA SSIM map non-empty
         let full = *entry.beta_ssims.last().expect("non-empty map");
         let keep_frames = full.frames.saturating_sub(Beta::unref_count()).max(1);
         entry

@@ -83,6 +83,7 @@ impl Abr for Bola {
         // virtual buffer from the first throughput sample (the manifest
         // fetch) so startup quality matches the network rather than
         // defaulting to the lowest rung.
+        // lint: allow(float-eq) exact sentinel — placeholder is 0.0 only before first seeding
         if ctx.last_level.is_none() && self.placeholder_s == 0.0 {
             if let Some(est) = ctx.throughput_bps {
                 let sustainable = QualityLevel::all()
@@ -120,7 +121,10 @@ impl Abr for Bola {
                     if bits / (est * self.safety) <= budget_s {
                         break;
                     }
-                    best = best.lower().expect("above MIN");
+                    match best.lower() {
+                        Some(l) => best = l,
+                        None => break,
+                    }
                 }
             } else {
                 best = QualityLevel::MIN;
@@ -175,6 +179,16 @@ impl Abr for Bola {
 
     fn on_rebuffer(&mut self) {
         self.placeholder_s = 0.0;
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        if !self.placeholder_s.is_finite() || self.placeholder_s < 0.0 {
+            return Err(format!(
+                "placeholder buffer corrupted: {} s",
+                self.placeholder_s
+            ));
+        }
+        Ok(())
     }
 }
 

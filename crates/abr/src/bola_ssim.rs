@@ -56,6 +56,20 @@ pub fn candidates(entry: &SegmentEntry) -> Vec<Candidate> {
             is_full: idx == full_idx,
         });
     }
+    // Virtual-level monotonicity (§4.1): within a level, spending more
+    // bytes can only raise SSIM. The paranoid layer audits the invariant
+    // on every enumeration.
+    #[cfg(feature = "paranoid")]
+    for w in out.windows(2) {
+        assert!(
+            w[1].point.bytes >= w[0].point.bytes && w[1].point.ssim >= w[0].point.ssim,
+            "virtual levels not monotone: ({}, {}) then ({}, {})",
+            w[0].point.bytes,
+            w[0].point.ssim,
+            w[1].point.bytes,
+            w[1].point.ssim
+        );
+    }
     out
 }
 
@@ -151,6 +165,7 @@ impl Abr for BolaSsim {
         // first throughput sample so the opening segments aren't forced to
         // the lowest rung (the paper's VOXEL "never drops below 0.95"
         // during startup, Fig 11a).
+        // lint: allow(float-eq) exact sentinel — placeholder is 0.0 only before first seeding
         if ctx.last_level.is_none() && self.placeholder_s == 0.0 {
             if let Some(est) = ctx.throughput_bps {
                 let sustainable = QualityLevel::all()
@@ -187,15 +202,11 @@ impl Abr for BolaSsim {
                         for level in QualityLevel::all() {
                             all.extend(candidates(ctx.manifest.entry(ctx.segment_index, level)));
                         }
-                        all.sort_by(|a, b| {
-                            b.point
-                                .ssim
-                                .partial_cmp(&a.point.ssim)
-                                .expect("finite ssim")
-                        });
+                        all.sort_by(|a, b| b.point.ssim.total_cmp(&a.point.ssim));
                         best = *all
                             .iter()
                             .find(|c| entry(c) as f64 * 8.0 / est <= budget_s)
+                            // lint: allow(panic) candidates() always returns at least one entry
                             .unwrap_or(all.last().expect("non-empty"));
                     }
                 }
@@ -207,6 +218,7 @@ impl Abr for BolaSsim {
                             .entry(ctx.segment_index, QualityLevel::MIN)
                             .ssims
                             .last()
+                            // lint: allow(panic) prep builds every SSIM map with the full-segment point
                             .expect("non-empty"),
                         is_full: true,
                     };
@@ -245,6 +257,7 @@ impl Abr for BolaSsim {
             let e = ctx.manifest.entry(ctx.segment_index, l);
             let bound_point = e
                 .cheapest_reaching(e.bound)
+                // lint: allow(panic) prep builds every SSIM map with the full-segment point
                 .unwrap_or(*e.ssims.last().expect("non-empty"));
             let bits = (bound_point.bytes + e.reliable_size) as f64 * 8.0;
             let s = score(utility(self.metric, bound_point.ssim), bits);
@@ -260,6 +273,7 @@ impl Abr for BolaSsim {
                 let e = ctx.manifest.entry(ctx.segment_index, l);
                 self.current = Some(Candidate {
                     level: l,
+                    // lint: allow(panic) prep builds every SSIM map with the full-segment point
                     point: *e.ssims.last().expect("non-empty"),
                     is_full: true,
                 });
@@ -279,6 +293,16 @@ impl Abr for BolaSsim {
 
     fn on_rebuffer(&mut self) {
         self.placeholder_s = 0.0;
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        if !self.placeholder_s.is_finite() || self.placeholder_s < 0.0 {
+            return Err(format!(
+                "placeholder buffer corrupted: {} s",
+                self.placeholder_s
+            ));
+        }
+        Ok(())
     }
 }
 

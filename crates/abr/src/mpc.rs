@@ -14,6 +14,7 @@
 //! this planner, not improving it.
 
 use crate::traits::{Abr, AbrContext, Decision};
+// lint: allow(nondeterministic-map) memo table — key lookup only, never iterated
 use std::collections::HashMap;
 use voxel_media::ladder::{QualityLevel, NUM_LEVELS};
 use voxel_media::video::SEGMENT_DURATION_S;
@@ -47,6 +48,7 @@ impl Mpc {
     fn plan(&self, ctx: &AbrContext<'_>, predicted_bps: f64) -> QualityLevel {
         let last = ctx.last_level.unwrap_or(QualityLevel::MIN);
         let num_segments = ctx.manifest.num_segments();
+        // lint: allow(nondeterministic-map) memo table — key lookup only, never iterated
         let mut memo: HashMap<(usize, usize, i64), (f64, usize)> = HashMap::new();
         let (_, first) = self.search(
             ctx,
@@ -70,6 +72,7 @@ impl Mpc {
         prev_level: usize,
         buffer_s: f64,
         num_segments: usize,
+        // lint: allow(nondeterministic-map) memo table — key lookup only, never iterated
         memo: &mut HashMap<(usize, usize, i64), (f64, usize)>,
     ) -> (f64, usize) {
         if step >= self.horizon || ctx.segment_index + step >= num_segments {

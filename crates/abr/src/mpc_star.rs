@@ -18,6 +18,7 @@
 
 use crate::bola_ssim::candidates;
 use crate::traits::{AbandonAction, Abr, AbrContext, Decision, DownloadProgress};
+// lint: allow(nondeterministic-map) memo table — key lookup only, never iterated
 use std::collections::HashMap;
 use voxel_media::ladder::QualityLevel;
 use voxel_media::video::SEGMENT_DURATION_S;
@@ -91,6 +92,7 @@ impl MpcStar {
         step: usize,
         prev_u: i64,
         buffer_s: f64,
+        // lint: allow(nondeterministic-map) memo table — key lookup only, never iterated
         memo: &mut HashMap<(usize, i64, i64), (f64, usize)>,
     ) -> (f64, usize) {
         if step >= self.horizon || ctx.segment_index + step >= ctx.manifest.num_segments() {
@@ -136,6 +138,7 @@ impl Abr for MpcStar {
         let Some(pred) = ctx.conservative_throughput_bps.or(ctx.throughput_bps) else {
             return Decision::full(QualityLevel::MIN);
         };
+        // lint: allow(nondeterministic-map) memo table — key lookup only, never iterated
         let mut memo = HashMap::new();
         let prev_u = ctx
             .last_level

@@ -137,6 +137,13 @@ pub trait Abr {
     /// Playback stalled — lets BOLA-family algorithms reset their
     /// placeholder buffer.
     fn on_rebuffer(&mut self) {}
+
+    /// Structural audit of the algorithm's internal state (DESIGN.md
+    /// §10); the `paranoid` runtime layer calls this at event-loop
+    /// boundaries. Stateless algorithms have nothing to check.
+    fn check_invariants(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

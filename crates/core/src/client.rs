@@ -18,7 +18,7 @@
 //!   segments").
 
 use crate::metrics::TrialResult;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use voxel_abr::{AbandonAction, Abr, AbrContext, Decision, DownloadProgress, ThroughputEstimator};
 use voxel_http::Request;
@@ -158,7 +158,7 @@ pub struct ClientApp {
     abr: Box<dyn Abr>,
     estimator: ThroughputEstimator,
     phase: Phase,
-    fetches: HashMap<StreamId, FetchKind>,
+    fetches: BTreeMap<StreamId, FetchKind>,
     dl: Option<Download>,
     records: Vec<SegmentRecord>,
     next_segment: usize,
@@ -195,7 +195,7 @@ impl ClientApp {
             abr,
             estimator: ThroughputEstimator::new(),
             phase: Phase::Init,
-            fetches: HashMap::new(),
+            fetches: BTreeMap::new(),
             dl: None,
             records: Vec::new(),
             next_segment: 0,
@@ -260,6 +260,52 @@ impl ClientApp {
             return self.records.len() as f64 * SEGMENT_DURATION_S;
         }
         self.play_end.saturating_since(now).as_secs_f64()
+    }
+
+    /// Structural audit of the player state (DESIGN.md §10). The `paranoid`
+    /// runtime layer calls this from the session event loop after every
+    /// client pump; it must hold at every event-loop boundary.
+    pub fn check_invariants(&self, now: SimTime) -> Result<(), String> {
+        // The buffer can momentarily exceed capacity by the segment that
+        // completed just before the idle check, never by more.
+        let cap = self.config.capacity_s() + SEGMENT_DURATION_S + 1e-6;
+        let buffer = self.buffer_s(now);
+        if !(0.0..=cap).contains(&buffer) {
+            return Err(format!("buffer level {buffer:.3}s outside [0, {cap:.3}]s"));
+        }
+        let elapsed = now.saturating_since(SimTime::ZERO);
+        if self.total_stall > elapsed {
+            return Err(format!(
+                "total stall {:?} exceeds elapsed session time {:?}",
+                self.total_stall, elapsed
+            ));
+        }
+        let n = self.manifest.num_segments();
+        if self.records.len() > n {
+            return Err(format!(
+                "{} records for a {n}-segment video",
+                self.records.len()
+            ));
+        }
+        if self.next_segment > n {
+            return Err(format!(
+                "next_segment {} beyond video end {n}",
+                self.next_segment
+            ));
+        }
+        for r in &self.records {
+            if r.seg >= n || r.level.index() >= voxel_media::ladder::NUM_LEVELS {
+                return Err(format!(
+                    "record for segment {} at level index {} out of range",
+                    r.seg,
+                    r.level.index()
+                ));
+            }
+        }
+        if self.play_started && self.startup_at.is_none() {
+            return Err("playback started without a startup timestamp".into());
+        }
+        self.abr.check_invariants()
     }
 
     /// Main pump: process connection events and advance the state machine.
@@ -346,7 +392,7 @@ impl ClientApp {
                     })
                     .unwrap_or(false);
                 if complete {
-                    let bytes = conn.recv_stream(id).expect("present").bytes_received();
+                    let bytes = conn.recv_stream(id).map_or(0, |rs| rs.bytes_received());
                     self.stats.bytes_downloaded += bytes;
                     self.estimator.on_sample(bytes, now.as_secs_f64().max(1e-3));
                     self.fetches.remove(&id);
@@ -364,7 +410,7 @@ impl ClientApp {
                             dl.head_done = true;
                         }
                     }
-                    let bytes = conn.recv_stream(id).expect("present").bytes_received();
+                    let bytes = conn.recv_stream(id).map_or(0, |rs| rs.bytes_received());
                     self.stats.bytes_downloaded += bytes;
                     self.fetches.remove(&id);
                 }
@@ -499,6 +545,7 @@ impl ClientApp {
     ) {
         let seg = self.next_segment;
         let entry = self.manifest.entry(seg, decision.level);
+        // lint: allow(panic) prep builds every SSIM map with the full-segment point
         let full_point = *entry.ssims.last().expect("non-empty");
         let target = decision.target.unwrap_or(full_point);
 
@@ -619,6 +666,7 @@ impl ClientApp {
         match action {
             AbandonAction::Continue => {}
             AbandonAction::RestartAt(level) => {
+                // lint: allow(panic) on_progress only fires with an active download
                 let dl = self.dl.take().expect("checked");
                 // Discard and refetch: the classic, wasteful abandonment.
                 self.stats.bytes_wasted += rec_received;
@@ -643,6 +691,7 @@ impl ClientApp {
                 self.begin_fetch(now, conn, voxel_abr::Decision::full(level), restarts);
             }
             AbandonAction::KeepPartial => {
+                // lint: allow(panic) on_progress only fires with an active download
                 let dl = self.dl.take().expect("checked");
                 self.stats.kept_partials += 1;
                 voxel_http::trace::trace_abandon(
@@ -689,6 +738,7 @@ impl ClientApp {
             dl.head_done && (dl.body_fin_seen || rec_received >= dl.body_goal)
         };
         if complete {
+            // lint: allow(panic) completeness was just computed from this download
             let dl = self.dl.take().expect("checked");
             self.finish_segment(now, dl);
         }
@@ -739,6 +789,7 @@ impl ClientApp {
             .records
             .iter_mut()
             .find(|r| r.seg == dl.seg)
+            // lint: allow(panic) a SegmentRecord is pushed when its fetch begins
             .expect("record exists");
         let seg_dur = SimDuration::from_secs_f64(SEGMENT_DURATION_S);
         if !self.play_started {
@@ -991,6 +1042,7 @@ impl ClientApp {
             let entry = self.manifest.entry(rec.seg, rec.level);
             let delivered = entry.reliable_size + rec.received.covered_len();
             segment_kbps.push(delivered as f64 * 8.0 / SEGMENT_DURATION_S / 1e3);
+            // lint: allow(panic) finish() freezes every record before aggregation
             scores.push(rec.scores.expect("frozen"));
             bytes_full += entry.total_bytes();
             bytes_skipped += entry.total_bytes().saturating_sub(delivered);

@@ -9,7 +9,7 @@
 use crate::client::{PlayerConfig, TransportMode};
 use crate::metrics::{Aggregate, TrialResult};
 use crate::session::Session;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use voxel_abr::{Abr, AbrStar, Beta, Bola, BolaSsim, Mpc, MpcStar, ThroughputAbr};
 use voxel_media::content::VideoId;
@@ -224,7 +224,7 @@ impl Config {
 /// per video, exactly as the paper argues).
 #[derive(Default)]
 pub struct ContentCache {
-    entries: HashMap<VideoId, (Arc<Manifest>, Arc<Video>)>,
+    entries: BTreeMap<VideoId, (Arc<Manifest>, Arc<Video>)>,
     qoe: QoeModel,
 }
 
@@ -232,7 +232,7 @@ impl ContentCache {
     /// Empty cache with the default QoE model.
     pub fn new() -> ContentCache {
         ContentCache {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             qoe: QoeModel::default(),
         }
     }
@@ -290,10 +290,13 @@ pub fn run_config(config: &Config, cache: &mut ContentCache) -> Aggregate {
                     break;
                 }
                 let r = run_prepared_trial(config, &manifest, &video, &qoe, i * d / n);
-                **slot_refs[i].lock().expect("slot lock") = Some(r);
+                **slot_refs[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
             });
         }
     });
+    // lint: allow(panic) scoped threads joined above; every slot was written
     Aggregate::new(slots.into_iter().map(|s| s.expect("trial ran")).collect())
 }
 

@@ -17,7 +17,7 @@
 //! Range request and knows precisely what to expect, so a losable header
 //! would add nothing but a failure mode.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use voxel_http::{Request, Response};
 use voxel_media::ladder::QualityLevel;
 use voxel_prep::manifest::Manifest;
@@ -31,7 +31,7 @@ pub struct ServerApp {
     /// Whether this server understands `x-voxel-unreliable`.
     pub voxel_aware: bool,
     /// Request bytes accumulating per stream.
-    inbox: HashMap<StreamId, Vec<u8>>,
+    inbox: BTreeMap<StreamId, Vec<u8>>,
     /// Count of requests served, by kind (for tests/stats).
     pub served_heads: u64,
     /// Body requests served.
@@ -47,7 +47,7 @@ impl ServerApp {
         ServerApp {
             manifest,
             voxel_aware,
-            inbox: HashMap::new(),
+            inbox: BTreeMap::new(),
             served_heads: 0,
             served_bodies: 0,
             served_retx: 0,
@@ -76,8 +76,9 @@ impl ServerApp {
                         }
                     }
                     if buf.windows(4).any(|w| w == b"\r\n\r\n") {
-                        let raw = self.inbox.remove(&id).expect("present");
-                        if let Some(req) = Request::decode(&raw) {
+                        if let Some(req) =
+                            self.inbox.remove(&id).and_then(|raw| Request::decode(&raw))
+                        {
                             self.respond(now, conn, id, &req);
                         }
                     }

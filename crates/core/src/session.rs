@@ -172,6 +172,11 @@ impl Session {
             // Application pumps.
             self.server.handle(now, &mut self.server_conn);
             self.client.on_wake(now, &mut self.client_conn);
+            #[cfg(feature = "paranoid")]
+            if let Err(e) = self.client.check_invariants(now) {
+                // lint: allow(panic) the paranoid layer is intentionally fatal on corruption
+                panic!("player invariant violated at {now:?}: {e}");
+            }
             if self.client.is_done() {
                 return self.finish(now);
             }
@@ -234,7 +239,9 @@ impl Session {
                 self.server_conn.on_timeout(next);
             }
             while self.queue.peek_time() == Some(next) {
-                let ev = self.queue.pop().expect("peeked");
+                let Some(ev) = self.queue.pop() else {
+                    break;
+                };
                 match ev.event {
                     Ev::ToClient(d) => self.client_conn.on_datagram(next, d),
                     Ev::ToServer(d) => self.server_conn.on_datagram(next, d),

@@ -1,0 +1,48 @@
+//! CLI for the workspace lint pass. Exit code 1 on any violation.
+//!
+//! Usage: `cargo run -p voxel-lint [-- --root <path>]`
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root = voxel_lint::default_root();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("voxel-lint: workspace invariant lints (see DESIGN.md §10)");
+                println!("usage: voxel-lint [--root <repo-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match voxel_lint::run(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("voxel-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.msg);
+            }
+            println!("voxel-lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("voxel-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! Line-oriented lint rules.
+//!
+//! Every rule reports against the `masked` projection (comments removed,
+//! string contents blanked) and skips `#[cfg(test)]` regions. A finding
+//! is suppressed by a same-line or immediately-preceding
+//! `// lint: allow(<rule>) <reason>` waiver; waivers without a reason are
+//! themselves violations, and waivers that suppress nothing are reported
+//! as stale.
+
+use crate::scan::SourceFile;
+use std::collections::BTreeSet;
+
+/// Crates whose iteration order feeds the deterministic simulation.
+pub const SIM_CRITICAL: &[&str] = &["sim", "quic", "http", "abr", "core", "netem"];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    pub path: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl Violation {
+    fn new(f: &SourceFile, line: usize, rule: &'static str, msg: String) -> Violation {
+        Violation {
+            path: f.rel_path.clone(),
+            line,
+            rule,
+            msg,
+        }
+    }
+}
+
+/// Tracks which waivers actually suppressed a finding.
+#[derive(Debug, Default)]
+pub struct WaiverUse {
+    used: BTreeSet<(String, usize, String)>,
+}
+
+impl WaiverUse {
+    fn mark(&mut self, f: &SourceFile, line: usize, rule: &str) {
+        self.used
+            .insert((f.rel_path.clone(), line, rule.to_string()));
+    }
+}
+
+/// Run all per-line rules over one file.
+pub fn check_file(f: &SourceFile, uses: &mut WaiverUse, out: &mut Vec<Violation>) {
+    let is_bin = f.rel_path.ends_with("main.rs") || f.rel_path.contains("/bin/");
+    for (i, line) in f.lines.iter().enumerate() {
+        let lineno = i + 1;
+        if line.in_test {
+            continue;
+        }
+        let m = &line.masked;
+
+        // --- determinism: unordered collections in sim-critical crates ---
+        if SIM_CRITICAL.contains(&f.crate_name.as_str()) {
+            for tok in ["HashMap", "HashSet"] {
+                if has_token(m, tok) {
+                    report(
+                        f,
+                        lineno,
+                        "nondeterministic-map",
+                        format!("{tok} in sim-critical crate `{}`; use BTreeMap/BTreeSet or waive with a reason", f.crate_name),
+                        uses,
+                        out,
+                    );
+                }
+            }
+        }
+
+        // --- determinism: wall-clock access outside bench ---
+        if f.crate_name != "bench" {
+            for pat in ["Instant::now", "SystemTime", "thread::sleep"] {
+                if m.contains(pat) {
+                    report(
+                        f,
+                        lineno,
+                        "wall-clock",
+                        format!("`{pat}` breaks sim-time determinism; use voxel_sim::SimTime"),
+                        uses,
+                        out,
+                    );
+                }
+            }
+        }
+
+        // --- robustness: panics in library code ---
+        if f.crate_name != "bench" && !is_bin {
+            for pat in [".unwrap()", ".expect(", "panic!"] {
+                if m.contains(pat) {
+                    report(
+                        f,
+                        lineno,
+                        "panic",
+                        format!(
+                            "`{}` in library code; propagate an error or waive with the invariant that makes it unreachable",
+                            pat.trim_start_matches('.').trim_end_matches('(')
+                        ),
+                        uses,
+                        out,
+                    );
+                }
+            }
+        }
+
+        // --- robustness: exact equality on quality floats ---
+        for (lhs, op, rhs) in comparisons(m) {
+            let suspicious = |t: &str| {
+                let lower = t.to_ascii_lowercase();
+                is_float_literal(t) || lower.contains("ssim") || lower.contains("qoe")
+            };
+            if suspicious(&lhs) || suspicious(&rhs) {
+                report(
+                    f,
+                    lineno,
+                    "float-eq",
+                    format!("exact `{op}` comparison involving `{}`; use a tolerance or waive with why exactness is sound",
+                            if suspicious(&lhs) { &lhs } else { &rhs }),
+                    uses,
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// After all files ran: flag waivers that never fired and waivers with no
+/// justification text.
+pub fn check_waiver_hygiene(files: &[SourceFile], uses: &WaiverUse, out: &mut Vec<Violation>) {
+    for f in files {
+        for (&line, ws) in &f.waivers {
+            for w in ws {
+                if w.reason.is_empty() {
+                    out.push(Violation::new(
+                        f,
+                        w.declared_on,
+                        "waiver-missing-reason",
+                        format!("waiver for `{}` has no justification", w.rule),
+                    ));
+                }
+                let key = (f.rel_path.clone(), line, w.rule.clone());
+                if !uses.used.contains(&key) {
+                    out.push(Violation::new(
+                        f,
+                        w.declared_on,
+                        "stale-waiver",
+                        format!("waiver for `{}` suppresses nothing; remove it", w.rule),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn report(
+    f: &SourceFile,
+    lineno: usize,
+    rule: &'static str,
+    msg: String,
+    uses: &mut WaiverUse,
+    out: &mut Vec<Violation>,
+) {
+    if f.waiver_for(lineno, rule).is_some() {
+        uses.mark(f, lineno, rule);
+    } else {
+        out.push(Violation::new(f, lineno, rule, msg));
+    }
+}
+
+/// Word-boundary token search: `tok` not embedded in a longer identifier.
+fn has_token(s: &str, tok: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = s[start..].find(tok) {
+        let abs = start + pos;
+        let before = s[..abs].chars().next_back();
+        let after = s[abs + tok.len()..].chars().next();
+        let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+        if !before.is_some_and(is_ident) && !after.is_some_and(is_ident) {
+            return true;
+        }
+        start = abs + tok.len();
+    }
+    false
+}
+
+/// Extract `(lhs_token, op, rhs_token)` for each `==`/`!=` in a line.
+fn comparisons(s: &str) -> Vec<(String, &'static str, String)> {
+    let b: Vec<char> = s.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < b.len() {
+        let op = match (b[i], b[i + 1]) {
+            ('=', '=') => Some("=="),
+            ('!', '=') => Some("!="),
+            _ => None,
+        };
+        // Skip `<=`, `>=`, `=>`, `+=` style neighbours and `===` runs.
+        let prev = if i > 0 { Some(b[i - 1]) } else { None };
+        let next2 = b.get(i + 2).copied();
+        let standalone = op.is_some()
+            && !matches!(
+                prev,
+                Some('=')
+                    | Some('<')
+                    | Some('>')
+                    | Some('+')
+                    | Some('-')
+                    | Some('*')
+                    | Some('/')
+                    | Some('%')
+                    | Some('&')
+                    | Some('|')
+                    | Some('^')
+            )
+            && next2 != Some('=');
+        if let (Some(op), true) = (op, standalone) {
+            let lhs = token_back(&b, i);
+            let rhs = token_fwd(&b, i + 2);
+            out.push((lhs, op, rhs));
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn token_back(b: &[char], end: usize) -> String {
+    let mut j = end;
+    while j > 0 && b[j - 1] == ' ' {
+        j -= 1;
+    }
+    let stop = j;
+    while j > 0 && (b[j - 1].is_alphanumeric() || matches!(b[j - 1], '_' | '.')) {
+        j -= 1;
+    }
+    b[j..stop].iter().collect()
+}
+
+fn token_fwd(b: &[char], start: usize) -> String {
+    let mut j = start;
+    while j < b.len() && b[j] == ' ' {
+        j += 1;
+    }
+    let begin = j;
+    while j < b.len() && (b[j].is_alphanumeric() || matches!(b[j], '_' | '.')) {
+        j += 1;
+    }
+    b[begin..j].iter().collect()
+}
+
+/// `0.0`, `1.5e-3`, `1e6` — a literal that parses as f64 and is visibly
+/// floating (contains `.` or an exponent). Plain integers don't count.
+fn is_float_literal(t: &str) -> bool {
+    if t.is_empty() || !t.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return false;
+    }
+    (t.contains('.') || t.contains('e') || t.contains('E')) && t.parse::<f64>().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    fn run(crate_name: &str, path: &str, src: &str) -> Vec<Violation> {
+        let f = SourceFile::parse(path, crate_name, src);
+        let mut uses = WaiverUse::default();
+        let mut out = Vec::new();
+        check_file(&f, &mut uses, &mut out);
+        check_waiver_hygiene(std::slice::from_ref(&f), &uses, &mut out);
+        out
+    }
+
+    #[test]
+    fn hashmap_fires_in_sim_critical_crate() {
+        let v = run(
+            "core",
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap;\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "nondeterministic-map");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn hashmap_quiet_outside_sim_critical_and_in_tests() {
+        assert!(run(
+            "media",
+            "crates/media/src/x.rs",
+            "use std::collections::HashMap;\n"
+        )
+        .is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        assert!(run("core", "crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hashmap_waiver_with_reason_suppresses() {
+        let src = "use std::collections::HashMap; // lint: allow(nondeterministic-map) memo table, lookup-only\n";
+        assert!(run("abr", "crates/abr/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn waiver_without_reason_is_a_violation() {
+        let src = "use std::collections::HashMap; // lint: allow(nondeterministic-map)\n";
+        let v = run("abr", "crates/abr/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "waiver-missing-reason");
+    }
+
+    #[test]
+    fn stale_waiver_is_reported() {
+        let src = "let x = 1; // lint: allow(panic) nothing panics here\n";
+        let v = run("quic", "crates/quic/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "stale-waiver");
+    }
+
+    #[test]
+    fn wall_clock_fires_everywhere_but_bench() {
+        let src = "let t = std::time::Instant::now();\n";
+        let v = run("sim", "crates/sim/src/x.rs", src);
+        assert_eq!(v[0].rule, "wall-clock");
+        assert!(run("bench", "crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_fires_on_unwrap_expect_panic() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    let a = x.unwrap();\n    let b = x.expect(\"b\");\n    panic!(\"boom\");\n}\n";
+        let v = run("quic", "crates/quic/src/x.rs", src);
+        let rules: Vec<_> = v.iter().map(|v| (v.rule, v.line)).collect();
+        assert_eq!(rules, vec![("panic", 2), ("panic", 3), ("panic", 4)]);
+    }
+
+    #[test]
+    fn panic_rule_skips_bins_unwrap_or_and_strings() {
+        let src = "fn f() { let s = \"don't .unwrap() me\"; let x = y.unwrap_or(0); }\n";
+        assert!(run("quic", "crates/quic/src/x.rs", src).is_empty());
+        let bin = "fn main() { x.unwrap(); }\n";
+        assert!(run("quic", "crates/quic/src/bin/tool.rs", bin).is_empty());
+    }
+
+    #[test]
+    fn float_eq_fires_on_float_literal_and_ssim_names() {
+        let v = run("abr", "crates/abr/src/x.rs", "if score == 0.0 { }\n");
+        assert_eq!(v[0].rule, "float-eq");
+        let v2 = run(
+            "media",
+            "crates/media/src/x.rs",
+            "if a.ssim != b.ssim { }\n",
+        );
+        assert_eq!(v2[0].rule, "float-eq");
+    }
+
+    #[test]
+    fn float_eq_quiet_on_integers_and_compound_ops() {
+        assert!(run("abr", "crates/abr/src/x.rs", "if n == 0 { }\n").is_empty());
+        assert!(run("abr", "crates/abr/src/x.rs", "x += 1.0; if a <= 2.0 {}\n").is_empty());
+        assert!(run("abr", "crates/abr/src/x.rs", "let ok = idx != len;\n").is_empty());
+    }
+}

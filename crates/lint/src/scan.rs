@@ -1,0 +1,397 @@
+//! Source model for the lint pass.
+//!
+//! Each file is reduced to a per-line view with three projections:
+//!
+//! - `raw`    — the original text,
+//! - `code`   — comments removed, string literals kept (used by the
+//!   taxonomy extractor, which reads event-kind literals),
+//! - `masked` — comments removed *and* string-literal contents blanked
+//!   (used by the token rules so `"HashMap"` inside a string or doc
+//!   comment cannot trip a lint).
+//!
+//! The scanner also tracks `#[cfg(test)]` regions by brace depth (rules
+//! skip test-only code) and collects `// lint: allow(<rule>) <reason>`
+//! waivers. A waiver written on its own comment line attaches to the next
+//! code line; a trailing waiver attaches to the line it sits on.
+
+use std::collections::BTreeMap;
+
+/// One `// lint: allow(rule) reason` waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rule name inside `allow(...)`.
+    pub rule: String,
+    /// Free-text justification after the closing paren.
+    pub reason: String,
+    /// 1-based line the waiver comment appears on.
+    pub declared_on: usize,
+}
+
+/// A single source line in all projections.
+#[derive(Debug, Clone)]
+pub struct Line {
+    pub raw: String,
+    pub code: String,
+    pub masked: String,
+    /// Inside a `#[cfg(test)]` item (module, fn, or the attribute line).
+    pub in_test: bool,
+}
+
+/// A parsed source file ready for rule checks.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the repo root, with `/` separators.
+    pub rel_path: String,
+    /// Workspace crate directory name (`"quic"`, `"core"`, ...); the
+    /// root `voxel` package uses `"."`.
+    pub crate_name: String,
+    pub lines: Vec<Line>,
+    /// Waivers keyed by the 1-based line they apply to.
+    pub waivers: BTreeMap<usize, Vec<Waiver>>,
+}
+
+impl SourceFile {
+    /// Parse `content` into the line model.
+    pub fn parse(rel_path: &str, crate_name: &str, content: &str) -> SourceFile {
+        let stripped = strip(content);
+        let in_test = test_regions(&stripped);
+        let mut lines = Vec::with_capacity(stripped.len());
+        let mut waivers: BTreeMap<usize, Vec<Waiver>> = BTreeMap::new();
+        for (i, s) in stripped.iter().enumerate() {
+            let lineno = i + 1;
+            for w in parse_waivers(&s.comment, lineno) {
+                let target = if s.masked.trim().is_empty() {
+                    // Standalone comment line: attach to the next code line.
+                    stripped
+                        .iter()
+                        .enumerate()
+                        .skip(i + 1)
+                        .find(|(_, t)| !t.masked.trim().is_empty())
+                        .map(|(j, _)| j + 1)
+                        .unwrap_or(lineno)
+                } else {
+                    lineno
+                };
+                waivers.entry(target).or_default().push(w);
+            }
+            lines.push(Line {
+                raw: s.raw.clone(),
+                code: s.code.clone(),
+                masked: s.masked.clone(),
+                in_test: in_test[i],
+            });
+        }
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_name.to_string(),
+            lines,
+            waivers,
+        }
+    }
+
+    /// Waivers attached to 1-based `lineno` for `rule`.
+    pub fn waiver_for(&self, lineno: usize, rule: &str) -> Option<&Waiver> {
+        self.waivers
+            .get(&lineno)
+            .and_then(|ws| ws.iter().find(|w| w.rule == rule))
+    }
+}
+
+/// Per-line output of the comment/string stripper.
+struct Stripped {
+    raw: String,
+    code: String,
+    masked: String,
+    comment: String,
+}
+
+/// Lexer state carried across lines.
+enum St {
+    Code,
+    /// Nested block comment depth.
+    Block(u32),
+    Str,
+    /// Raw string with `n` hashes (`r#"..."#`).
+    RawStr(u8),
+}
+
+/// Split `content` into lines, removing comments and (for `masked`)
+/// blanking string contents. Handles line/nested-block comments, plain
+/// and raw strings, escapes, char literals, and lifetimes.
+fn strip(content: &str) -> Vec<Stripped> {
+    let mut out = Vec::new();
+    let mut st = St::Code;
+    for raw_line in content.split('\n') {
+        let b: Vec<char> = raw_line.chars().collect();
+        let mut code = String::with_capacity(b.len());
+        let mut masked = String::with_capacity(b.len());
+        let mut comment = String::new();
+        let mut i = 0usize;
+        while i < b.len() {
+            match st {
+                St::Code => {
+                    let c = b[i];
+                    let next = b.get(i + 1).copied();
+                    if c == '/' && next == Some('/') {
+                        comment.push_str(&b[i..].iter().collect::<String>());
+                        break;
+                    } else if c == '/' && next == Some('*') {
+                        st = St::Block(1);
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        masked.push('"');
+                        st = St::Str;
+                        i += 1;
+                    } else if c == 'r' && matches!(next, Some('"') | Some('#')) {
+                        // Possible raw string: r"..." or r#"..."#.
+                        let mut j = i + 1;
+                        let mut hashes = 0u8;
+                        while b.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if b.get(j) == Some(&'"') {
+                            code.push_str(&b[i..=j].iter().collect::<String>());
+                            masked.push_str(&b[i..=j].iter().collect::<String>());
+                            st = St::RawStr(hashes);
+                            i = j + 1;
+                        } else {
+                            code.push(c);
+                            masked.push(c);
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        // Char literal vs lifetime.
+                        if next == Some('\\') {
+                            // '\n' style: copy until closing quote.
+                            let mut j = i + 2;
+                            while j < b.len() && b[j] != '\'' {
+                                j += 1;
+                            }
+                            let lit: String = b[i..=j.min(b.len() - 1)].iter().collect();
+                            code.push_str(&lit);
+                            masked.push_str(&lit);
+                            i = j + 1;
+                        } else if b.get(i + 2) == Some(&'\'') {
+                            let lit: String = b[i..=i + 2].iter().collect();
+                            code.push_str(&lit);
+                            masked.push_str(&lit);
+                            i += 3;
+                        } else {
+                            // Lifetime tick.
+                            code.push(c);
+                            masked.push(c);
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        masked.push(c);
+                        i += 1;
+                    }
+                }
+                St::Block(depth) => {
+                    if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        st = if depth == 1 {
+                            St::Code
+                        } else {
+                            St::Block(depth - 1)
+                        };
+                        i += 2;
+                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        st = St::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(b[i]);
+                        i += 1;
+                    }
+                }
+                St::Str => {
+                    let c = b[i];
+                    if c == '\\' {
+                        code.push(c);
+                        if let Some(&e) = b.get(i + 1) {
+                            code.push(e);
+                        }
+                        masked.push(' ');
+                        masked.push(' ');
+                        i += 2;
+                    } else if c == '"' {
+                        code.push('"');
+                        masked.push('"');
+                        st = St::Code;
+                        i += 1;
+                    } else {
+                        code.push(c);
+                        masked.push(' ');
+                        i += 1;
+                    }
+                }
+                St::RawStr(hashes) => {
+                    let c = b[i];
+                    if c == '"' {
+                        let mut ok = true;
+                        for k in 0..hashes as usize {
+                            if b.get(i + 1 + k) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            let close: String = b[i..=i + hashes as usize].iter().collect();
+                            code.push_str(&close);
+                            masked.push_str(&close);
+                            st = St::Code;
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                    }
+                    code.push(c);
+                    masked.push(' ');
+                    i += 1;
+                }
+            }
+        }
+        out.push(Stripped {
+            raw: raw_line.to_string(),
+            code,
+            masked,
+            comment,
+        });
+    }
+    out
+}
+
+/// Mark lines inside `#[cfg(test)]` items by tracking brace depth on the
+/// masked projection (so braces in strings don't confuse the count).
+fn test_regions(lines: &[Stripped]) -> Vec<bool> {
+    let mut flags = vec![false; lines.len()];
+    let mut in_test = false;
+    let mut depth = 0i64;
+    let mut pending = false;
+    for (i, s) in lines.iter().enumerate() {
+        let m = &s.masked;
+        if in_test {
+            flags[i] = true;
+            depth += brace_delta(m);
+            if depth <= 0 {
+                in_test = false;
+            }
+            continue;
+        }
+        if m.contains("#[cfg(test)]") {
+            pending = true;
+        }
+        if pending {
+            flags[i] = true;
+            let opens = m.chars().filter(|&c| c == '{').count() as i64;
+            let delta = brace_delta(m);
+            if opens > 0 && delta > 0 {
+                depth = delta;
+                in_test = true;
+                pending = false;
+            } else if opens > 0 && delta <= 0 {
+                // Single-line item: `#[cfg(test)] fn x() {}`.
+                pending = false;
+            } else if !m.contains("#[cfg(test)]") && m.trim_end().ends_with(';') {
+                // `#[cfg(test)] mod tests;` style — ends without a body.
+                pending = false;
+            }
+        }
+    }
+    flags
+}
+
+fn brace_delta(s: &str) -> i64 {
+    let mut d = 0i64;
+    for c in s.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Extract a waiver from one comment's text. Only a comment that *is* a
+/// waiver counts: after the `//` marker and whitespace the text must
+/// start with `lint: allow(` — prose that merely mentions the syntax
+/// (like this sentence) is ignored.
+fn parse_waivers(comment: &str, lineno: usize) -> Vec<Waiver> {
+    let body = comment.trim_start_matches(['/', '!']).trim_start();
+    let Some(after) = body.strip_prefix("lint: allow(") else {
+        return Vec::new();
+    };
+    let Some(close) = after.find(')') else {
+        return Vec::new();
+    };
+    let rule = after[..close].trim().to_string();
+    let reason = after[close + 1..].trim().trim_start_matches('-').trim();
+    vec![Waiver {
+        rule,
+        reason: reason.to_string(),
+        declared_on: lineno,
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_masked_but_kept_in_code() {
+        let f = SourceFile::parse("x.rs", "quic", "let s = \"HashMap inside\";\n");
+        assert!(f.lines[0].code.contains("HashMap inside"));
+        assert!(!f.lines[0].masked.contains("HashMap"));
+        assert!(f.lines[0].masked.contains("let s = \""));
+    }
+
+    #[test]
+    fn comments_are_removed_from_both() {
+        let src = "let x = 1; // HashMap here\n/* HashMap\nblock */ let y = 2;\n";
+        let f = SourceFile::parse("x.rs", "quic", src);
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(!f.lines[1].code.contains("HashMap"));
+        assert!(f.lines[2].code.contains("let y"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* b */ still comment */ let z = 3;\n";
+        let f = SourceFile::parse("x.rs", "quic", src);
+        assert!(f.lines[0].code.contains("let z"));
+        assert!(!f.lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let r = r#\"Instant::now\"#; let c = '\"'; }\n";
+        let f = SourceFile::parse("x.rs", "quic", src);
+        assert!(!f.lines[0].masked.contains("Instant::now"));
+        assert!(f.lines[0].masked.contains("fn f<'a>"));
+        // The '"' char literal must not open a string.
+        assert!(f.lines[0].masked.contains('}'));
+    }
+
+    #[test]
+    fn cfg_test_region_tracked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let f = SourceFile::parse("x.rs", "quic", src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        // (the trailing empty line comes from the final newline)
+        assert_eq!(flags, vec![false, true, true, true, true, false, false]);
+    }
+
+    #[test]
+    fn waiver_trailing_and_standalone() {
+        let src = "use std::collections::HashMap; // lint: allow(nondeterministic-map) memo only\n// lint: allow(panic) checked above\nlet v = x.unwrap();\n";
+        let f = SourceFile::parse("x.rs", "quic", src);
+        let w = f.waiver_for(1, "nondeterministic-map");
+        assert_eq!(w.map(|w| w.reason.as_str()), Some("memo only"));
+        let w2 = f.waiver_for(3, "panic");
+        assert_eq!(w2.map(|w| w.reason.as_str()), Some("checked above"));
+        assert!(f.waiver_for(2, "panic").is_none());
+    }
+}

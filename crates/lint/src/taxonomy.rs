@@ -1,0 +1,317 @@
+//! Trace-taxonomy cross-check.
+//!
+//! DESIGN.md §9 carries the authoritative table of event kinds and metric
+//! names per layer. This module parses that table, extracts every
+//! `trace_event!` kind and `tracer.count`/`tracer.observe` metric name
+//! from (non-test) source, and reports drift in both directions: kinds or
+//! metrics emitted but undocumented, and documented but never emitted.
+
+use crate::rules::Violation;
+use crate::scan::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The documented taxonomy: event kinds per layer plus one flat metric
+/// namespace (names are globally unique, prefixed by layer).
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Taxonomy {
+    pub kinds: BTreeMap<String, BTreeSet<String>>,
+    pub metrics: BTreeSet<String>,
+}
+
+/// Parse the §9 table out of DESIGN.md. The table is recognised by a
+/// header row whose first cell is `layer`; metric cells may abbreviate a
+/// shared prefix as `` `.packets_acked` `` which expands against the last
+/// fully-qualified name in the same cell run.
+pub fn parse_design(md: &str) -> Result<Taxonomy, String> {
+    let mut tax = Taxonomy::default();
+    let mut in_table = false;
+    let mut found = false;
+    for line in md.lines() {
+        let t = line.trim();
+        if !t.starts_with('|') {
+            in_table = false;
+            continue;
+        }
+        let cells: Vec<&str> = t.trim_matches('|').split('|').map(str::trim).collect();
+        if !in_table {
+            if cells
+                .first()
+                .is_some_and(|c| c.trim_matches('`').eq_ignore_ascii_case("layer"))
+            {
+                in_table = true;
+                found = true;
+            }
+            continue;
+        }
+        if cells
+            .iter()
+            .all(|c| c.chars().all(|ch| ch == '-' || ch == ':' || ch == ' '))
+        {
+            continue; // separator row
+        }
+        if cells.len() < 2 {
+            continue;
+        }
+        let layer = cells[0].trim_matches('`').to_string();
+        if layer.is_empty() {
+            continue;
+        }
+        let kind_set = tax.kinds.entry(layer).or_default();
+        for k in backticked(cells[1]) {
+            kind_set.insert(k);
+        }
+        let mut prefix = String::new();
+        for cell in cells.iter().skip(2) {
+            for name in backticked(cell) {
+                let full = if let Some(stripped) = name.strip_prefix('.') {
+                    format!("{prefix}.{stripped}")
+                } else {
+                    if let Some(dot) = name.find('.') {
+                        prefix = name[..dot].to_string();
+                    }
+                    name.clone()
+                };
+                tax.metrics.insert(full);
+            }
+        }
+    }
+    if !found {
+        return Err("DESIGN.md: no taxonomy table (header cell `layer`) found".to_string());
+    }
+    Ok(tax)
+}
+
+/// All `` `token` `` spans in a table cell.
+fn backticked(cell: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = cell;
+    while let Some(open) = rest.find('`') {
+        let after = &rest[open + 1..];
+        match after.find('`') {
+            Some(close) => {
+                let tok = after[..close].trim();
+                if !tok.is_empty() && tok != "—" {
+                    out.push(tok.to_string());
+                }
+                rest = &after[close + 1..];
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// One extracted emission site.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Emission {
+    pub path: String,
+    pub line: usize,
+    /// `Some((layer, kind))` for `trace_event!`, `None` for a metric.
+    pub kind: Option<(String, String)>,
+    pub metric: Option<String>,
+}
+
+/// Extract event kinds and metric names from the non-test code of `f`.
+pub fn extract(f: &SourceFile) -> Vec<Emission> {
+    // Concatenate non-test code lines (string literals intact) with a
+    // byte-offset → line map so multi-line macro calls scan cleanly.
+    let mut text = String::new();
+    let mut line_starts = Vec::new();
+    for (i, l) in f.lines.iter().enumerate() {
+        if l.in_test {
+            continue;
+        }
+        line_starts.push((text.len(), i + 1));
+        text.push_str(&l.code);
+        text.push('\n');
+    }
+    let line_of = |off: usize| match line_starts.binary_search_by_key(&off, |&(o, _)| o) {
+        Ok(idx) => line_starts[idx].1,
+        Err(0) => 1,
+        Err(idx) => line_starts[idx - 1].1,
+    };
+
+    let mut out = Vec::new();
+    // trace_event!(tracer, t, Layer::X, "kind", ...)
+    let mut start = 0;
+    while let Some(pos) = text[start..].find("trace_event!(") {
+        let abs = start + pos;
+        let window = &text[abs..text.len().min(abs + 400)];
+        if let Some(lpos) = window.find("Layer::") {
+            let after_layer = &window[lpos + "Layer::".len()..];
+            let layer: String = after_layer
+                .chars()
+                .take_while(|c| c.is_alphanumeric())
+                .collect();
+            if let Some(q) = after_layer.find('"') {
+                let lit = &after_layer[q + 1..];
+                if let Some(endq) = lit.find('"') {
+                    out.push(Emission {
+                        path: f.rel_path.clone(),
+                        line: line_of(abs),
+                        kind: Some((layer.to_ascii_lowercase(), lit[..endq].to_string())),
+                        metric: None,
+                    });
+                }
+            }
+        }
+        start = abs + "trace_event!(".len();
+    }
+    // tracer.count("name", ...) / tracer.observe("name", ...)
+    for pat in [".count(\"", ".observe(\""] {
+        let mut start = 0;
+        while let Some(pos) = text[start..].find(pat) {
+            let abs = start + pos;
+            let lit = &text[abs + pat.len()..];
+            if let Some(endq) = lit.find('"') {
+                out.push(Emission {
+                    path: f.rel_path.clone(),
+                    line: line_of(abs),
+                    kind: None,
+                    metric: Some(lit[..endq].to_string()),
+                });
+            }
+            start = abs + pat.len();
+        }
+    }
+    out
+}
+
+/// Cross-check emissions against the documented taxonomy (both ways).
+pub fn cross_check(
+    tax: &Taxonomy,
+    emissions: &[Emission],
+    design_path: &str,
+    out: &mut Vec<Violation>,
+) {
+    let mut seen_kinds: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut seen_metrics: BTreeSet<String> = BTreeSet::new();
+    for e in emissions {
+        if let Some((layer, kind)) = &e.kind {
+            seen_kinds
+                .entry(layer.clone())
+                .or_default()
+                .insert(kind.clone());
+            let documented = tax.kinds.get(layer).is_some_and(|set| set.contains(kind));
+            if !documented {
+                out.push(Violation {
+                    path: e.path.clone(),
+                    line: e.line,
+                    rule: "trace-taxonomy",
+                    msg: format!(
+                        "event kind `{kind}` (layer `{layer}`) is not in the DESIGN.md §9 table"
+                    ),
+                });
+            }
+        }
+        if let Some(m) = &e.metric {
+            seen_metrics.insert(m.clone());
+            if !tax.metrics.contains(m) {
+                out.push(Violation {
+                    path: e.path.clone(),
+                    line: e.line,
+                    rule: "trace-taxonomy",
+                    msg: format!("metric `{m}` is not in the DESIGN.md §9 table"),
+                });
+            }
+        }
+    }
+    for (layer, kinds) in &tax.kinds {
+        for kind in kinds {
+            let emitted = seen_kinds.get(layer).is_some_and(|s| s.contains(kind));
+            if !emitted {
+                out.push(Violation {
+                    path: design_path.to_string(),
+                    line: 0,
+                    rule: "trace-taxonomy",
+                    msg: format!(
+                        "documented event kind `{kind}` (layer `{layer}`) is never emitted"
+                    ),
+                });
+            }
+        }
+    }
+    for m in &tax.metrics {
+        if !seen_metrics.contains(m) {
+            out.push(Violation {
+                path: design_path.to_string(),
+                line: 0,
+                rule: "trace-taxonomy",
+                msg: format!("documented metric `{m}` is never emitted"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TABLE: &str = "\
+## 9. Taxonomy
+
+| layer | events | counters | histograms |
+|-------|--------|----------|------------|
+| `quic` | `pkt_sent`, `loss` | counters `quic.packets_sent`, `.loss_events` | `quic.cwnd_bytes` |
+| `session` | `trial_start`, `progress` (debug) | — | — |
+";
+
+    #[test]
+    fn parses_table_with_prefix_expansion() {
+        let tax = parse_design(TABLE).expect("table parses");
+        assert_eq!(
+            tax.kinds["quic"],
+            ["pkt_sent", "loss"].iter().map(|s| s.to_string()).collect()
+        );
+        assert!(tax.kinds["session"].contains("progress"));
+        assert!(tax.metrics.contains("quic.packets_sent"));
+        assert!(tax.metrics.contains("quic.loss_events"));
+        assert!(tax.metrics.contains("quic.cwnd_bytes"));
+        assert_eq!(tax.metrics.len(), 3);
+    }
+
+    #[test]
+    fn missing_table_is_an_error() {
+        assert!(parse_design("# no tables here\n").is_err());
+    }
+
+    #[test]
+    fn extracts_multiline_macro_and_metrics() {
+        let src = "fn f(tracer: &Tracer) {\n    tracer.count(\"quic.packets_sent\", 1);\n    trace_event!(\n        tracer,\n        t,\n        Layer::Quic,\n        \"pkt_sent\",\n        \"pn\" = pn,\n    );\n}\n";
+        let f = SourceFile::parse("crates/quic/src/x.rs", "quic", src);
+        let em = extract(&f);
+        assert_eq!(em.len(), 2);
+        assert_eq!(
+            em[0].kind,
+            Some(("quic".to_string(), "pkt_sent".to_string()))
+        );
+        assert_eq!(em[0].line, 3);
+        assert_eq!(em[1].metric, Some("quic.packets_sent".to_string()));
+        assert_eq!(em[1].line, 2);
+    }
+
+    #[test]
+    fn cross_check_flags_drift_both_ways() {
+        let tax = parse_design(TABLE).expect("table parses");
+        let src = "fn f() {\n    trace_event!(tracer, t, Layer::Quic, \"mystery\", \"a\" = 1);\n    tracer.count(\"quic.packets_sent\", 1);\n    tracer.count(\"quic.loss_events\", 1);\n    tracer.observe(\"quic.cwnd_bytes\", 1);\n}\n";
+        let f = SourceFile::parse("crates/quic/src/x.rs", "quic", src);
+        let mut out = Vec::new();
+        cross_check(&tax, &extract(&f), "DESIGN.md", &mut out);
+        let msgs: Vec<_> = out.iter().map(|v| v.msg.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("`mystery`")), "{msgs:?}");
+        // Documented kinds never emitted: pkt_sent, loss, trial_start, progress.
+        assert_eq!(
+            out.iter()
+                .filter(|v| v.msg.contains("never emitted"))
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn extract_skips_test_modules() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t(tracer: &Tracer) { tracer.count(\"fake.metric\", 1); }\n}\n";
+        let f = SourceFile::parse("crates/quic/src/x.rs", "quic", src);
+        assert!(extract(&f).is_empty());
+    }
+}

@@ -102,6 +102,7 @@ impl LossMap {
 
     /// True if nothing was lost.
     pub fn is_clean(&self) -> bool {
+        // lint: allow(float-eq) exact sentinel — fractions are assigned 0.0, never computed
         self.frac.iter().all(|&f| f == 0.0)
     }
 
@@ -276,12 +277,7 @@ pub fn drop_order(seg: &Segment) -> Vec<usize> {
             .sum::<f64>();
         own * 0.4 + induced * 24.0
     };
-    order.sort_by(|&a, &b| {
-        harm(a)
-            .partial_cmp(&harm(b))
-            .expect("harm is finite")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| harm(a).total_cmp(&harm(b)).then(a.cmp(&b)));
     order
 }
 

@@ -105,6 +105,34 @@ impl AckTracker {
     pub fn ranges(&self) -> &[AckRange] {
         &self.ranges
     }
+
+    /// Structural audit: inclusive ranges are well-formed, sorted
+    /// ascending, and non-adjacent (adjacent runs must have merged).
+    /// Used by the `paranoid` runtime layer and the property tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for &(s, e) in &self.ranges {
+            if s > e {
+                return Err(format!("inverted ack range [{s}, {e}]"));
+            }
+        }
+        for w in self.ranges.windows(2) {
+            if w[0].1 + 1 >= w[1].0 {
+                return Err(format!(
+                    "ack ranges not sorted/merged: [{}, {}] then [{}, {}]",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                ));
+            }
+        }
+        if let Some((largest, _)) = self.largest_arrival {
+            let max_tracked = self.ranges.last().map(|&(_, e)| e).unwrap_or(0);
+            if largest > max_tracked {
+                return Err(format!(
+                    "largest arrival {largest} beyond tracked ranges (max {max_tracked})"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +225,7 @@ mod tests {
                     // Sorted, disjoint and non-adjacent.
                     prop_assert!(w[0].1 + 1 < w[1].0, "ranges {:?}", ranges);
                 }
+                prop_assert!(t.check_invariants().is_ok(), "{:?}", t.check_invariants());
                 // Every inserted pn is covered.
                 for pn in &pns {
                     prop_assert!(ranges.iter().any(|&(a, b)| (a..=b).contains(pn)));

@@ -233,20 +233,22 @@ impl Connection {
         self.control.push_back(Frame::ResetStream { id });
     }
 
-    /// Write data on a locally opened stream.
+    /// Write data on a locally opened stream. Writes to a stream this
+    /// endpoint never opened are a caller bug; they are dropped rather
+    /// than crashing a whole survey run.
     pub fn send(&mut self, id: StreamId, data: &[u8]) {
-        self.send_streams
-            .get_mut(&id)
-            .expect("unknown send stream")
-            .write(data);
+        debug_assert!(self.send_streams.contains_key(&id), "unknown send stream");
+        if let Some(s) = self.send_streams.get_mut(&id) {
+            s.write(data);
+        }
     }
 
-    /// Finish a locally opened stream.
+    /// Finish a locally opened stream (no-op on unknown ids, as `send`).
     pub fn finish(&mut self, id: StreamId) {
-        self.send_streams
-            .get_mut(&id)
-            .expect("unknown send stream")
-            .finish();
+        debug_assert!(self.send_streams.contains_key(&id), "unknown send stream");
+        if let Some(s) = self.send_streams.get_mut(&id) {
+            s.finish();
+        }
     }
 
     /// Access a receive stream (for reads / missing-range queries).
@@ -286,6 +288,61 @@ impl Connection {
         }
         for frame in packet.frames {
             self.on_frame(now, frame);
+        }
+        self.debug_invariants();
+    }
+
+    /// Full structural audit of the connection (DESIGN.md §10): flow
+    /// control within limits, congestion window above the floor both
+    /// controllers maintain, stream offsets monotone and in-buffer, and
+    /// every ACK/loss range set sorted and disjoint. Cheap enough to run
+    /// at event-loop boundaries; the `paranoid` feature does exactly that
+    /// via [`Connection::debug_invariants`].
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.data_sent > self.max_data_remote {
+            return Err(format!(
+                "flow control violated: sent {} > remote limit {}",
+                self.data_sent, self.max_data_remote
+            ));
+        }
+        if self.data_received > self.max_data_local {
+            return Err(format!(
+                "flow control violated: received {} > local limit {}",
+                self.data_received, self.max_data_local
+            ));
+        }
+        let floor = 2 * self.config.mss;
+        if self.cc.cwnd() < floor {
+            return Err(format!(
+                "cwnd {} below the {floor}-byte floor",
+                self.cc.cwnd()
+            ));
+        }
+        for (id, s) in &self.send_streams {
+            s.check_invariants()
+                .map_err(|e| format!("send stream {id}: {e}"))?;
+        }
+        for (id, r) in &self.recv_streams {
+            r.check_invariants()
+                .map_err(|e| format!("recv stream {id}: {e}"))?;
+        }
+        self.ack
+            .check_invariants()
+            .map_err(|e| format!("ack tracker: {e}"))?;
+        self.loss
+            .check_invariants()
+            .map_err(|e| format!("loss detector: {e}"))?;
+        Ok(())
+    }
+
+    /// Invariant audit hook, compiled to a no-op unless the `paranoid`
+    /// feature is on.
+    #[inline]
+    fn debug_invariants(&self) {
+        #[cfg(feature = "paranoid")]
+        if let Err(e) = self.check_invariants() {
+            // lint: allow(panic) the paranoid layer is intentionally fatal on corruption
+            panic!("quic::Connection invariant violated ({:?}): {e}", self.role);
         }
     }
 
@@ -348,7 +405,7 @@ impl Connection {
                 }
                 if self.tracer.enabled() && !outcome.acked.is_empty() {
                     let bytes: usize = outcome.acked.iter().map(|p| p.wire_bytes).sum();
-                    let largest = outcome.acked.iter().map(|p| p.pkt_num).max().expect("some");
+                    let largest = outcome.acked.iter().map(|p| p.pkt_num).max().unwrap_or(0);
                     self.tracer
                         .count("quic.packets_acked", outcome.acked.len() as u64);
                     self.tracer
@@ -407,13 +464,12 @@ impl Connection {
     }
 
     fn handle_lost(&mut self, now: SimTime, lost: Vec<SentPacket>) {
-        if lost.is_empty() {
+        let Some(largest_lost) = lost.iter().map(|p| p.pkt_num).max() else {
             return;
-        }
+        };
         self.stats.packets_lost += lost.len() as u64;
         self.stats.loss_events += 1;
         let largest_sent = self.next_pkt_num.saturating_sub(1);
-        let largest_lost = lost.iter().map(|p| p.pkt_num).max().expect("non-empty");
         let bytes: usize = lost.iter().map(|p| p.wire_bytes).sum();
         self.cc.on_loss(now, largest_sent, largest_lost, bytes);
         if self.tracer.enabled() {
@@ -474,6 +530,7 @@ impl Connection {
     /// Produce the next outgoing packet, or `None` if there is nothing to
     /// send right now (congestion-blocked, flow-blocked, or idle).
     pub fn poll_transmit(&mut self, now: SimTime) -> Option<Packet> {
+        self.debug_invariants();
         if self.closed {
             return None;
         }
@@ -485,7 +542,9 @@ impl Connection {
             if f.size() > budget {
                 break;
             }
-            let f = self.control.pop_front().expect("checked");
+            let Some(f) = self.control.pop_front() else {
+                break;
+            };
             if let Frame::Close { .. } = f {
                 self.closed = true;
             }
@@ -671,6 +730,7 @@ impl Connection {
                 }
             }
         }
+        self.debug_invariants();
     }
 
     /// Whether any stream still has data to send or awaiting ack.
@@ -1075,6 +1135,81 @@ mod props {
                 got.extend_from_slice(&b);
             }
             prop_assert_eq!(got, payload);
+        }
+
+        /// `check_invariants` holds on both endpoints at every event-loop
+        /// boundary, for arbitrary mixes of reliable/unreliable streams,
+        /// send sizes, and bidirectional random loss. This is the same
+        /// audit the `paranoid` feature runs inside the session loop.
+        #[test]
+        fn invariants_hold_under_random_event_sequences(
+            streams in proptest::collection::vec((proptest::bool::ANY, 1usize..20_000), 1..6),
+            drop_mod in 2u64..10,
+            drop_phase in 0u64..10,
+            drop_uplink in proptest::bool::ANY,
+            seed in 0u64..500,
+        ) {
+            let mut server = Connection::with_defaults(Role::Server);
+            let mut client = Connection::with_defaults(Role::Client);
+            for (i, &(reliable, len)) in streams.iter().enumerate() {
+                let rel = if reliable { Reliability::Reliable } else { Reliability::Unreliable };
+                let id = server.open_stream(rel);
+                let payload: Vec<u8> =
+                    (0..len).map(|j| ((j as u64 * 37 + i as u64 + seed) % 251) as u8).collect();
+                server.send(id, &payload);
+                server.finish(id);
+            }
+
+            let delay = SimDuration::from_millis(30);
+            let mut queue = voxel_sim::EventQueue::<(usize, Bytes)>::new();
+            let mut now = SimTime::ZERO;
+            let horizon = SimTime::from_secs(120);
+            loop {
+                loop {
+                    let mut progressed = false;
+                    while let Some(p) = server.poll_transmit(now) {
+                        if (p.pkt_num + drop_phase) % drop_mod != 0 {
+                            queue.schedule(now + delay, (1, p.encode()));
+                        }
+                        progressed = true;
+                    }
+                    while let Some(p) = client.poll_transmit(now) {
+                        if !drop_uplink || (p.pkt_num + drop_phase) % drop_mod != 1 {
+                            queue.schedule(now + delay, (0, p.encode()));
+                        }
+                        progressed = true;
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+                let next = [queue.peek_time(), server.next_timeout(), client.next_timeout()]
+                    .into_iter()
+                    .flatten()
+                    .min();
+                let Some(next) = next else { break };
+                if next > horizon {
+                    break;
+                }
+                now = next;
+                if queue.peek_time() == Some(now) {
+                    let ev = queue.pop().expect("peeked");
+                    match ev.event.0 {
+                        0 => server.on_datagram(now, ev.event.1),
+                        _ => client.on_datagram(now, ev.event.1),
+                    }
+                }
+                if server.next_timeout().is_some_and(|t| t <= now) {
+                    server.on_timeout(now);
+                }
+                if client.next_timeout().is_some_and(|t| t <= now) {
+                    client.on_timeout(now);
+                }
+                prop_assert!(server.check_invariants().is_ok(), "{:?}", server.check_invariants());
+                prop_assert!(client.check_invariants().is_ok(), "{:?}", client.check_invariants());
+            }
+            prop_assert!(server.check_invariants().is_ok(), "{:?}", server.check_invariants());
+            prop_assert!(client.check_invariants().is_ok(), "{:?}", client.check_invariants());
         }
     }
 }

@@ -89,6 +89,28 @@ impl LossDetector {
         self.largest_acked
     }
 
+    /// Structural audit: tracked packets agree with their keys and send
+    /// times are monotone in packet number. Used by the `paranoid`
+    /// runtime layer (DESIGN.md §10).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut prev: Option<(u64, voxel_sim::SimTime)> = None;
+        for (&pn, pkt) in &self.sent {
+            if pkt.pkt_num != pn {
+                return Err(format!("sent[{pn}] holds packet number {}", pkt.pkt_num));
+            }
+            if let Some((ppn, pat)) = prev {
+                if pkt.sent_at < pat {
+                    return Err(format!(
+                        "packet {pn} sent at {:?} before packet {ppn} at {pat:?}",
+                        pkt.sent_at
+                    ));
+                }
+            }
+            prev = Some((pn, pkt.sent_at));
+        }
+        Ok(())
+    }
+
     /// Consecutive PTO count (reset by forward progress).
     pub fn pto_count(&self) -> u32 {
         self.pto_count
@@ -111,9 +133,10 @@ impl LossDetector {
             let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
             let acked: Vec<u64> = self.sent.range(lo..=hi).map(|(&pn, _)| pn).collect();
             for pn in acked {
-                let pkt = self.sent.remove(&pn).expect("present");
-                largest_newly_acked = Some(largest_newly_acked.map_or(pn, |l: u64| l.max(pn)));
-                out.acked.push(pkt);
+                if let Some(pkt) = self.sent.remove(&pn) {
+                    largest_newly_acked = Some(largest_newly_acked.map_or(pn, |l: u64| l.max(pn)));
+                    out.acked.push(pkt);
+                }
             }
         }
 
@@ -153,7 +176,7 @@ impl LossDetector {
             .collect();
         lost_pns
             .into_iter()
-            .map(|pn| self.sent.remove(&pn).expect("present"))
+            .filter_map(|pn| self.sent.remove(&pn))
             .collect()
     }
 

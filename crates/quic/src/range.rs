@@ -109,6 +109,26 @@ impl RangeSet {
     pub fn is_empty(&self) -> bool {
         self.ranges.is_empty()
     }
+
+    /// Structural audit: ranges are non-empty, sorted ascending, and
+    /// coalesced (disjoint with a gap between neighbours). Used by the
+    /// `paranoid` runtime layer and the property tests (DESIGN.md §10).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for &(s, e) in &self.ranges {
+            if s >= e {
+                return Err(format!("empty or inverted range [{s}, {e})"));
+            }
+        }
+        for w in self.ranges.windows(2) {
+            if w[0].1 >= w[1].0 {
+                return Err(format!(
+                    "ranges not sorted/coalesced: [{}, {}) then [{}, {})",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +244,7 @@ mod tests {
                 for w in rs.windows(2) {
                     prop_assert!(w[0].1 < w[1].0);
                 }
+                prop_assert!(s.check_invariants().is_ok(), "{:?}", s.check_invariants());
                 // Covered length matches the reference bitmap.
                 let expected = reference.iter().filter(|&&b| b).count() as u64;
                 prop_assert_eq!(s.covered_len(), expected);

@@ -186,6 +186,9 @@ impl SendStream {
         self.acked.insert(offset, offset + len as u64);
         if fin {
             self.fin_acked = true;
+            // A spurious loss may have cleared `fin_sent` to schedule a
+            // resend; the late ack proves delivery, so cancel it.
+            self.fin_sent = true;
         }
     }
 
@@ -231,6 +234,54 @@ impl SendStream {
     /// Whether nothing was written.
     pub fn is_empty(&self) -> bool {
         self.buffer.is_empty()
+    }
+
+    /// Structural audit: send offsets stay monotonic and inside the
+    /// written buffer, acked/retransmit ranges are well-formed, and fin
+    /// (once declared) pins the stream length. Used by the `paranoid`
+    /// runtime layer (DESIGN.md §10).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let len = self.buffer.len() as u64;
+        if self.next_send > len {
+            return Err(format!(
+                "next_send {} beyond buffer len {len}",
+                self.next_send
+            ));
+        }
+        self.acked
+            .check_invariants()
+            .map_err(|e| format!("acked set: {e}"))?;
+        if self.acked.max_end() > len {
+            return Err(format!(
+                "acked up to {} beyond buffer len {len}",
+                self.acked.max_end()
+            ));
+        }
+        if let Some(fin) = self.fin_offset {
+            if fin != len {
+                return Err(format!("fin_offset {fin} != buffer len {len}"));
+            }
+            if self.fin_acked && !self.fin_sent {
+                return Err("fin acked but never sent".to_string());
+            }
+        }
+        for &(s, e) in &self.retransmit {
+            if s >= e || e > self.next_send {
+                return Err(format!(
+                    "retransmit range [{s}, {e}) outside sent data [0, {})",
+                    self.next_send
+                ));
+            }
+        }
+        for &(s, e) in &self.loss_reports {
+            if s >= e || e > self.next_send {
+                return Err(format!(
+                    "loss report [{s}, {e}) outside sent data [0, {})",
+                    self.next_send
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -302,7 +353,7 @@ impl RecvStream {
         if start > self.read_cursor {
             return None; // gap at the cursor
         }
-        let (start, chunk) = self.chunks.pop_first().expect("checked");
+        let (start, chunk) = self.chunks.pop_first()?;
         // Drop any portion already read (possible after overlap trims).
         let skip = (self.read_cursor - start) as usize;
         self.read_cursor = start + chunk.len() as u64;
@@ -343,6 +394,39 @@ impl RecvStream {
     /// Received ranges, for inspection.
     pub fn received_ranges(&self) -> Vec<(u64, u64)> {
         self.received.iter().collect()
+    }
+
+    /// Structural audit: the read cursor never outruns the contiguous
+    /// prefix, buffered chunks lie inside the received set, and nothing
+    /// arrives beyond fin. Used by the `paranoid` runtime layer.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.received
+            .check_invariants()
+            .map_err(|e| format!("received set: {e}"))?;
+        if self.read_cursor > self.received.prefix_len() {
+            return Err(format!(
+                "read_cursor {} beyond contiguous prefix {}",
+                self.read_cursor,
+                self.received.prefix_len()
+            ));
+        }
+        if let Some(fin) = self.fin_offset {
+            if self.received.max_end() > fin {
+                return Err(format!(
+                    "received up to {} beyond fin {fin}",
+                    self.received.max_end()
+                ));
+            }
+        }
+        for (&off, chunk) in &self.chunks {
+            let end = off + chunk.len() as u64;
+            if !self.received.covers(off, end) {
+                return Err(format!(
+                    "buffered chunk [{off}, {end}) not in the received set"
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

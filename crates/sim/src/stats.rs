@@ -38,7 +38,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    v.sort_by(|a, b| a.total_cmp(b));
     if v.len() == 1 {
         return v[0];
     }
@@ -59,7 +59,7 @@ pub fn ecdf(xs: &[f64]) -> Vec<(f64, f64)> {
         return Vec::new();
     }
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ecdf input"));
+    v.sort_by(|a, b| a.total_cmp(b));
     let n = v.len() as f64;
     let mut out: Vec<(f64, f64)> = Vec::new();
     for (i, x) in v.iter().enumerate() {
@@ -76,7 +76,7 @@ pub fn ecdf(xs: &[f64]) -> Vec<(f64, f64)> {
 /// the fraction of samples ≤ probe. Handy for printing fixed-grid CDF rows.
 pub fn ecdf_at(xs: &[f64], probes: &[f64]) -> Vec<(f64, f64)> {
     let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ecdf input"));
+    v.sort_by(|a, b| a.total_cmp(b));
     probes
         .iter()
         .map(|&p| {

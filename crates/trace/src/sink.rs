@@ -66,7 +66,10 @@ impl MemorySink {
 
 impl TraceSink for MemorySink {
     fn record(&mut self, event: &TraceEvent) {
-        let mut buf = self.buf.lock().expect("memory sink poisoned");
+        let mut buf = self
+            .buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if buf.len() == self.capacity {
             buf.pop_front();
             self.dropped
@@ -81,7 +84,7 @@ impl MemoryHandle {
     pub fn events(&self) -> Vec<TraceEvent> {
         self.buf
             .lock()
-            .expect("memory sink poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .cloned()
             .collect()
@@ -89,7 +92,10 @@ impl MemoryHandle {
 
     /// Number of retained events.
     pub fn len(&self) -> usize {
-        self.buf.lock().expect("memory sink poisoned").len()
+        self.buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// Whether no events are retained.
@@ -161,7 +167,10 @@ impl SharedBuf {
 
     /// Copy out everything written so far.
     pub fn contents(&self) -> Vec<u8> {
-        self.buf.lock().expect("shared buf poisoned").clone()
+        self.buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 }
 
@@ -169,7 +178,7 @@ impl Write for SharedBuf {
     fn write(&mut self, data: &[u8]) -> io::Result<usize> {
         self.buf
             .lock()
-            .expect("shared buf poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .extend_from_slice(data);
         Ok(data.len())
     }

@@ -101,7 +101,7 @@ impl Tracer {
         inner
             .sink
             .lock()
-            .expect("trace sink poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .record(&event);
     }
 
@@ -111,7 +111,7 @@ impl Tracer {
             inner
                 .metrics
                 .lock()
-                .expect("metrics poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .count(name, delta);
         }
     }
@@ -122,7 +122,7 @@ impl Tracer {
             inner
                 .metrics
                 .lock()
-                .expect("metrics poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .gauge(name, v);
         }
     }
@@ -133,22 +133,29 @@ impl Tracer {
             inner
                 .metrics
                 .lock()
-                .expect("metrics poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .observe(name, v);
         }
     }
 
     /// Snapshot the metrics registry at sim time `at` (None when disabled).
     pub fn metrics_snapshot(&self, at: SimTime) -> Option<MetricsSnapshot> {
-        self.inner
-            .as_ref()
-            .map(|i| i.metrics.lock().expect("metrics poisoned").snapshot(at))
+        self.inner.as_ref().map(|i| {
+            i.metrics
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .snapshot(at)
+        })
     }
 
     /// Flush the sink (end of session).
     pub fn flush(&self) {
         if let Some(inner) = &self.inner {
-            inner.sink.lock().expect("trace sink poisoned").flush();
+            inner
+                .sink
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .flush();
         }
     }
 }
