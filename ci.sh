@@ -19,6 +19,12 @@ cargo test -q -p voxel-lint -p voxel-quic
 echo "==> cargo test -q --features paranoid (runtime invariant audits)"
 cargo test -q --features paranoid
 
+echo "==> tier-2: conformance sweep (scenario matrix x seeds + golden digests, DESIGN.md §11)"
+VOXEL_SEEDS="${VOXEL_SEEDS:-3}" cargo run -q --release -p voxel-bench --bin conformance
+
+echo "==> tier-2: testkit canary (armed stall-skew must be caught and minimized)"
+VOXEL_TESTKIT_FAULT=stall_off_by_one cargo run -q --release -p voxel-bench --bin conformance
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

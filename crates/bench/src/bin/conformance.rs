@@ -1,0 +1,163 @@
+//! Tier-2 conformance runner (DESIGN.md §11).
+//!
+//! Runs the deterministic-simulation conformance suite: a scenario matrix
+//! plus fault-injection scenarios, each across K seeds with every oracle
+//! armed, plus the golden timeline digests. Failures are minimized to a
+//! `(seed, trials, trace-prefix)` triple with a ready-to-paste `#[test]`.
+//!
+//! ```text
+//! cargo run --release -p voxel-bench --bin conformance
+//! VOXEL_SEEDS=8           # sweep seed count (default 5)
+//! VOXEL_BLESS=1           # re-bless the golden digests
+//! VOXEL_TESTKIT_FAULT=stall_off_by_one   # canary self-test: arm the
+//!     # deliberate stall-accounting skew and demand the sweep catch it
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+use voxel_testkit::{
+    check_or_bless, run_golden, run_sweep, Content, GoldenStatus, Matrix, Scenario, SweepOptions,
+    SweepReport,
+};
+
+fn seeds() -> Vec<u64> {
+    let n: u64 = std::env::var("VOXEL_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    (1..=n.max(1)).collect()
+}
+
+/// The conformance scenario set: a cheap matrix over the main axes plus
+/// targeted fault-injection scenarios.
+fn scenarios() -> Result<Vec<Scenario>, String> {
+    let mut all =
+        Matrix::parse("videos=BBB systems=BOLA,VOXEL traces=const8,tmobile buffers=3 trials=1")?
+            .scenarios();
+    for spec in [
+        "ToS:VOXEL:tmobile:buf1",
+        "ToS:BOLA:tmobile:buf1",
+        "BBB:VOXEL:const5:loss@40+10x0.3",
+        "BBB:VOXEL:const8:cliff@120x0.25",
+        "BBB:BOLA:const8:stuck@60+30",
+        "BBB:VOXEL:const5:reorder@30+30x0.2~40:dup@90+30x0.1~15",
+    ] {
+        all.push(Scenario::parse(spec)?);
+    }
+    Ok(all)
+}
+
+fn print_failures(report: &SweepReport) {
+    for f in &report.failures {
+        println!("\nFAIL {} seed {}", f.spec, f.seed);
+        for v in &f.failures {
+            println!("  - {v}");
+        }
+        if let Some(r) = &f.repro {
+            println!("  minimized to {}", r.triple());
+            println!("  repro:\n{}", r.test_source());
+        }
+    }
+}
+
+fn run_conformance() -> Result<bool, String> {
+    let seeds = seeds();
+    let all = scenarios()?;
+    println!(
+        "# conformance: {} scenarios x {} seeds",
+        all.len(),
+        seeds.len()
+    );
+    let mut content = Content::new();
+    let started = Instant::now();
+    let report = run_sweep(
+        &all,
+        &SweepOptions {
+            seeds,
+            ..SweepOptions::default()
+        },
+        &mut content,
+    )?;
+    println!(
+        "# sweep: {}/{} runs passed in {:.1}s",
+        report.passed,
+        report.runs,
+        started.elapsed().as_secs_f64()
+    );
+    print_failures(&report);
+
+    let golden_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden");
+    let mut goldens_ok = true;
+    for g in voxel_testkit::digest::canonical_scenarios() {
+        let (timeline, failures) = run_golden(&g, &mut content)?;
+        if !failures.is_empty() {
+            println!("FAIL golden {}: {failures:?}", g.name);
+            goldens_ok = false;
+            continue;
+        }
+        match check_or_bless(&golden_dir, &g, &timeline) {
+            Ok(GoldenStatus::Matched) => println!("# golden {}: ok", g.name),
+            Ok(GoldenStatus::Blessed) => println!("# golden {}: blessed", g.name),
+            Err(e) => {
+                println!("FAIL golden {}: {e}", g.name);
+                goldens_ok = false;
+            }
+        }
+    }
+    Ok(report.ok() && goldens_ok)
+}
+
+/// Canary self-test: arm the deliberate stall-accounting skew and demand
+/// the sweep catch and minimize it. Exits successfully only if the drift
+/// oracle fires.
+fn run_canary() -> Result<bool, String> {
+    // BOLA over a violent cellular trace with a 1-segment buffer stalls
+    // on essentially every seed (the paper's Fig 6 baseline), so the
+    // +100 ms-per-stall skew has material to drift on; the same scenario
+    // passes every oracle when the skew is off.
+    let scenario = Scenario::parse("ToS:BOLA:tmobile:buf1:inject=stall_skew")?;
+    println!("# canary: {} across 5 seeds", scenario.spec());
+    let mut content = Content::new();
+    let report = run_sweep(&[scenario], &SweepOptions::default(), &mut content)?;
+    print_failures(&report);
+    match report.failures.first() {
+        Some(f) => {
+            let caught = f
+                .failures
+                .iter()
+                .any(|v| v.contains("stall accounting drift"));
+            if !caught {
+                println!("# canary failed for the wrong reason");
+            }
+            Ok(caught && f.repro.is_some())
+        }
+        None => {
+            println!("# canary NOT caught: the sweep passed with the skew armed");
+            Ok(false)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let outcome = match std::env::var("VOXEL_TESTKIT_FAULT").ok().as_deref() {
+        Some("stall_off_by_one") | Some("stall_skew") => run_canary(),
+        Some(other) => Err(format!(
+            "unknown VOXEL_TESTKIT_FAULT {other:?} (expected stall_off_by_one)"
+        )),
+        None => run_conformance(),
+    };
+    match outcome {
+        Ok(true) => {
+            println!("# conformance: PASS");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            println!("# conformance: FAIL");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("conformance runner error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

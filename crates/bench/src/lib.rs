@@ -16,9 +16,8 @@
 //! the same way regardless of the trial count. `EXPERIMENTS.md` records
 //! which count produced the committed numbers.
 
-use voxel_core::experiment::{AbrKind, Config, ContentCache};
+use voxel_core::experiment::{Config, ContentCache};
 use voxel_core::metrics::Aggregate;
-use voxel_core::TransportMode;
 use voxel_media::content::VideoId;
 use voxel_netem::trace::generators;
 use voxel_netem::BandwidthTrace;
@@ -82,18 +81,10 @@ pub fn sys_config(
     buffer_segments: usize,
     trace: BandwidthTrace,
 ) -> Config {
-    let (abr, transport) = match system {
-        "BOLA" => (AbrKind::Bola, TransportMode::Reliable),
-        "BOLA-SSIM" => (AbrKind::BolaSsim, TransportMode::Split),
-        "MPC" => (AbrKind::Mpc, TransportMode::Reliable),
-        "MPC*" => (AbrKind::MpcStar, TransportMode::Split),
-        "Tput" => (AbrKind::Tput, TransportMode::Reliable),
-        "BETA" => (AbrKind::Beta, TransportMode::Reliable),
-        "VOXEL" => (AbrKind::voxel(), TransportMode::Split),
-        "VOXEL-tuned" => (AbrKind::voxel_tuned(), TransportMode::Split),
-        "VOXEL-rel" => (AbrKind::voxel(), TransportMode::Reliable),
-        _ => panic!("unknown system {system}"),
-    };
+    // The legend-name table lives in the testkit so the conformance
+    // scenarios and the figure harness can never disagree on a system.
+    let (abr, transport) =
+        voxel_testkit::system_by_name(system).unwrap_or_else(|| panic!("unknown system {system}"));
     Config::new(video, abr, buffer_segments, trace)
         .with_transport(transport)
         .with_trials(trial_count())
@@ -115,6 +106,7 @@ pub fn print_cdf(label: &str, samples: &[f64], probes: &[f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use voxel_core::TransportMode;
 
     #[test]
     fn traces_resolve() {

@@ -59,6 +59,11 @@ pub struct PlayerConfig {
     /// target (§1, §5 "small buffers are crucial for supporting low-latency
     /// or live-streaming-like applications").
     pub live: bool,
+    /// Testkit canary (DESIGN.md §11): skew the *accounted* stall total by
+    /// an extra 100 ms per stall while the trace timeline stays truthful.
+    /// The conformance sweep's stall-drift oracle must catch the
+    /// divergence; never enable outside that self-test.
+    pub debug_stall_skew: bool,
 }
 
 impl PlayerConfig {
@@ -70,6 +75,7 @@ impl PlayerConfig {
             selective_retx: transport == TransportMode::Split,
             startup_segments: 1,
             live: false,
+            debug_stall_skew: false,
         }
     }
 
@@ -853,6 +859,11 @@ impl ClientApp {
                 );
             }
             self.total_stall += now - self.play_end;
+            if self.config.debug_stall_skew {
+                // Deliberate accounting drift (canary): the timeline above
+                // keeps the true duration, so the drift oracle must fire.
+                self.total_stall += SimDuration::from_millis(100);
+            }
             self.abr.on_rebuffer();
             rec.play_start = now;
             self.play_end = now + seg_dur;
@@ -1075,6 +1086,7 @@ impl ClientApp {
             referenced_frames_dropped: ref_dropped,
             transport: crate::metrics::TransportStats::default(),
             metrics: None,
+            completed: self.phase == Phase::Done,
         }
     }
 }

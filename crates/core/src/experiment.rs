@@ -15,7 +15,7 @@ use voxel_abr::{Abr, AbrStar, Beta, Bola, BolaSsim, Mpc, MpcStar, ThroughputAbr}
 use voxel_media::content::VideoId;
 use voxel_media::qoe::{QoeMetric, QoeModel};
 use voxel_media::video::Video;
-use voxel_netem::{BandwidthTrace, PathConfig};
+use voxel_netem::{BandwidthTrace, FaultPlane, PathConfig};
 use voxel_prep::manifest::Manifest;
 use voxel_quic::CcKind;
 use voxel_sim::SimDuration;
@@ -153,6 +153,10 @@ pub struct Config {
     pub cc: CcKind,
     /// Per-trial event tracing (off by default).
     pub tracing: TraceMode,
+    /// Testkit canary (DESIGN.md §11): deliberately skew the player's
+    /// stall accounting so the conformance sweep's drift oracle has a
+    /// known-bad target. Never enable in real experiments.
+    pub debug_stall_skew: bool,
 }
 
 impl Config {
@@ -174,6 +178,7 @@ impl Config {
             selective_retx: true,
             cc: CcKind::Cubic,
             tracing: TraceMode::default(),
+            debug_stall_skew: false,
         }
     }
 
@@ -308,11 +313,6 @@ fn run_prepared_trial(
     qoe: &QoeModel,
     shift_s: usize,
 ) -> TrialResult {
-    let trace = config.trace.shift(shift_s);
-    let mut path = PathConfig::new(trace, config.queue_packets);
-    path.delay_down = SimDuration::from_millis(30);
-    let mut player = PlayerConfig::new(config.buffer_segments, config.transport);
-    player.selective_retx = config.selective_retx && config.transport == TransportMode::Split;
     // The trace-shift doubles as the session id: it uniquely names the
     // trial within a configuration and keeps identically-seeded runs
     // byte-identical.
@@ -331,7 +331,40 @@ fn run_prepared_trial(
             })
         }
     };
-    let session = Session::with_cc(
+    let r = run_instrumented_trial(config, manifest, video, qoe, shift_s, tracer, None);
+    if let (TraceMode::Jsonl { dir }, Some(snap)) = (&config.tracing, &r.metrics) {
+        let _ = std::fs::write(
+            dir.join(format!("trial-{shift_s:04}.metrics.json")),
+            snap.to_json(),
+        );
+    }
+    r
+}
+
+/// One trial with an explicit tracer and optional packet fault plane.
+///
+/// This is the testkit entry point: `voxel-testkit` captures timelines
+/// into in-memory buffers (for oracles and golden digests) and injects
+/// seeded packet faults, neither of which [`TraceMode`] models. Everything
+/// else — path shaping, player wiring, ABR instantiation — is identical to
+/// [`run_trial`], so conformance scenarios exercise the same code path as
+/// real experiments.
+pub fn run_instrumented_trial(
+    config: &Config,
+    manifest: &Arc<Manifest>,
+    video: &Arc<Video>,
+    qoe: &QoeModel,
+    shift_s: usize,
+    tracer: Tracer,
+    faults: Option<FaultPlane>,
+) -> TrialResult {
+    let trace = config.trace.shift(shift_s);
+    let mut path = PathConfig::new(trace, config.queue_packets);
+    path.delay_down = SimDuration::from_millis(30);
+    let mut player = PlayerConfig::new(config.buffer_segments, config.transport);
+    player.selective_retx = config.selective_retx && config.transport == TransportMode::Split;
+    player.debug_stall_skew = config.debug_stall_skew;
+    let mut session = Session::with_cc(
         path,
         manifest.clone(),
         video.clone(),
@@ -341,14 +374,11 @@ fn run_prepared_trial(
         config.cc,
     )
     .with_tracer(tracer);
+    if let Some(plane) = faults {
+        session = session.with_faults(plane);
+    }
     let mut r = session.run();
     r.abr = config.abr.label();
-    if let (TraceMode::Jsonl { dir }, Some(snap)) = (&config.tracing, &r.metrics) {
-        let _ = std::fs::write(
-            dir.join(format!("trial-{shift_s:04}.metrics.json")),
-            snap.to_json(),
-        );
-    }
     r
 }
 

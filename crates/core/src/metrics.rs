@@ -26,6 +26,13 @@ pub struct TransportStats {
     pub mean_cwnd_bytes: f64,
     /// Mean smoothed RTT over all acks, milliseconds.
     pub mean_srtt_ms: f64,
+    /// Packets the *client-side* connection received (the receiver of the
+    /// video data — where injected reordering/duplication shows up).
+    pub client_packets_received: u64,
+    /// Client-side packets discarded as duplicates.
+    pub client_packets_duplicate: u64,
+    /// Client-side packets that arrived out of order.
+    pub client_packets_reordered: u64,
 }
 
 /// Outcome of one playback trial (one video, one trace shift).
@@ -71,6 +78,9 @@ pub struct TrialResult {
     pub transport: TransportStats,
     /// Metrics-registry snapshot at session end (None with tracing off).
     pub metrics: Option<MetricsSnapshot>,
+    /// Whether the session ran to completion. `false` means the safety cap
+    /// froze the trial mid-stream, so stall/QoE figures are lower bounds.
+    pub completed: bool,
 }
 
 impl TrialResult {
@@ -148,9 +158,30 @@ impl Aggregate {
         voxel_sim::stats::mean(&v)
     }
 
-    /// Standard error of the per-trial bufRatio.
+    /// Trials that ran to completion (the safety cap never fired).
+    pub fn completed_trials(&self) -> usize {
+        self.trials.iter().filter(|t| t.completed).count()
+    }
+
+    /// Trials abandoned at the safety cap.
+    pub fn abandoned_trials(&self) -> usize {
+        self.trials.len() - self.completed_trials()
+    }
+
+    /// Standard error of the per-trial bufRatio, over *completed* trials.
+    ///
+    /// Abandoned trials report a frozen lower-bound bufRatio, not a sample
+    /// from the same distribution; including them used to shrink the error
+    /// bar by inflating `n` to the configured trial count. The point
+    /// estimates (`buf_ratio_p90`, `buf_ratio_mean`) still pool every
+    /// trial so severe-starvation configurations are not censored.
     pub fn buf_ratio_stderr(&self) -> f64 {
-        let v: Vec<f64> = self.trials.iter().map(|t| t.buf_ratio_pct()).collect();
+        let v: Vec<f64> = self
+            .trials
+            .iter()
+            .filter(|t| t.completed)
+            .map(|t| t.buf_ratio_pct())
+            .collect();
         voxel_sim::stats::std_err(&v)
     }
 
@@ -251,6 +282,7 @@ mod tests {
             referenced_frames_dropped: 4,
             transport: TransportStats::default(),
             metrics: None,
+            completed: true,
         }
     }
 
@@ -286,6 +318,45 @@ mod tests {
         assert!(agg.buf_ratio_stderr() > 0.0);
         assert_eq!(agg.pooled_ssims().len(), 750);
         assert!((agg.mean_ssim() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stderr_counts_only_completed_trials() {
+        // Four configured trials, one abandoned at the safety cap. The
+        // standard error must be computed over the three completed trials
+        // (n = 3), not the configured four — the old behavior divided by
+        // sqrt(4) and shrank the error bar.
+        let mut trials: Vec<TrialResult> = [6.0, 12.0, 24.0]
+            .iter()
+            .map(|&s| trial(s, 4000.0, 0.99))
+            .collect();
+        let mut abandoned = trial(150.0, 500.0, 0.7);
+        abandoned.completed = false;
+        trials.push(abandoned);
+        let agg = Aggregate::new(trials);
+        assert_eq!(agg.completed_trials(), 3);
+        assert_eq!(agg.abandoned_trials(), 1);
+        // bufRatios of the completed trials: 2, 4, 8 %.
+        let expect = voxel_sim::stats::std_err(&[2.0, 4.0, 8.0]);
+        assert!(
+            (agg.buf_ratio_stderr() - expect).abs() < 1e-12,
+            "stderr {} vs completed-only {expect}",
+            agg.buf_ratio_stderr()
+        );
+        // The abandoned trial still pollutes n=4 statistics if included.
+        let wrong = voxel_sim::stats::std_err(&[2.0, 4.0, 8.0, 50.0]);
+        assert!((agg.buf_ratio_stderr() - wrong).abs() > 1e-6);
+        // Point estimates keep pooling all four trials.
+        assert!((agg.buf_ratio_mean() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stderr_of_all_abandoned_trials_is_zero() {
+        let mut t = trial(10.0, 100.0, 0.8);
+        t.completed = false;
+        let agg = Aggregate::new(vec![t]);
+        assert_eq!(agg.completed_trials(), 0);
+        assert_eq!(agg.buf_ratio_stderr(), 0.0);
     }
 
     #[test]

@@ -215,6 +215,23 @@ mod tests {
     }
 
     #[test]
+    fn unreliable_header_on_reliable_only_resources_is_ignored() {
+        // `x-voxel-unreliable` is advisory: the manifest and segment heads
+        // are reliable-only resources, so even a VOXEL-aware server serves
+        // them reliably (and still serves them — no error).
+        let (mut app, m) = server();
+        let (len, unrel) = resolve(&mut app, Request::get("/manifest").with_unreliable()).unwrap();
+        assert_eq!(len, m.size_bytes() as u64);
+        assert!(!unrel, "manifest never goes unreliable");
+        // A ranged head request with the header set: same story.
+        let req = Request::get("/seg/0/12/head")
+            .with_unreliable()
+            .with_range(0, 9);
+        let (_, unrel) = resolve(&mut app, req).unwrap();
+        assert!(!unrel, "heads never go unreliable");
+    }
+
+    #[test]
     fn head_is_always_reliable() {
         let (mut app, m) = server();
         let req = Request::get("/seg/3/12/head").with_unreliable();

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use voxel_abr::Abr;
 use voxel_media::qoe::QoeModel;
 use voxel_media::video::Video;
-use voxel_netem::{BottleneckPath, PathConfig};
+use voxel_netem::{BottleneckPath, FaultPlane, PacketFate, PathConfig};
 use voxel_prep::manifest::Manifest;
 use voxel_quic::{CcKind, Connection, ConnectionConfig, Role};
 use voxel_sim::{EventQueue, SimDuration, SimTime};
@@ -41,6 +41,8 @@ pub struct Session {
     /// Hard cap on simulated time (safety net; never reached in practice).
     cap: SimTime,
     tracer: Tracer,
+    /// Seeded packet-fault plane (testkit scenarios; `None` = clean path).
+    faults: Option<FaultPlane>,
 }
 
 impl Session {
@@ -90,12 +92,23 @@ impl Session {
             client,
             cap: SimTime::from_secs_f64(duration * 5.0 + 120.0),
             tracer: Tracer::disabled(),
+            faults: None,
         }
     }
 
     /// Make the server VOXEL-unaware (backward-compatibility experiments).
     pub fn with_voxel_unaware_server(mut self) -> Session {
         self.server.voxel_aware = false;
+        self
+    }
+
+    /// Install a seeded fault plane: every packet handed to the path (both
+    /// directions) is run through it, so testkit scenarios can inject loss
+    /// bursts, reordering, and duplication deterministically (DESIGN.md
+    /// §11). Drops model post-bottleneck (air-interface) loss — the packet
+    /// still consumed queue space and service time.
+    pub fn with_faults(mut self, plane: FaultPlane) -> Session {
+        self.faults = Some(plane);
         self
     }
 
@@ -187,14 +200,50 @@ impl Session {
                 while let Some(p) = self.server_conn.poll_transmit(now) {
                     pkts += 1;
                     let size = p.wire_size();
+                    let fate = match self.faults.as_mut() {
+                        Some(plane) => plane.next_fate(now),
+                        None => PacketFate::Deliver,
+                    };
                     if let Some(arrival) = self.path.send_downlink(now, size) {
-                        self.queue.schedule(arrival, Ev::ToClient(p.encode()));
+                        match fate {
+                            PacketFate::Deliver => {
+                                self.queue.schedule(arrival, Ev::ToClient(p.encode()));
+                            }
+                            PacketFate::Drop => {}
+                            PacketFate::Delay(extra) => {
+                                self.queue
+                                    .schedule(arrival + extra, Ev::ToClient(p.encode()));
+                            }
+                            PacketFate::Duplicate(lag) => {
+                                let bytes = p.encode();
+                                self.queue.schedule(arrival, Ev::ToClient(bytes.clone()));
+                                self.queue.schedule(arrival + lag, Ev::ToClient(bytes));
+                            }
+                        }
                     }
                     progressed = true;
                 }
                 while let Some(p) = self.client_conn.poll_transmit(now) {
+                    let fate = match self.faults.as_mut() {
+                        Some(plane) => plane.next_fate(now),
+                        None => PacketFate::Deliver,
+                    };
                     let arrival = self.path.send_uplink(now);
-                    self.queue.schedule(arrival, Ev::ToServer(p.encode()));
+                    match fate {
+                        PacketFate::Deliver => {
+                            self.queue.schedule(arrival, Ev::ToServer(p.encode()));
+                        }
+                        PacketFate::Drop => {}
+                        PacketFate::Delay(extra) => {
+                            self.queue
+                                .schedule(arrival + extra, Ev::ToServer(p.encode()));
+                        }
+                        PacketFate::Duplicate(lag) => {
+                            let bytes = p.encode();
+                            self.queue.schedule(arrival, Ev::ToServer(bytes.clone()));
+                            self.queue.schedule(arrival + lag, Ev::ToServer(bytes));
+                        }
+                    }
                     progressed = true;
                 }
                 if !progressed {
@@ -261,6 +310,7 @@ impl Session {
     /// metrics registry, attach transport statistics, and flush the sink.
     fn finish(self, now: SimTime) -> TrialResult {
         let stats = self.server_conn.stats();
+        let client_stats = self.client_conn.stats();
         trace_event!(
             self.tracer,
             now,
@@ -291,6 +341,9 @@ impl Session {
                 .and_then(|s| s.histogram("quic.srtt_us"))
                 .map(|h| h.mean / 1e3)
                 .unwrap_or_else(|| self.server_conn.srtt().as_secs_f64() * 1e3),
+            client_packets_received: client_stats.packets_received,
+            client_packets_duplicate: client_stats.packets_duplicate,
+            client_packets_reordered: client_stats.packets_reordered,
         };
         r.metrics = snapshot;
         self.tracer.flush();

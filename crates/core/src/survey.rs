@@ -173,6 +173,7 @@ mod tests {
             referenced_frames_dropped: 0,
             transport: crate::metrics::TransportStats::default(),
             metrics: None,
+            completed: true,
         }
     }
 

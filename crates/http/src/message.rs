@@ -320,6 +320,44 @@ mod tests {
     }
 
     #[test]
+    fn malformed_range_headers_are_rejected() {
+        for raw in [
+            // Empty spec, missing dash, suffix/open-ended forms (unused by
+            // VOXEL's exact-range clients), junk numbers, wrong unit, and
+            // a second bad range hiding behind a good one.
+            b"GET /x HTTP/1.1\r\nRange: bytes=\r\n\r\n".as_slice(),
+            b"GET /x HTTP/1.1\r\nRange: bytes=5\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nRange: bytes=-500\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nRange: bytes=500-\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nRange: bytes=a-b\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nRange: octets=0-5\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nRange: bytes=0-9,9-2\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n",
+        ] {
+            assert!(
+                Request::decode(raw).is_none(),
+                "accepted {:?}",
+                std::str::from_utf8(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn overlapping_ranges_are_accepted_and_preserved() {
+        // The codec does not police overlap or ordering — a selective
+        // re-request may legitimately re-cover bytes already in flight.
+        // Both survive the round-trip verbatim, in request order.
+        let req = Request::get("/seg/0/12/body")
+            .with_range(0, 999)
+            .with_range(500, 1499);
+        let decoded = Request::decode(&req.encode()).unwrap();
+        assert_eq!(decoded.ranges, vec![(0, 999), (500, 1499)]);
+        // range_bytes sums the spans as given; overlap is the caller's
+        // concern (the server serves exactly what was asked).
+        assert_eq!(decoded.range_bytes(), 2000);
+    }
+
+    #[test]
     fn ok_response_roundtrips() {
         let r = Response::ok(12345);
         let d = Response::decode(&r.encode()).unwrap();
@@ -334,6 +372,22 @@ mod tests {
         let d = Response::decode(&r.encode()).unwrap();
         assert_eq!(d, r);
         assert_eq!(d.status, StatusCode::PartialContent);
+    }
+
+    #[test]
+    fn zero_length_partial_response() {
+        // A 206 satisfying no ranges (a fully-cancelled re-request) is
+        // legal on this codec: zero body, no Content-Range header.
+        let r = Response::partial(vec![]);
+        assert_eq!(r.status, StatusCode::PartialContent);
+        assert_eq!(r.content_length, 0);
+        let wire = r.encode();
+        assert!(!std::str::from_utf8(&wire)
+            .unwrap()
+            .contains("Content-Range"));
+        let d = Response::decode(&wire).unwrap();
+        assert_eq!(d, r);
+        assert!(d.content_ranges.is_empty());
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Seeded fault injection for deterministic-simulation testing.
+//!
+//! The testkit (DESIGN.md §11) stresses the stack beyond what the recorded
+//! traces produce on their own: radio loss bursts, reordering and
+//! duplication windows, bandwidth cliffs, and stuck-trace stretches. Two
+//! mechanisms cover them:
+//!
+//! - **Packet faults** ([`FaultPlane`]): consulted by the session loop for
+//!   every packet handed to the path, in either direction. Each active
+//!   fault window draws from a seeded [`SimRng`], so a given
+//!   `(seed, faults)` pair perturbs a given packet sequence identically on
+//!   every run — faults are part of the deterministic simulation, not
+//!   noise on top of it.
+//! - **Trace faults** ([`cliff`], [`stuck`]): pure transforms of a
+//!   [`BandwidthTrace`], applied before the path is built.
+//!
+//! Drops here model loss *after* the bottleneck (air interface), so a
+//! dropped packet still consumed queue space and service time.
+
+use crate::trace::BandwidthTrace;
+use voxel_sim::{SimDuration, SimRng, SimTime};
+
+/// One injected network fault, active inside a `[start_s, start_s+len_s)`
+/// window of simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Drop each packet with probability `prob` (radio loss burst).
+    LossBurst {
+        /// Window start, seconds of sim time.
+        start_s: f64,
+        /// Window length, seconds.
+        len_s: f64,
+        /// Per-packet drop probability.
+        prob: f64,
+    },
+    /// Hold each packet back an extra `extra_ms` with probability `prob`,
+    /// letting later packets overtake it (reordering window).
+    Reorder {
+        /// Window start, seconds of sim time.
+        start_s: f64,
+        /// Window length, seconds.
+        len_s: f64,
+        /// Extra delay applied to reordered packets, milliseconds.
+        extra_ms: u64,
+        /// Per-packet reorder probability.
+        prob: f64,
+    },
+    /// Deliver each packet twice with probability `prob`, the copy
+    /// `extra_ms` later (duplication window).
+    Duplicate {
+        /// Window start, seconds of sim time.
+        start_s: f64,
+        /// Window length, seconds.
+        len_s: f64,
+        /// Lag of the duplicate copy, milliseconds.
+        extra_ms: u64,
+        /// Per-packet duplication probability.
+        prob: f64,
+    },
+}
+
+impl FaultKind {
+    fn window(&self) -> (f64, f64) {
+        match *self {
+            FaultKind::LossBurst { start_s, len_s, .. }
+            | FaultKind::Reorder { start_s, len_s, .. }
+            | FaultKind::Duplicate { start_s, len_s, .. } => (start_s, start_s + len_s),
+        }
+    }
+
+    fn active_at(&self, now: SimTime) -> bool {
+        let t = now.as_secs_f64();
+        let (a, b) = self.window();
+        t >= a && t < b
+    }
+}
+
+/// What the fault plane decided for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketFate {
+    /// Deliver normally.
+    Deliver,
+    /// Drop after the bottleneck (the packet still consumed the queue).
+    Drop,
+    /// Deliver with the given extra delay (reordering).
+    Delay(SimDuration),
+    /// Deliver, plus a duplicate copy lagging by the given delay.
+    Duplicate(SimDuration),
+}
+
+/// Counters of what the plane actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Packets the plane saw.
+    pub packets: u64,
+    /// Packets dropped.
+    pub dropped: u64,
+    /// Packets held back for reordering.
+    pub delayed: u64,
+    /// Packets duplicated.
+    pub duplicated: u64,
+}
+
+/// The seeded packet-fault plane one session consults.
+#[derive(Debug, Clone)]
+pub struct FaultPlane {
+    faults: Vec<FaultKind>,
+    rng: SimRng,
+    stats: FaultStats,
+}
+
+impl FaultPlane {
+    /// A plane applying `faults`, with all probabilistic draws derived
+    /// from `seed`.
+    pub fn new(seed: u64, faults: Vec<FaultKind>) -> FaultPlane {
+        FaultPlane {
+            faults,
+            rng: SimRng::derive(seed, "fault-plane"),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Whether any fault window is configured at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Decide the fate of one packet handed to the path at `now`.
+    ///
+    /// The first active fault that fires wins; one RNG draw is made per
+    /// active window per packet, keeping the stream reproducible.
+    pub fn next_fate(&mut self, now: SimTime) -> PacketFate {
+        self.stats.packets += 1;
+        let mut fate = PacketFate::Deliver;
+        for f in &self.faults {
+            if !f.active_at(now) {
+                continue;
+            }
+            let fired = match *f {
+                FaultKind::LossBurst { prob, .. }
+                | FaultKind::Reorder { prob, .. }
+                | FaultKind::Duplicate { prob, .. } => self.rng.chance(prob),
+            };
+            if !fired || fate != PacketFate::Deliver {
+                continue;
+            }
+            fate = match *f {
+                FaultKind::LossBurst { .. } => PacketFate::Drop,
+                FaultKind::Reorder { extra_ms, .. } => {
+                    PacketFate::Delay(SimDuration::from_millis(extra_ms))
+                }
+                FaultKind::Duplicate { extra_ms, .. } => {
+                    PacketFate::Duplicate(SimDuration::from_millis(extra_ms))
+                }
+            };
+        }
+        match fate {
+            PacketFate::Deliver => {}
+            PacketFate::Drop => self.stats.dropped += 1,
+            PacketFate::Delay(_) => self.stats.delayed += 1,
+            PacketFate::Duplicate(_) => self.stats.duplicated += 1,
+        }
+        fate
+    }
+}
+
+/// Bandwidth cliff: multiply every sample from `at_s` onward by `factor`
+/// (the sudden capacity collapse a handover or contention event causes).
+pub fn cliff(trace: &BandwidthTrace, at_s: usize, factor: f64) -> BandwidthTrace {
+    let mbps = trace
+        .mbps
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| if i >= at_s { m * factor } else { m })
+        .collect();
+    BandwidthTrace::new(format!("{}+cliff{at_s}", trace.name), mbps)
+}
+
+/// Stuck trace: freeze the sample at `at_s` for `len_s` seconds (a shaper
+/// that stops updating), pushing the rest of the trace out behind it.
+pub fn stuck(trace: &BandwidthTrace, at_s: usize, len_s: usize) -> BandwidthTrace {
+    let n = trace.mbps.len();
+    let at = at_s.min(n.saturating_sub(1));
+    let mut mbps = Vec::with_capacity(n + len_s);
+    mbps.extend_from_slice(&trace.mbps[..=at]);
+    mbps.extend(std::iter::repeat_n(trace.mbps[at], len_s));
+    mbps.extend_from_slice(&trace.mbps[at + 1..]);
+    BandwidthTrace::new(format!("{}+stuck{at_s}", trace.name), mbps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn burst(prob: f64) -> FaultKind {
+        FaultKind::LossBurst {
+            start_s: 10.0,
+            len_s: 5.0,
+            prob,
+        }
+    }
+
+    #[test]
+    fn fates_are_deterministic_per_seed() {
+        let draw = |seed: u64| {
+            let mut plane = FaultPlane::new(seed, vec![burst(0.5)]);
+            (0..200)
+                .map(|i| plane.next_fate(SimTime::from_millis(10_000 + i * 10)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(1), draw(1));
+        assert_ne!(draw(1), draw(2));
+    }
+
+    #[test]
+    fn faults_only_fire_inside_their_window() {
+        let mut plane = FaultPlane::new(7, vec![burst(1.0)]);
+        assert_eq!(plane.next_fate(SimTime::from_secs(9)), PacketFate::Deliver);
+        assert_eq!(plane.next_fate(SimTime::from_secs(10)), PacketFate::Drop);
+        assert_eq!(plane.next_fate(SimTime::from_secs(14)), PacketFate::Drop);
+        assert_eq!(plane.next_fate(SimTime::from_secs(15)), PacketFate::Deliver);
+        assert_eq!(plane.stats().dropped, 2);
+        assert_eq!(plane.stats().packets, 4);
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability() {
+        let mut plane = FaultPlane::new(3, vec![burst(0.3)]);
+        for i in 0..10_000 {
+            plane.next_fate(SimTime::from_millis(10_000 + i % 5_000));
+        }
+        let rate = plane.stats().dropped as f64 / plane.stats().packets as f64;
+        assert!((rate - 0.3).abs() < 0.03, "drop rate {rate}");
+    }
+
+    #[test]
+    fn reorder_and_duplicate_carry_their_delays() {
+        let faults = vec![
+            FaultKind::Reorder {
+                start_s: 0.0,
+                len_s: 1.0,
+                extra_ms: 40,
+                prob: 1.0,
+            },
+            FaultKind::Duplicate {
+                start_s: 1.0,
+                len_s: 1.0,
+                extra_ms: 15,
+                prob: 1.0,
+            },
+        ];
+        let mut plane = FaultPlane::new(9, faults);
+        assert_eq!(
+            plane.next_fate(SimTime::from_millis(500)),
+            PacketFate::Delay(SimDuration::from_millis(40))
+        );
+        assert_eq!(
+            plane.next_fate(SimTime::from_millis(1_500)),
+            PacketFate::Duplicate(SimDuration::from_millis(15))
+        );
+        assert_eq!(plane.stats().delayed, 1);
+        assert_eq!(plane.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn cliff_scales_the_tail_only() {
+        let t = BandwidthTrace::new("x", vec![8.0; 10]);
+        let c = cliff(&t, 4, 0.25);
+        assert_eq!(c.mbps[3], 8.0);
+        assert_eq!(c.mbps[4], 2.0);
+        assert_eq!(c.mbps[9], 2.0);
+        assert_eq!(c.duration_s(), 10);
+    }
+
+    #[test]
+    fn stuck_freezes_and_stretches() {
+        let t = BandwidthTrace::new("x", vec![1.0, 2.0, 3.0, 4.0]);
+        let s = stuck(&t, 1, 3);
+        assert_eq!(s.mbps, vec![1.0, 2.0, 2.0, 2.0, 2.0, 3.0, 4.0]);
+        // Degenerate anchor past the end clamps.
+        let e = stuck(&t, 99, 2);
+        assert_eq!(e.duration_s(), 6);
+    }
+}

@@ -18,10 +18,15 @@
 //!   (Poisson session arrivals, bounded-Pareto transfer sizes) run through a
 //!   fluid fair-sharing model to produce the bandwidth actually available
 //!   to the video flow.
+//! - [`fault`]: the seeded fault-injection plane the testkit threads
+//!   through sessions — loss bursts, reorder/dup windows, bandwidth cliffs
+//!   and stuck-trace stretches (DESIGN.md §11).
 
 pub mod crosstraffic;
+pub mod fault;
 pub mod path;
 pub mod trace;
 
+pub use fault::{FaultKind, FaultPlane, PacketFate};
 pub use path::{BottleneckPath, PathConfig, PathStats};
 pub use trace::BandwidthTrace;

@@ -51,6 +51,12 @@ impl AckTracker {
         true
     }
 
+    /// Largest packet number seen so far, if any (lets the connection
+    /// classify below-largest arrivals as reordered).
+    pub fn largest_seen(&self) -> Option<u64> {
+        self.largest_arrival.map(|(pn, _)| pn)
+    }
+
     fn contains(&self, pn: u64) -> bool {
         self.ranges.iter().any(|&(a, b)| (a..=b).contains(&pn))
     }

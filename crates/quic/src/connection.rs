@@ -100,6 +100,13 @@ pub struct ConnStats {
     pub bytes_retransmitted: u64,
     /// PTO events.
     pub ptos: u64,
+    /// Well-formed packets received (before duplicate filtering).
+    pub packets_received: u64,
+    /// Received packets discarded as duplicates.
+    pub packets_duplicate: u64,
+    /// Received packets that arrived below the largest packet number seen
+    /// (out-of-order delivery — what the testkit's reorder fault provokes).
+    pub packets_reordered: u64,
 }
 
 /// A QUIC\* connection endpoint.
@@ -282,8 +289,13 @@ impl Connection {
         let Some(packet) = Packet::decode(data) else {
             return; // malformed: drop, as a real endpoint would
         };
+        self.stats.packets_received += 1;
+        if self.ack.largest_seen().is_some_and(|l| packet.pkt_num < l) {
+            self.stats.packets_reordered += 1;
+        }
         let eliciting = packet.is_ack_eliciting();
         if !self.ack.on_packet(packet.pkt_num, now, eliciting) {
+            self.stats.packets_duplicate += 1;
             return; // duplicate
         }
         for frame in packet.frames {

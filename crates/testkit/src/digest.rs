@@ -1,0 +1,226 @@
+//! Golden timeline digests.
+//!
+//! Identically-seeded runs emit byte-identical JSONL timelines (the
+//! determinism contract `tests/tracing.rs` pins), so a stable 64-bit
+//! digest of the timeline is a regression tripwire for the *entire*
+//! cross-layer event sequence: any change to packet scheduling, ABR
+//! decisions, stall timing or event emission shows up as a digest
+//! mismatch. Canonical digests live under `tests/golden/` and are
+//! re-blessed with `VOXEL_BLESS=1 cargo test` after intentional behavior
+//! changes.
+
+use crate::scenario::Scenario;
+use std::path::Path;
+
+/// FNV-1a 64-bit hash (stable across platforms and releases, no
+/// dependency on `std`'s unstable hasher internals).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of one timeline: content hash plus event count (the count makes
+/// mismatch reports actionable — "same events, different payloads" vs
+/// "different event sequence").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Digest {
+    /// FNV-1a 64 over the raw JSONL bytes.
+    pub hash: u64,
+    /// Number of timeline lines.
+    pub events: usize,
+}
+
+/// Digest a raw JSONL timeline.
+pub fn timeline_digest(jsonl: &[u8]) -> Digest {
+    Digest {
+        hash: fnv64(jsonl),
+        events: jsonl.iter().filter(|&&b| b == b'\n').count(),
+    }
+}
+
+/// One canonical golden scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct GoldenScenario {
+    /// Stable file stem under `tests/golden/`.
+    pub name: &'static str,
+    /// Scenario spec (single trial).
+    pub spec: &'static str,
+    /// The seed the golden run uses.
+    pub seed: u64,
+}
+
+/// The canonical scenarios whose digests are committed. Kept cheap (one
+/// trial each) and diverse: reliable vs split transport, comfortable vs
+/// starved constant rates, a seeded cellular trace, and a packet-fault
+/// plane.
+pub fn canonical_scenarios() -> Vec<GoldenScenario> {
+    vec![
+        GoldenScenario {
+            name: "bola-const8",
+            spec: "BBB:BOLA:const8",
+            seed: 1,
+        },
+        GoldenScenario {
+            name: "voxel-const3",
+            spec: "BBB:VOXEL:const3",
+            seed: 1,
+        },
+        GoldenScenario {
+            name: "voxel-tmobile-buf1",
+            spec: "ToS:VOXEL:tmobile:buf1",
+            seed: 2021,
+        },
+        GoldenScenario {
+            name: "bolassim-att",
+            spec: "ED:BOLA-SSIM:att",
+            seed: 7,
+        },
+        GoldenScenario {
+            name: "voxel-lossburst",
+            spec: "BBB:VOXEL:const5:loss@40+10x0.2",
+            seed: 11,
+        },
+    ]
+}
+
+/// Outcome of a golden check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoldenStatus {
+    /// The digest matched the committed golden.
+    Matched,
+    /// `VOXEL_BLESS=1`: the golden file was (re)written.
+    Blessed,
+}
+
+/// Whether this process runs in bless mode.
+pub fn blessing() -> bool {
+    std::env::var("VOXEL_BLESS").as_deref() == Ok("1")
+}
+
+fn golden_line(g: &GoldenScenario, d: Digest) -> String {
+    format!(
+        "fnv64:{:016x} events:{} seed:{} spec:{}\n",
+        d.hash, d.events, g.seed, g.spec
+    )
+}
+
+/// Verify `jsonl`'s digest against `golden_dir/<name>.digest`, or rewrite
+/// the file when `VOXEL_BLESS=1`.
+pub fn check_or_bless(
+    golden_dir: &Path,
+    g: &GoldenScenario,
+    jsonl: &[u8],
+) -> Result<GoldenStatus, String> {
+    let line = golden_line(g, timeline_digest(jsonl));
+    let path = golden_dir.join(format!("{}.digest", g.name));
+    if blessing() {
+        std::fs::create_dir_all(golden_dir)
+            .map_err(|e| format!("cannot create {}: {e}", golden_dir.display()))?;
+        std::fs::write(&path, &line)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        return Ok(GoldenStatus::Blessed);
+    }
+    let committed = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "no golden digest at {} ({e}); run `VOXEL_BLESS=1 cargo test golden` to create it",
+            path.display()
+        )
+    })?;
+    if committed == line {
+        Ok(GoldenStatus::Matched)
+    } else {
+        Err(format!(
+            "golden digest mismatch for {}:\n  committed: {}  observed:  {}\
+             If the behavior change is intentional, re-bless with VOXEL_BLESS=1.",
+            g.name,
+            committed.trim_end().to_owned() + "\n",
+            line
+        ))
+    }
+}
+
+/// Run one golden scenario and digest its (single) trial timeline.
+pub fn run_golden(
+    g: &GoldenScenario,
+    content: &mut crate::runner::Content,
+) -> Result<(Vec<u8>, Vec<String>), String> {
+    let scenario = Scenario::parse(g.spec)?;
+    let run = crate::runner::run_scenario(&scenario, g.seed, content)?;
+    let timeline = run
+        .trials
+        .into_iter()
+        .next()
+        .map(|t| t.timeline)
+        .ok_or_else(|| format!("golden {} produced no trials", g.name))?;
+    Ok((timeline, run.failures))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn digest_counts_lines_and_separates_content() {
+        let a = timeline_digest(b"{\"t\":1}\n{\"t\":2}\n");
+        assert_eq!(a.events, 2);
+        let b = timeline_digest(b"{\"t\":1}\n{\"t\":3}\n");
+        assert_eq!(b.events, 2);
+        assert_ne!(a.hash, b.hash);
+    }
+
+    #[test]
+    fn canonical_scenarios_parse_and_are_single_trial() {
+        let all = canonical_scenarios();
+        assert!(all.len() >= 4, "need at least 4 committed goldens");
+        let mut names: Vec<&str> = all.iter().map(|g| g.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "golden names must be unique");
+        for g in &all {
+            let s = Scenario::parse(g.spec).expect(g.spec);
+            assert_eq!(s.trials, 1, "{} must stay cheap", g.name);
+        }
+    }
+
+    #[test]
+    fn bless_then_check_round_trips() {
+        let dir = std::env::temp_dir().join(format!("voxel-golden-{}", std::process::id()));
+        let g = GoldenScenario {
+            name: "unit",
+            spec: "BBB:BOLA:const8",
+            seed: 1,
+        };
+        let jsonl = b"{\"t\":1}\n";
+        // Write the golden directly (env-var bless mode is exercised by
+        // tests/golden_digests.rs; mutating the env here would race other
+        // tests in this binary).
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        std::fs::write(
+            dir.join("unit.digest"),
+            golden_line(&g, timeline_digest(jsonl)),
+        )
+        .expect("write golden");
+        assert_eq!(
+            check_or_bless(&dir, &g, jsonl).expect("clean check"),
+            GoldenStatus::Matched
+        );
+        let err = check_or_bless(&dir, &g, b"{\"t\":2}\n").expect_err("mismatch");
+        assert!(err.contains("mismatch"), "{err}");
+        let missing = GoldenScenario { name: "nope", ..g };
+        let err = check_or_bless(&dir, &missing, jsonl).expect_err("missing");
+        assert!(err.contains("VOXEL_BLESS=1"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

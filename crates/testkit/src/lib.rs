@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! # voxel-testkit
+//!
+//! Deterministic simulation testing (DST) for the VOXEL stack
+//! (DESIGN.md §11). Every trial in this workspace is already a
+//! deterministic discrete-event simulation; this crate turns that property
+//! into a test harness:
+//!
+//! - [`scenario`]: a compact, round-trippable spec language
+//!   (`"BBB:VOXEL:tmobile:buf1:n2:loss@60+5x0.3"`) naming one scenario —
+//!   (video × system × trace family × buffer × queue) plus optional
+//!   injected faults — and a [`Matrix`](scenario::Matrix) that expands
+//!   cartesian products of those axes from one-line specs.
+//! - [`oracle`]: per-trial invariants every scenario must satisfy
+//!   (stall accounting consistent with the traced timeline, QoE within
+//!   per-family bounds, transport counters coherent) checked against both
+//!   the [`TrialResult`](voxel_core::TrialResult) and the raw JSONL
+//!   timeline.
+//! - [`runner`]: runs a scenario's trials through
+//!   [`voxel_core::experiment::run_instrumented_trial`] with the timeline
+//!   captured in memory, the scenario's [`FaultPlane`](voxel_netem::FaultPlane)
+//!   armed, and all oracles applied.
+//! - [`sweep`]: runs every scenario across K seeds; on failure, shrinks to
+//!   the smallest failing `(seed, trial-count, trace-prefix)` triple and
+//!   emits a ready-to-paste `#[test]` reproduction.
+//! - [`digest`]: stable FNV-1a digests of canonical scenario timelines,
+//!   verified against `tests/golden/` and re-blessed with `VOXEL_BLESS=1`.
+//!
+//! The tier-2 entry point is `cargo run --release -p voxel-bench --bin
+//! conformance`; `tests/testkit.rs` and `tests/golden_digests.rs` keep a
+//! bounded slice of the same checks in tier-1.
+
+pub mod digest;
+pub mod oracle;
+pub mod runner;
+pub mod scenario;
+pub mod sweep;
+
+pub use digest::{
+    check_or_bless, fnv64, run_golden, timeline_digest, GoldenScenario, GoldenStatus,
+};
+pub use oracle::Bounds;
+pub use runner::{run_scenario, Content, ScenarioRun, TrialRun};
+pub use scenario::{
+    system_by_name, video_by_name, Inject, Matrix, Scenario, TraceFamily, TraceFault,
+};
+pub use sweep::{minimize, run_sweep, Repro, SweepOptions, SweepReport};

@@ -1,0 +1,146 @@
+//! Run scenarios through the real experiment pipeline, timeline captured.
+//!
+//! Every trial goes through
+//! [`voxel_core::experiment::run_instrumented_trial`] — the same path
+//! shaping, player wiring and ABR instantiation as the figure harness —
+//! with a JSONL tracer writing into memory and the scenario's fault plane
+//! armed. All oracles run against each trial; violations accumulate on
+//! the returned [`ScenarioRun`].
+
+use crate::oracle::{self, Bounds};
+use crate::scenario::{system_by_name, Inject, Scenario};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use voxel_core::experiment::{run_instrumented_trial, Config};
+use voxel_core::TrialResult;
+use voxel_media::content::VideoId;
+use voxel_media::ladder::QualityLevel;
+use voxel_media::qoe::QoeModel;
+use voxel_media::video::Video;
+use voxel_netem::FaultPlane;
+use voxel_prep::manifest::Manifest;
+use voxel_trace::{JsonlSink, SharedBuf, Tracer};
+
+/// Prepared-content cache shared across scenarios (§4.1 preparation is
+/// one-time per video; the testkit prepares the top analyzed level only,
+/// which every system in the legend can stream).
+#[derive(Default)]
+pub struct Content {
+    entries: BTreeMap<VideoId, (Arc<Manifest>, Arc<Video>)>,
+    qoe: QoeModel,
+}
+
+impl Content {
+    /// Empty cache with the default QoE model.
+    pub fn new() -> Content {
+        Content::default()
+    }
+
+    /// Get (or prepare) a video + manifest.
+    pub fn get(&mut self, id: VideoId) -> (Arc<Manifest>, Arc<Video>, QoeModel) {
+        let qoe = self.qoe.clone();
+        let (m, v) = self
+            .entries
+            .entry(id)
+            .or_insert_with(|| {
+                let video = Video::generate(id);
+                let manifest =
+                    Arc::new(Manifest::prepare_levels(&video, &qoe, &[QualityLevel::MAX]));
+                (manifest, Arc::new(video))
+            })
+            .clone();
+        (m, v, qoe)
+    }
+}
+
+/// One executed trial: its result and its captured timeline.
+pub struct TrialRun {
+    /// Trace shift of this trial (doubles as the session id).
+    pub shift_s: usize,
+    /// The trial result.
+    pub result: TrialResult,
+    /// The raw JSONL timeline.
+    pub timeline: Vec<u8>,
+}
+
+/// One executed scenario across its trials.
+pub struct ScenarioRun {
+    /// The scenario's canonical spec.
+    pub spec: String,
+    /// The sweep seed the scenario ran under.
+    pub seed: u64,
+    /// All trials, in shift order.
+    pub trials: Vec<TrialRun>,
+    /// Oracle violations, each prefixed with the offending trial.
+    pub failures: Vec<String>,
+}
+
+impl ScenarioRun {
+    /// Whether every oracle passed on every trial.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run all trials of `scenario` under `seed`, applying every oracle.
+///
+/// Determinism contract: the same `(scenario, seed)` pair produces
+/// byte-identical timelines and results on every run — trace
+/// construction, fault-plane draws and the simulation itself all derive
+/// from the pair alone.
+pub fn run_scenario(
+    scenario: &Scenario,
+    seed: u64,
+    content: &mut Content,
+) -> Result<ScenarioRun, String> {
+    let (abr, transport) = system_by_name(&scenario.system)
+        .ok_or_else(|| format!("unknown system {:?}", scenario.system))?;
+    let trace = scenario.build_trace(seed);
+    let (manifest, video, qoe) = content.get(scenario.video);
+
+    let mut config = Config::new(scenario.video, abr, scenario.buffer_segments, trace)
+        .with_transport(transport)
+        .with_trials(scenario.trials)
+        .with_queue(scenario.queue_packets);
+    config.debug_stall_skew = scenario.inject == Some(Inject::StallSkew);
+
+    let bounds = Bounds::for_scenario(scenario);
+    let d = config.trace.duration_s();
+    let n = scenario.trials.max(1);
+    let mut run = ScenarioRun {
+        spec: scenario.spec(),
+        seed,
+        trials: Vec::with_capacity(n),
+        failures: Vec::new(),
+    };
+    for i in 0..n {
+        let shift = i * d / n;
+        let buf = SharedBuf::new();
+        let tracer = Tracer::new(
+            shift as u64,
+            Box::new(JsonlSink::to_writer(Box::new(buf.clone()))),
+        );
+        // Each trial gets its own plane stream so faults land on its own
+        // packet sequence, still fully determined by (seed, trial).
+        let faults = (!scenario.faults.is_empty())
+            .then(|| FaultPlane::new(seed ^ ((i as u64) << 32), scenario.faults.clone()));
+        let result =
+            run_instrumented_trial(&config, &manifest, &video, &qoe, shift, tracer, faults);
+        let timeline = buf.contents();
+
+        let mut violations = oracle::trial_invariants(&result);
+        violations.extend(oracle::timeline_invariants(&timeline, &result));
+        violations.extend(bounds.check(&result));
+        run.failures.extend(
+            violations
+                .into_iter()
+                .map(|v| format!("trial {i} (shift {shift}s): {v}")),
+        );
+        run.trials.push(TrialRun {
+            shift_s: shift,
+            result,
+            timeline,
+        });
+    }
+    Ok(run)
+}

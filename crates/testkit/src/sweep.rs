@@ -1,0 +1,259 @@
+//! Seed sweeps with automatic failure minimization.
+//!
+//! A sweep runs every scenario across K seeds. When a `(scenario, seed)`
+//! pair fails its oracles, the minimizer shrinks it along two axes:
+//!
+//! 1. **trial count** — the smallest `n ≤ trials` that still fails
+//!    (usually 1: the §5 protocol only shifts the trace per trial);
+//! 2. **trace prefix** — binary search for the shortest trace prefix (to
+//!    a configurable granularity) that still reproduces the failure.
+//!
+//! The result is a `(seed, trials, trace-prefix)` triple plus a
+//! ready-to-paste `#[test]` function whose spec string round-trips the
+//! entire shrunken scenario, faults and all.
+
+use crate::runner::{run_scenario, Content};
+use crate::scenario::Scenario;
+
+/// A minimized failing reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repro {
+    /// Canonical spec of the shrunken scenario (includes the prefix).
+    pub spec: String,
+    /// The failing seed.
+    pub seed: u64,
+    /// Minimized trial count.
+    pub trials: usize,
+    /// Minimized trace prefix, seconds.
+    pub trace_prefix_s: usize,
+    /// The violations the minimized scenario still produces.
+    pub failures: Vec<String>,
+}
+
+impl Repro {
+    /// The headline `(seed, trials, trace-prefix)` triple.
+    pub fn triple(&self) -> String {
+        format!(
+            "(seed={}, trials={}, trace_prefix={}s)",
+            self.seed, self.trials, self.trace_prefix_s
+        )
+    }
+
+    /// A ready-to-paste `#[test]` reproducing the failure.
+    pub fn test_source(&self) -> String {
+        let fn_name: String = self
+            .spec
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        format!(
+            r#"#[test]
+fn repro_{fn_name}_seed{seed}() {{
+    // Minimized by the voxel-testkit sweep: {triple}
+    let scenario = voxel_testkit::Scenario::parse("{spec}").expect("spec parses");
+    let mut content = voxel_testkit::Content::new();
+    let run = voxel_testkit::run_scenario(&scenario, {seed}, &mut content).expect("scenario runs");
+    assert!(run.failures.is_empty(), "oracle violations: {{:#?}}", run.failures);
+}}
+"#,
+            seed = self.seed,
+            spec = self.spec,
+            triple = self.triple(),
+        )
+    }
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Seeds every scenario runs under.
+    pub seeds: Vec<u64>,
+    /// Whether to minimize failures (each probe re-runs the scenario).
+    pub minimize: bool,
+    /// Stop the prefix binary search once the bracket is this tight.
+    pub prefix_granularity_s: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> SweepOptions {
+        SweepOptions {
+            seeds: vec![1, 2, 3, 4, 5],
+            minimize: true,
+            prefix_granularity_s: 15,
+        }
+    }
+}
+
+/// One failing `(scenario, seed)` pair.
+#[derive(Debug, Clone)]
+pub struct SweepFailure {
+    /// The failing scenario's canonical spec.
+    pub spec: String,
+    /// The failing seed.
+    pub seed: u64,
+    /// Oracle violations from the full-size run.
+    pub failures: Vec<String>,
+    /// The minimized reproduction (when minimization was requested and
+    /// converged).
+    pub repro: Option<Repro>,
+}
+
+/// Outcome of a sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Total `(scenario, seed)` runs.
+    pub runs: usize,
+    /// Runs with no oracle violations.
+    pub passed: usize,
+    /// The failing runs.
+    pub failures: Vec<SweepFailure>,
+}
+
+impl SweepReport {
+    /// Whether every run passed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run `scenarios × seeds`, minimizing every failure.
+pub fn run_sweep(
+    scenarios: &[Scenario],
+    opts: &SweepOptions,
+    content: &mut Content,
+) -> Result<SweepReport, String> {
+    let mut report = SweepReport::default();
+    for scenario in scenarios {
+        for &seed in &opts.seeds {
+            let run = run_scenario(scenario, seed, content)?;
+            report.runs += 1;
+            if run.ok() {
+                report.passed += 1;
+                continue;
+            }
+            let repro = if opts.minimize {
+                Some(minimize(
+                    scenario,
+                    seed,
+                    opts.prefix_granularity_s,
+                    content,
+                )?)
+            } else {
+                None
+            };
+            report.failures.push(SweepFailure {
+                spec: run.spec,
+                seed,
+                failures: run.failures,
+                repro,
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Shrink a failing `(scenario, seed)` pair to the smallest failing
+/// `(seed, trial-count, trace-prefix)` triple.
+///
+/// The trial axis is scanned upward (smallest failing count wins); the
+/// prefix axis is binary-searched down to `granularity_s`, maintaining
+/// the invariant that the upper bracket always fails — so the returned
+/// prefix is a *verified* failing reproduction even if failures are not
+/// monotone in trace length.
+pub fn minimize(
+    scenario: &Scenario,
+    seed: u64,
+    granularity_s: usize,
+    content: &mut Content,
+) -> Result<Repro, String> {
+    let fails = |s: &Scenario, content: &mut Content| -> Result<Option<Vec<String>>, String> {
+        let run = run_scenario(s, seed, content)?;
+        Ok((!run.ok()).then_some(run.failures))
+    };
+
+    // Axis 1: smallest failing trial count.
+    let mut best = scenario.clone();
+    let mut best_failures = None;
+    for n in 1..=scenario.trials {
+        let candidate = scenario.clone().with_trials(n);
+        if let Some(f) = fails(&candidate, content)? {
+            best = candidate;
+            best_failures = Some(f);
+            break;
+        }
+    }
+    let mut best_failures = match best_failures {
+        Some(f) => f,
+        // Only the full trial set fails (a cross-trial interaction);
+        // re-verify it and keep every trial.
+        None => fails(&best, content)?.ok_or_else(|| {
+            format!(
+                "minimize({}, seed {seed}): the full scenario no longer fails",
+                scenario.spec()
+            )
+        })?,
+    };
+
+    // Axis 2: shortest failing trace prefix. `hi` always fails.
+    let full = best.build_trace(seed).duration_s();
+    let mut lo = 1usize;
+    let mut hi = full;
+    while hi - lo > granularity_s.max(1) {
+        let mid = lo + (hi - lo) / 2;
+        match fails(&best.clone().with_trace_prefix(mid), content)? {
+            Some(f) => {
+                hi = mid;
+                best_failures = f;
+            }
+            None => lo = mid + 1,
+        }
+    }
+    if hi < full {
+        best = best.with_trace_prefix(hi);
+    }
+    Ok(Repro {
+        spec: best.spec(),
+        seed,
+        trials: best.trials,
+        trace_prefix_s: hi,
+        failures: best_failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repro_test_source_is_pasteable() {
+        let r = Repro {
+            spec: "BBB:VOXEL:tmobile:buf1:q32:n1:d300:prefix45:inject=stall_skew".into(),
+            seed: 3,
+            trials: 1,
+            trace_prefix_s: 45,
+            failures: vec!["stall accounting drift".into()],
+        };
+        let src = r.test_source();
+        assert!(src.contains("#[test]"));
+        assert!(src.contains(
+            "fn repro_bbb_voxel_tmobile_buf1_q32_n1_d300_prefix45_inject_stall_skew_seed3()"
+        ));
+        assert!(src.contains(&r.spec));
+        assert!(src.contains("(seed=3, trials=1, trace_prefix=45s)"));
+        // The embedded spec round-trips through the parser.
+        assert!(Scenario::parse(&r.spec).is_ok());
+    }
+
+    #[test]
+    fn default_sweep_covers_five_seeds() {
+        let o = SweepOptions::default();
+        assert!(o.seeds.len() >= 5);
+        assert!(o.minimize);
+    }
+}

@@ -14,4 +14,5 @@ pub use voxel_netem as netem;
 pub use voxel_prep as prep;
 pub use voxel_quic as quic;
 pub use voxel_sim as sim;
+pub use voxel_testkit as testkit;
 pub use voxel_trace as trace;

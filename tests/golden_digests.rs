@@ -1,0 +1,35 @@
+//! Golden timeline digests (DESIGN.md §11): every canonical scenario's
+//! voxel-trace JSONL must hash to the digest committed under
+//! `tests/golden/`. Any behavioral change to quic/abr/player surfaces
+//! here as a reviewable digest diff instead of silent results drift.
+//!
+//! After an *intentional* behavior change, re-bless with
+//! `VOXEL_BLESS=1 cargo test --test golden_digests` and commit the
+//! updated `tests/golden/*.digest` files alongside the change.
+
+use std::path::Path;
+use voxel::testkit::{check_or_bless, run_golden, Content, GoldenStatus};
+
+#[test]
+fn canonical_timelines_match_their_golden_digests() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let mut content = Content::new();
+    for g in voxel::testkit::digest::canonical_scenarios() {
+        let (timeline, failures) = run_golden(&g, &mut content).expect("scenario runs");
+        assert!(
+            failures.is_empty(),
+            "golden {} failed its oracles: {failures:?}",
+            g.name
+        );
+        match check_or_bless(&dir, &g, &timeline) {
+            Ok(GoldenStatus::Matched) => {}
+            Ok(GoldenStatus::Blessed) => eprintln!("blessed golden {}", g.name),
+            Err(e) => panic!(
+                "golden {} diverged: {e}\n\
+                 If this change is intentional, re-bless with \
+                 VOXEL_BLESS=1 cargo test --test golden_digests",
+                g.name
+            ),
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Tier-1 slice of the deterministic-simulation conformance suite
+//! (DESIGN.md §11). The full matrix × seed sweep runs as tier-2
+//! (`cargo run --release -p voxel-bench --bin conformance`); these tests
+//! keep a bounded cut of the same machinery — matrix expansion, oracles,
+//! fault injection, sweep + minimizer — in every `cargo test`.
+
+use voxel::testkit::{run_scenario, run_sweep, Content, Inject, Matrix, Scenario, SweepOptions};
+
+#[test]
+fn small_matrix_is_green_across_seeds() {
+    // Two systems on one trace family, every oracle armed, two seeds.
+    let scenarios = Matrix::parse("videos=BBB systems=BOLA,VOXEL traces=const8 buffers=3 trials=1")
+        .expect("matrix parses")
+        .scenarios();
+    assert_eq!(scenarios.len(), 2);
+    let mut content = Content::new();
+    for seed in [1, 7] {
+        for s in &scenarios {
+            let run = run_scenario(s, seed, &mut content).expect("scenario runs");
+            assert!(
+                run.ok(),
+                "{} seed {seed}: oracle failures: {:?}",
+                s.spec(),
+                run.failures
+            );
+        }
+    }
+}
+
+#[test]
+fn scenario_specs_round_trip_through_parse() {
+    // The sweep minimizer's repro emission depends on spec() being the
+    // exact inverse of parse(); pin it on a fully-loaded spec.
+    let spec =
+        "ToS:VOXEL:tmobile:buf1:q64:n2:d300:prefix45:loss@40+10x0.3:cliff@120x0.25:inject=stall_skew";
+    let s = Scenario::parse(spec).expect("parses");
+    assert_eq!(s.spec(), spec);
+    assert_eq!(s.inject, Some(Inject::StallSkew));
+    assert_eq!(Scenario::parse(&s.spec()).expect("re-parses"), s);
+}
+
+#[test]
+fn injected_stall_skew_is_caught_and_minimized() {
+    // Arm the deliberate stall-accounting skew (the testkit's canary
+    // fault): the drift oracle must catch it, and the sweep must shrink
+    // the failure to a (seed, trials, trace-prefix) triple with a
+    // pasteable #[test] repro.
+    let scenario = Scenario::parse("ToS:BOLA:tmobile:buf1:inject=stall_skew").expect("spec parses");
+    let mut content = Content::new();
+    let report = run_sweep(
+        &[scenario],
+        &SweepOptions {
+            seeds: vec![1],
+            minimize: true,
+            prefix_granularity_s: 60,
+        },
+        &mut content,
+    )
+    .expect("sweep runs");
+    assert!(!report.ok(), "the armed skew went undetected");
+    let f = &report.failures[0];
+    assert!(
+        f.failures
+            .iter()
+            .any(|v| v.contains("stall accounting drift")),
+        "caught for the wrong reason: {:?}",
+        f.failures
+    );
+    let repro = f.repro.as_ref().expect("failure was minimized");
+    assert_eq!(repro.seed, 1);
+    assert!(repro.triple().starts_with("(seed=1, trials=1"));
+    assert!(repro.test_source().contains("#[test]"));
+    assert!(repro.test_source().contains(&repro.spec));
+
+    // The same scenario without the injection passes every oracle — the
+    // canary fires on the fault, not on the scenario.
+    let clean = Scenario::parse("ToS:BOLA:tmobile:buf1").expect("spec parses");
+    let run = run_scenario(&clean, 1, &mut content).expect("scenario runs");
+    assert!(run.ok(), "clean scenario failed: {:?}", run.failures);
+}
+
+#[test]
+fn fault_plane_degrades_gracefully_and_shows_in_counters() {
+    let mut content = Content::new();
+
+    // A 30 % loss burst mid-stream: the session must still complete
+    // within oracle bounds, and the transport must actually have seen
+    // losses (the fault was armed, not a no-op).
+    let lossy = Scenario::parse("BBB:VOXEL:const5:loss@40+10x0.3").expect("spec parses");
+    let run = run_scenario(&lossy, 3, &mut content).expect("scenario runs");
+    assert!(run.ok(), "loss burst broke an oracle: {:?}", run.failures);
+    let r = &run.trials[0].result;
+    assert!(r.completed, "session did not complete under the loss burst");
+    assert!(r.transport.packets_lost > 0, "loss burst never fired");
+
+    // Reorder and duplicate windows: both client-side counters move,
+    // and the oracles (which bound them against packets received) hold.
+    let scrambled = Scenario::parse("BBB:VOXEL:const5:reorder@30+30x0.2~40:dup@90+30x0.1~15")
+        .expect("spec parses");
+    let run = run_scenario(&scrambled, 3, &mut content).expect("scenario runs");
+    assert!(run.ok(), "reorder/dup broke an oracle: {:?}", run.failures);
+    let r = &run.trials[0].result;
+    assert!(r.completed);
+    assert!(
+        r.transport.client_packets_reordered > 0,
+        "reorder window never fired"
+    );
+    assert!(
+        r.transport.client_packets_duplicate > 0,
+        "dup window never fired"
+    );
+}
