@@ -19,11 +19,17 @@ cargo test -q -p voxel-lint -p voxel-quic
 echo "==> cargo test -q --features paranoid (runtime invariant audits)"
 cargo test -q --features paranoid
 
-echo "==> tier-2: conformance sweep (scenario matrix x seeds + golden digests, DESIGN.md §11)"
+echo "==> tier-2: conformance sweep (scenario matrix x seeds + golden digests + fleets, DESIGN.md §11-12)"
 VOXEL_SEEDS="${VOXEL_SEEDS:-3}" cargo run -q --release -p voxel-bench --bin conformance
 
 echo "==> tier-2: testkit canary (armed stall-skew must be caught and minimized)"
 VOXEL_TESTKIT_FAULT=stall_off_by_one cargo run -q --release -p voxel-bench --bin conformance
+
+echo "==> perf: criterion smoke (fleet scaling / rangeset / session loop)"
+VOXEL_BENCH_FAST=1 cargo bench -q -p voxel-bench --bench fleet
+
+echo "==> perf: BENCH_5.json shape check"
+cargo run -q --release -p voxel-bench --bin check_bench5
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

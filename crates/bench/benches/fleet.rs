@@ -1,0 +1,65 @@
+//! Criterion perf baseline for the fleet runtime (DESIGN.md §12): the
+//! same three workload families the conformance runner snapshots into
+//! `BENCH_5.json` — fleet scaling at 1/2/4/8/16 sessions, RangeSet
+//! ACK-tracking ops, and the single-session event-loop rate.
+//!
+//! ```sh
+//! cargo bench -p voxel-bench --bench fleet
+//! VOXEL_BENCH_FAST=1 cargo bench -p voxel-bench --bench fleet   # CI smoke
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use voxel_bench::perf;
+use voxel_core::ContentCache;
+use voxel_fleet::{run_fleet, FleetSpec};
+use voxel_trace::Tracer;
+
+fn bench_fleet_scaling(c: &mut Criterion) {
+    let cache = ContentCache::top_level_only();
+    let mut group = c.benchmark_group("fleet_scaling");
+    group.sample_size(10);
+    for n in perf::FLEET_SCALING_SESSIONS {
+        let spec = FleetSpec::parse(&perf::fleet_scaling_spec(n)).expect("scaling spec");
+        group.bench_function(&format!("{n}_sessions"), |b| {
+            b.iter(|| {
+                black_box(
+                    run_fleet(&spec, &cache, Tracer::disabled())
+                        .expect("fleet runs")
+                        .loop_iters,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rangeset(c: &mut Criterion) {
+    c.bench_function("rangeset/ack_tracking", |b| {
+        b.iter(|| black_box(perf::rangeset_workload()))
+    });
+}
+
+fn bench_session_loop(c: &mut Criterion) {
+    let cache = ContentCache::top_level_only();
+    let spec = FleetSpec::parse(&perf::session_loop_spec()).expect("session spec");
+    let mut group = c.benchmark_group("session");
+    group.sample_size(10);
+    group.bench_function("event_loop_d120", |b| {
+        b.iter(|| {
+            black_box(
+                run_fleet(&spec, &cache, Tracer::disabled())
+                    .expect("session runs")
+                    .loop_iters,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    fleet,
+    bench_fleet_scaling,
+    bench_rangeset,
+    bench_session_loop
+);
+criterion_main!(fleet);

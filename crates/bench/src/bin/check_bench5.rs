@@ -1,0 +1,139 @@
+//! Validate the committed `BENCH_5.json` performance baseline.
+//!
+//! Checks that the snapshot the conformance runner emits is well-formed:
+//! the v1 schema marker, a fleet-scaling series covering exactly
+//! 1/2/4/8/16 sessions with positive event-loop rates, and positive
+//! RangeSet / session-loop throughputs. Run by `ci.sh` after the
+//! conformance step.
+//!
+//! ```sh
+//! cargo run --release -p voxel-bench --bin check_bench5 [path]
+//! ```
+
+use std::process::ExitCode;
+use voxel_bench::perf::FLEET_SCALING_SESSIONS;
+
+/// Pull the number after `"key": ` out of a JSON object line. The file
+/// is our own fixed-format emission (see `perf::Bench5::to_json`), so a
+/// field scan is exact — no JSON parser in the tree.
+fn field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn check(text: &str) -> Result<(), String> {
+    if !text.contains("\"schema\": \"voxel-bench5-v1\"") {
+        return Err("missing voxel-bench5-v1 schema marker".into());
+    }
+
+    let mut sessions = Vec::new();
+    let mut in_scaling = false;
+    for line in text.lines() {
+        if line.contains("\"fleet_scaling\"") {
+            in_scaling = true;
+            continue;
+        }
+        if in_scaling {
+            if line.trim_start().starts_with(']') {
+                in_scaling = false;
+                continue;
+            }
+            let n = field(line, "sessions").ok_or_else(|| format!("bad point: {line}"))?;
+            let steps = field(line, "steps_per_sec")
+                .ok_or_else(|| format!("point missing steps_per_sec: {line}"))?;
+            let iters = field(line, "loop_iters")
+                .ok_or_else(|| format!("point missing loop_iters: {line}"))?;
+            if steps <= 0.0 || iters <= 0.0 {
+                return Err(format!("non-positive rate at {n} sessions: {line}"));
+            }
+            sessions.push(n as usize);
+        }
+    }
+    if sessions != FLEET_SCALING_SESSIONS {
+        return Err(format!(
+            "fleet_scaling covers sessions {sessions:?}, expected {FLEET_SCALING_SESSIONS:?}"
+        ));
+    }
+
+    for key in ["rangeset", "session_loop"] {
+        let line = text
+            .lines()
+            .find(|l| l.contains(&format!("\"{key}\"")))
+            .ok_or_else(|| format!("missing {key} entry"))?;
+        let rate =
+            field(line, "ops_per_sec").ok_or_else(|| format!("{key} missing ops_per_sec"))?;
+        if rate <= 0.0 {
+            return Err(format!("{key} has non-positive ops_per_sec {rate}"));
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../BENCH_5.json")
+            .to_string_lossy()
+            .into_owned()
+    });
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check_bench5: cannot read {path}: {e}");
+            eprintln!("(run `cargo run --release -p voxel-bench --bin conformance` to emit it)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&text) {
+        Ok(()) => {
+            println!("# BENCH_5.json: ok ({path})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("check_bench5: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxel_bench::perf::{Bench5, FleetPoint, OpsPoint};
+
+    fn sample() -> Bench5 {
+        Bench5 {
+            fleet_scaling: FLEET_SCALING_SESSIONS
+                .iter()
+                .map(|&n| FleetPoint {
+                    sessions: n,
+                    wall_ms: 10.0,
+                    loop_iters: 1000,
+                    steps_per_sec: 100_000.0,
+                    sim_end_s: 60.0,
+                    jain: 1.0,
+                })
+                .collect(),
+            rangeset: OpsPoint::new(2048, 1.0),
+            session_loop: OpsPoint::new(1000, 10.0),
+        }
+    }
+
+    #[test]
+    fn accepts_the_emitted_shape() {
+        assert_eq!(check(&sample().to_json()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_missing_scaling_points_and_schema() {
+        let mut b = sample();
+        b.fleet_scaling.pop();
+        assert!(check(&b.to_json()).is_err());
+        let j = sample().to_json().replace("voxel-bench5-v1", "v0");
+        assert!(check(&j).is_err());
+    }
+}

@@ -104,7 +104,44 @@ fn run_conformance() -> Result<bool, String> {
             }
         }
     }
-    Ok(report.ok() && goldens_ok)
+    let mut fleets_ok = true;
+    for g in voxel_testkit::canonical_fleets() {
+        let started = Instant::now();
+        let (timeline, failures) = voxel_testkit::run_fleet_golden(&g, &content)?;
+        if !failures.is_empty() {
+            println!("FAIL fleet {}: {failures:?}", g.name);
+            fleets_ok = false;
+            continue;
+        }
+        match check_or_bless(&golden_dir, &g, &timeline) {
+            Ok(GoldenStatus::Matched) => println!(
+                "# fleet {}: ok ({:.1}s)",
+                g.name,
+                started.elapsed().as_secs_f64()
+            ),
+            Ok(GoldenStatus::Blessed) => println!("# fleet {}: blessed", g.name),
+            Err(e) => {
+                println!("FAIL fleet {}: {e}", g.name);
+                fleets_ok = false;
+            }
+        }
+    }
+
+    // Snapshot the perf baseline alongside the goldens so every green
+    // conformance run leaves a fresh, checkable BENCH_5.json behind.
+    let bench5 = voxel_bench::perf::collect(content.cache())?;
+    let bench5_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_5.json");
+    std::fs::write(&bench5_path, bench5.to_json())
+        .map_err(|e| format!("writing {}: {e}", bench5_path.display()))?;
+    println!("# perf baseline written to {}", bench5_path.display());
+    for p in &bench5.fleet_scaling {
+        println!(
+            "#   {:>2} sessions: {:>8.0} steps/s ({:.0} ms wall, jain {:.3})",
+            p.sessions, p.steps_per_sec, p.wall_ms, p.jain
+        );
+    }
+
+    Ok(report.ok() && goldens_ok && fleets_ok)
 }
 
 /// Canary self-test: arm the deliberate stall-accounting skew and demand

@@ -9,7 +9,7 @@ fn main() {
     let video = args.get(2).map(String::as_str).unwrap_or("BBB");
     let buffer: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
 
-    let mut cache = ContentCache::new();
+    let cache = ContentCache::new();
     println!(
         "trace={trace} video={video} buffer={buffer} trials={}",
         voxel_bench::trial_count()
@@ -17,7 +17,7 @@ fn main() {
     for system in ["BOLA", "BETA", "VOXEL", "BOLA-SSIM"] {
         let t0 = std::time::Instant::now();
         let agg = voxel_bench::run(
-            &mut cache,
+            &cache,
             sys_config(video_by_name(video), system, buffer, trace_by_name(trace)),
         );
         println!(

@@ -13,13 +13,13 @@
 //! ```
 
 use std::sync::Arc;
-use voxel_core::client::{PlayerConfig, TransportMode};
-use voxel_core::session::Session;
+use voxel_core::client::TransportMode;
+use voxel_core::experiment::{run_instrumented_trial, AbrKind, Experiment};
 use voxel_media::content::VideoId;
 use voxel_media::ladder::QualityLevel;
 use voxel_media::qoe::QoeModel;
 use voxel_media::video::Video;
-use voxel_netem::{BandwidthTrace, PathConfig};
+use voxel_netem::BandwidthTrace;
 use voxel_prep::manifest::Manifest;
 use voxel_trace::Tracer;
 
@@ -33,25 +33,21 @@ fn main() {
     let qoe = QoeModel::default();
     let manifest = Arc::new(Manifest::prepare_levels(&video, &qoe, &[QualityLevel::MAX]));
 
-    let path = PathConfig::new(BandwidthTrace::constant(mbps, 3600), 32);
-    let (abr, transport): (Box<dyn voxel_abr::Abr>, _) = match mode {
-        "bola" => (Box::new(voxel_abr::Bola::new()), TransportMode::Reliable),
-        _ => (
-            Box::new(voxel_abr::AbrStar::default()),
-            TransportMode::Split,
-        ),
+    let (abr, transport) = match mode {
+        "bola" => (AbrKind::Bola, TransportMode::Reliable),
+        _ => (AbrKind::voxel(), TransportMode::Split),
     };
+    let config = Experiment::builder()
+        .video(VideoId::Bbb)
+        .abr(abr)
+        .transport(transport)
+        .buffer(3)
+        .trace(BandwidthTrace::constant(mbps, 3600))
+        .queue(32)
+        .build()
+        .into_config();
     let (tracer, handle) = Tracer::memory(0, cap);
-    let session = Session::new(
-        path,
-        manifest,
-        Arc::new(video),
-        qoe,
-        abr,
-        PlayerConfig::new(3, transport),
-    )
-    .with_tracer(tracer);
-    let r = session.run();
+    let r = run_instrumented_trial(&config, &manifest, &Arc::new(video), &qoe, 0, tracer, None);
 
     let mut events = handle.events();
     // Back-dated events (stall_start, segment_play) are emitted out of

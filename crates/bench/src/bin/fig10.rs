@@ -13,7 +13,7 @@ use voxel_media::content::VideoId;
 use voxel_netem::trace::generators;
 
 fn main() {
-    let mut cache = ContentCache::new();
+    let cache = ContentCache::new();
     // One trial per trace (the ensemble provides the repetition); the fast
     // mode uses a subset of the 86 traces.
     let traces: usize = if trial_count() >= 30 { 86 } else { 24 };
@@ -27,8 +27,8 @@ fn main() {
             let mut trials = Vec::new();
             for i in 0..traces {
                 let trace = generators::norway_3g_raw(i, voxel_bench::TRACE_DURATION_S);
-                let cfg = sys_config(VideoId::Bbb, system, buffer, trace).with_trials(1);
-                let agg = voxel_bench::run(&mut cache, cfg);
+                let cfg = sys_config(VideoId::Bbb, system, buffer, trace).trials(1);
+                let agg = voxel_bench::run(&cache, cfg);
                 trials.extend(agg.trials);
             }
             let agg = voxel_core::metrics::Aggregate::new(trials);

@@ -24,7 +24,7 @@ fn accumulated_avg(series: &[f64]) -> Vec<f64> {
 }
 
 fn main() {
-    let mut cache = ContentCache::new();
+    let cache = ContentCache::new();
     header(
         "Fig 11a",
         "accumulated average SSIM while streaming BBB, 28 s buffer",
@@ -41,8 +41,8 @@ fn main() {
     ];
     for (tname, trace) in &traces {
         for system in ["BOLA", "VOXEL"] {
-            let cfg = sys_config(VideoId::Bbb, system, 7, trace.clone()).with_trials(1);
-            let agg = voxel_bench::run(&mut cache, cfg);
+            let cfg = sys_config(VideoId::Bbb, system, 7, trace.clone()).trials(1);
+            let agg = voxel_bench::run(&cache, cfg);
             let ssims = agg.trials[0].ssims();
             let acc = accumulated_avg(&ssims);
             let cells: Vec<String> = acc
@@ -69,8 +69,8 @@ fn main() {
     let probes: Vec<f64> = (0..=12).map(|i| 0.88 + i as f64 * 0.01).collect();
     for (tname, trace) in &traces {
         for system in ["BOLA", "VOXEL"] {
-            let cfg = sys_config(VideoId::Bbb, system, 7, trace.clone()).with_trials(4);
-            let agg = voxel_bench::run(&mut cache, cfg);
+            let cfg = sys_config(VideoId::Bbb, system, 7, trace.clone()).trials(4);
+            let agg = voxel_bench::run(&cache, cfg);
             print_cdf(&format!("{system} ({tname})"), &agg.pooled_ssims(), &probes);
         }
     }
@@ -83,7 +83,7 @@ fn main() {
         for video in ["BBB", "ED", "Sintel", "ToS"] {
             for system in ["BOLA", "VOXEL"] {
                 let agg = voxel_bench::run(
-                    &mut cache,
+                    &cache,
                     sys_config(
                         voxel_bench::video_by_name(video),
                         system,

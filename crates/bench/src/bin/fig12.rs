@@ -6,7 +6,7 @@ use voxel_core::experiment::ContentCache;
 use voxel_netem::crosstraffic::{available_bandwidth, CrossTrafficConfig};
 
 fn main() {
-    let mut cache = ContentCache::new();
+    let cache = ContentCache::new();
     header(
         "Fig 12",
         "BOLA vs VOXEL with 20 Mbps cross-traffic on a 20 Mbps link",
@@ -24,7 +24,7 @@ fn main() {
         for buffer in [1usize, 2, 3, 7] {
             for system in ["BOLA", "VOXEL"] {
                 let agg = voxel_bench::run(
-                    &mut cache,
+                    &cache,
                     sys_config(video_by_name(video), system, buffer, trace.clone()),
                 );
                 println!(

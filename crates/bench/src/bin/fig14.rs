@@ -14,7 +14,7 @@ use voxel_media::content::VideoId;
 use voxel_netem::trace::generators;
 
 fn main() {
-    let mut cache = ContentCache::new();
+    let cache = ContentCache::new();
     header("Fig 14", "synthetic 54-user panel: BOLA (A) vs VOXEL (B)");
 
     // Challenging conditions, as in the paper ("scenarios where network
@@ -34,12 +34,12 @@ fn main() {
     for (i, &idx) in by_mean.iter().enumerate().take(pairs) {
         let trace = generators::norway_3g_raw(idx, voxel_bench::TRACE_DURATION_S);
         let bola = voxel_bench::run(
-            &mut cache,
-            sys_config(VideoId::Bbb, "BOLA", 1, trace.clone()).with_trials(1),
+            &cache,
+            sys_config(VideoId::Bbb, "BOLA", 1, trace.clone()).trials(1),
         );
         let voxel = voxel_bench::run(
-            &mut cache,
-            sys_config(VideoId::Bbb, "VOXEL", 1, trace).with_trials(1),
+            &cache,
+            sys_config(VideoId::Bbb, "VOXEL", 1, trace).trials(1),
         );
         let s = run_survey(&bola.trials[0], &voxel.trials[0], 54, 14 + i as u64);
         prefer += s.prefer_b;

@@ -4,9 +4,10 @@
 
 use voxel_bench::{header, sys_config, trace_by_name, video_by_name};
 use voxel_core::experiment::ContentCache;
+use voxel_quic::CcKind;
 
 fn main() {
-    let mut cache = ContentCache::new();
+    let cache = ContentCache::new();
     header("Fig 16", "bufRatio with a 750-packet network queue");
     println!(
         "{:20} {:>4} {:>8} {:>12}",
@@ -27,11 +28,11 @@ fn main() {
                 ] {
                     let mut cfg =
                         sys_config(video_by_name(video), system, buffer, trace_by_name(trace))
-                            .with_queue(750);
+                            .queue(750);
                     if delay_cc {
-                        cfg = cfg.with_delay_cc();
+                        cfg = cfg.cc(CcKind::Delay);
                     }
-                    let agg = voxel_bench::run(&mut cache, cfg);
+                    let agg = voxel_bench::run(&cache, cfg);
                     println!(
                         "{:20} {:>4} {:>14} {:>11.2}%",
                         format!("{trace}/{video}"),

@@ -5,18 +5,18 @@ use voxel_bench::{header, print_cdf, sys_config, trace_by_name, video_by_name};
 use voxel_core::experiment::ContentCache;
 
 fn main() {
-    let mut cache = ContentCache::new();
+    let cache = ContentCache::new();
 
     header("Fig 17a/17b", "average bitrates over 3G and AT&T (kbps)");
     for trace in ["3G", "AT&T"] {
         for video in ["BBB", "ED", "Sintel", "ToS"] {
             for buffer in [1usize, 2, 3, 7] {
                 let bola = voxel_bench::run(
-                    &mut cache,
+                    &cache,
                     sys_config(video_by_name(video), "BOLA", buffer, trace_by_name(trace)),
                 );
                 let vox = voxel_bench::run(
-                    &mut cache,
+                    &cache,
                     sys_config(video_by_name(video), "VOXEL", buffer, trace_by_name(trace)),
                 );
                 println!(
@@ -38,7 +38,7 @@ fn main() {
         println!("\n## buffer {buffer}");
         for system in ["BETA", "VOXEL", "VOXEL-tuned"] {
             let agg = voxel_bench::run(
-                &mut cache,
+                &cache,
                 sys_config(
                     video_by_name("BBB"),
                     system,

@@ -6,7 +6,7 @@ use voxel_bench::{header, sys_config, trace_by_name, video_by_name};
 use voxel_core::experiment::ContentCache;
 
 fn main() {
-    let mut cache = ContentCache::new();
+    let cache = ContentCache::new();
 
     header(
         "Fig 18a/18b",
@@ -15,11 +15,11 @@ fn main() {
     for video in ["BBB", "ED", "Sintel", "ToS"] {
         for buffer in [1usize, 2, 3, 7] {
             let bola = voxel_bench::run(
-                &mut cache,
+                &cache,
                 sys_config(video_by_name(video), "BOLA", buffer, trace_by_name("FCC")),
             );
             let vox = voxel_bench::run(
-                &mut cache,
+                &cache,
                 sys_config(video_by_name(video), "VOXEL", buffer, trace_by_name("FCC")),
             );
             println!(
@@ -44,7 +44,7 @@ fn main() {
             for buffer in [1usize, 2, 3, 7] {
                 let voxel = if tuned { "VOXEL-tuned" } else { "VOXEL" };
                 let rel = voxel_bench::run(
-                    &mut cache,
+                    &cache,
                     sys_config(
                         video_by_name(video),
                         "VOXEL-rel",
@@ -53,7 +53,7 @@ fn main() {
                     ),
                 );
                 let vox = voxel_bench::run(
-                    &mut cache,
+                    &cache,
                     sys_config(video_by_name(video), voxel, buffer, trace_by_name(trace)),
                 );
                 println!(

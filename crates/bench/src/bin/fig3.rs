@@ -11,7 +11,7 @@ use voxel_core::experiment::ContentCache;
 use voxel_core::TransportMode;
 
 fn main() {
-    let mut cache = ContentCache::new();
+    let cache = ContentCache::new();
     // The paper's subplot pairings.
     let panels = [
         ("MPC", "T-Mobile", "BBB"),
@@ -32,9 +32,9 @@ fn main() {
             for (label, transport) in [("Q", TransportMode::Reliable), ("Q*", TransportMode::Split)]
             {
                 let cfg = sys_config(video_by_name(video), abr, buffer, trace_by_name(trace))
-                    .with_transport(transport)
-                    .with_trials(trial_count());
-                let agg = voxel_bench::run(&mut cache, cfg);
+                    .transport(transport)
+                    .trials(trial_count());
+                let agg = voxel_bench::run(&cache, cfg);
                 println!(
                     "{:28} {:>6} {:>10} {:>11.2}% {:>8.2}% {:>14.0}",
                     format!("{abr}-{trace}/{video}"),

@@ -11,7 +11,7 @@ use voxel_core::TransportMode;
 use voxel_netem::crosstraffic::{available_bandwidth, CrossTrafficConfig};
 
 fn main() {
-    let mut cache = ContentCache::new();
+    let cache = ContentCache::new();
     header(
         "Fig 5",
         "vanilla ABRs + QUIC* vs QUIC with cross-traffic on a 20 Mbps link",
@@ -38,9 +38,9 @@ fn main() {
                     [("Q", TransportMode::Reliable), ("Q*", TransportMode::Split)]
                 {
                     let cfg = sys_config(video_by_name(video), abr, buffer, trace.clone())
-                        .with_transport(transport)
-                        .with_trials(trial_count());
-                    let agg = voxel_bench::run(&mut cache, cfg);
+                        .transport(transport)
+                        .trials(trial_count());
+                    let agg = voxel_bench::run(&cache, cfg);
                     println!(
                         "{:24} {:>7}M {:>6} {:>10} {:>11.2}% {:>14.0}",
                         format!("{abr}/{video}"),

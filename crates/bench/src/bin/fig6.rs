@@ -11,7 +11,7 @@ use voxel_bench::{header, sys_config, trace_by_name, video_by_name, FIG6_PAIRS};
 use voxel_core::experiment::ContentCache;
 
 fn main() {
-    let mut cache = ContentCache::new();
+    let cache = ContentCache::new();
     header("Fig 6", "bufRatio (p90 + stderr): BOLA vs BETA vs VOXEL");
     println!(
         "{:18} {:>4} {:>12} {:>12} {:>8} {:>10} {:>9}",
@@ -31,7 +31,7 @@ fn main() {
                 },
             ] {
                 let agg = voxel_bench::run(
-                    &mut cache,
+                    &cache,
                     sys_config(video_by_name(video), system, buffer, trace_by_name(trace)),
                 );
                 let p90 = agg.buf_ratio_p90();

@@ -7,13 +7,13 @@
 //! (d) percent of segment data skipped by VOXEL vs buffer size, per video.
 
 use voxel_bench::{header, print_cdf, sys_config, trace_by_name, video_by_name};
-use voxel_core::experiment::{AbrKind, Config, ContentCache};
+use voxel_core::experiment::{AbrKind, ContentCache, Experiment};
 use voxel_core::TransportMode;
 use voxel_media::content::VideoId;
 use voxel_media::qoe::QoeMetric;
 
 fn main() {
-    let mut cache = ContentCache::new();
+    let cache = ContentCache::new();
     let trace = trace_by_name("Verizon");
 
     header(
@@ -22,23 +22,22 @@ fn main() {
     );
     for buffer in [1usize, 2, 3, 7] {
         let bola = voxel_bench::run(
-            &mut cache,
+            &cache,
             sys_config(VideoId::Bbb, "BOLA", buffer, trace.clone()),
         );
         print!("buf={buffer}: BOLA {:5.2}%", bola.buf_ratio_p90());
         for metric in [QoeMetric::Ssim, QoeMetric::Vmaf, QoeMetric::Psnr] {
-            let cfg = Config::new(
-                VideoId::Bbb,
-                AbrKind::Voxel {
+            let cfg = Experiment::builder()
+                .video(VideoId::Bbb)
+                .abr(AbrKind::Voxel {
                     safety: 1.0,
                     metric,
-                },
-                buffer,
-                trace.clone(),
-            )
-            .with_transport(TransportMode::Split)
-            .with_trials(voxel_bench::trial_count());
-            let agg = voxel_bench::run(&mut cache, cfg);
+                })
+                .buffer(buffer)
+                .trace(trace.clone())
+                .transport(TransportMode::Split)
+                .trials(voxel_bench::trial_count());
+            let agg = voxel_bench::run(&cache, cfg);
             print!("  VOXEL/{metric:?} {:5.2}%", agg.buf_ratio_p90());
         }
         println!();
@@ -48,14 +47,8 @@ fn main() {
         "Fig 7b/7c",
         "SSIM and VMAF distributions of streamed segments (BBB, Verizon, 3-seg buffer)",
     );
-    let bola = voxel_bench::run(
-        &mut cache,
-        sys_config(VideoId::Bbb, "BOLA", 3, trace.clone()),
-    );
-    let voxel = voxel_bench::run(
-        &mut cache,
-        sys_config(VideoId::Bbb, "VOXEL", 3, trace.clone()),
-    );
+    let bola = voxel_bench::run(&cache, sys_config(VideoId::Bbb, "BOLA", 3, trace.clone()));
+    let voxel = voxel_bench::run(&cache, sys_config(VideoId::Bbb, "VOXEL", 3, trace.clone()));
     let ssim_probes: Vec<f64> = (0..=10).map(|i| 0.85 + i as f64 * 0.015).collect();
     print_cdf("SSIM BOLA", &bola.pooled_ssims(), &ssim_probes);
     print_cdf("SSIM VOXEL", &voxel.pooled_ssims(), &ssim_probes);
@@ -80,7 +73,7 @@ fn main() {
         print!("{video:8}");
         for buffer in [1usize, 2, 3, 7] {
             let agg = voxel_bench::run(
-                &mut cache,
+                &cache,
                 sys_config(video_by_name(video), "VOXEL", buffer, trace.clone()),
             );
             print!("  buf{buffer}:{:5.1}%", agg.data_skipped_mean_pct());

@@ -5,18 +5,18 @@ use voxel_bench::{header, sys_config, trace_by_name, video_by_name};
 use voxel_core::experiment::ContentCache;
 
 fn main() {
-    let mut cache = ContentCache::new();
+    let cache = ContentCache::new();
     header("Fig 8", "average bitrates (kbps): BOLA vs VOXEL");
     println!("{:20} {:>4} {:>10} {:>10}", "panel", "buf", "BOLA", "VOXEL");
     for trace in ["T-Mobile", "Verizon"] {
         for video in ["BBB", "ED", "Sintel", "ToS"] {
             for buffer in [1usize, 2, 3, 7] {
                 let bola = voxel_bench::run(
-                    &mut cache,
+                    &cache,
                     sys_config(video_by_name(video), "BOLA", buffer, trace_by_name(trace)),
                 );
                 let vox = voxel_bench::run(
-                    &mut cache,
+                    &cache,
                     sys_config(
                         video_by_name(video),
                         if trace == "T-Mobile" {

@@ -6,7 +6,7 @@ use voxel_bench::{header, print_cdf, sys_config, trace_by_name, video_by_name};
 use voxel_core::experiment::ContentCache;
 
 fn main() {
-    let mut cache = ContentCache::new();
+    let cache = ContentCache::new();
     header(
         "Fig 9",
         "SSIM distributions of streamed segments: BOLA vs BETA vs VOXEL",
@@ -22,7 +22,7 @@ fn main() {
         println!("\n## {trace} / {video} / {buffer}-segment buffer");
         for system in ["BOLA", "BETA", voxel] {
             let agg = voxel_bench::run(
-                &mut cache,
+                &cache,
                 sys_config(video_by_name(video), system, buffer, trace_by_name(trace)),
             );
             print_cdf(system, &agg.pooled_ssims(), &probes);

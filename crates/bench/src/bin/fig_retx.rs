@@ -11,7 +11,7 @@ use voxel_core::experiment::ContentCache;
 use voxel_media::content::VideoId;
 
 fn main() {
-    let mut cache = ContentCache::new();
+    let cache = ContentCache::new();
     header(
         "§4.2/§5.2 text",
         "selective retransmission + frame-drop composition (VOXEL, Verizon)",
@@ -22,7 +22,7 @@ fn main() {
     );
     for buffer in [1usize, 2, 3, 7] {
         let agg = voxel_bench::run(
-            &mut cache,
+            &cache,
             sys_config(VideoId::Bbb, "VOXEL", buffer, trace_by_name("Verizon")),
         );
         let lost: u64 = agg.trials.iter().map(|t| t.bytes_lost).sum();

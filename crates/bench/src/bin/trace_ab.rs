@@ -1,13 +1,13 @@
 //! A/B: untraced session vs session with a null-sink tracer enabled.
 use std::sync::Arc;
 use std::time::Instant;
-use voxel_core::client::{PlayerConfig, TransportMode};
-use voxel_core::session::Session;
+use voxel_core::client::TransportMode;
+use voxel_core::experiment::{run_instrumented_trial, AbrKind, Experiment};
 use voxel_media::content::VideoId;
 use voxel_media::ladder::QualityLevel;
 use voxel_media::qoe::QoeModel;
 use voxel_media::video::Video;
-use voxel_netem::{BandwidthTrace, PathConfig};
+use voxel_netem::BandwidthTrace;
 use voxel_prep::manifest::Manifest;
 use voxel_trace::{NullSink, Tracer};
 
@@ -16,19 +16,22 @@ fn main() {
     let qoe = QoeModel::default();
     let manifest = Arc::new(Manifest::prepare_levels(&video, &qoe, &[QualityLevel::MAX]));
     let video = Arc::new(video);
+    let config = Experiment::builder()
+        .video(VideoId::Bbb)
+        .abr(AbrKind::voxel())
+        .transport(TransportMode::Split)
+        .buffer(3)
+        .trace(BandwidthTrace::constant(10.0, 600))
+        .queue(32)
+        .build()
+        .into_config();
     let run = |traced: bool| {
-        let mut s = Session::new(
-            PathConfig::new(BandwidthTrace::constant(10.0, 600), 32),
-            manifest.clone(),
-            video.clone(),
-            qoe.clone(),
-            Box::new(voxel_abr::AbrStar::default()),
-            PlayerConfig::new(3, TransportMode::Split),
-        );
-        if traced {
-            s = s.with_tracer(Tracer::new(0, Box::new(NullSink)));
-        }
-        s.run()
+        let tracer = if traced {
+            Tracer::new(0, Box::new(NullSink))
+        } else {
+            Tracer::disabled()
+        };
+        run_instrumented_trial(&config, &manifest, &video, &qoe, 0, tracer, None)
     };
     // warmup
     run(false);

@@ -16,7 +16,9 @@
 //! the same way regardless of the trial count. `EXPERIMENTS.md` records
 //! which count produced the committed numbers.
 
-use voxel_core::experiment::{Config, ContentCache};
+pub mod perf;
+
+use voxel_core::experiment::{ContentCache, ExperimentBuilder};
 use voxel_core::metrics::Aggregate;
 use voxel_media::content::VideoId;
 use voxel_netem::trace::generators;
@@ -69,25 +71,32 @@ pub const FIG6_PAIRS: [(&str, &str); 4] = [
     ("T-Mobile", "ToS"),
 ];
 
-/// Run a configuration and return the aggregate (convenience wrapper).
-pub fn run(cache: &mut ContentCache, config: Config) -> Aggregate {
-    voxel_core::experiment::run_config(&config, cache)
+/// Run a configured experiment and return the aggregate (convenience
+/// wrapper).
+pub fn run(cache: &ContentCache, experiment: ExperimentBuilder) -> Aggregate {
+    experiment.build().run(cache)
 }
 
-/// A standard §5.2 comparison config.
+/// A standard §5.2 comparison experiment, ready to `run` (or to tweak
+/// further — the return value is the builder).
 pub fn sys_config(
     video: VideoId,
     system: &str,
     buffer_segments: usize,
     trace: BandwidthTrace,
-) -> Config {
-    // The legend-name table lives in the testkit so the conformance
-    // scenarios and the figure harness can never disagree on a system.
+) -> ExperimentBuilder {
+    // The legend-name table lives in voxel-fleet (re-exported by the
+    // testkit) so the conformance scenarios, the fleet specs, and the
+    // figure harness can never disagree on a system.
     let (abr, transport) =
         voxel_testkit::system_by_name(system).unwrap_or_else(|| panic!("unknown system {system}"));
-    Config::new(video, abr, buffer_segments, trace)
-        .with_transport(transport)
-        .with_trials(trial_count())
+    voxel_core::Experiment::builder()
+        .video(video)
+        .abr(abr)
+        .transport(transport)
+        .buffer(buffer_segments)
+        .trace(trace)
+        .trials(trial_count())
 }
 
 /// Print a figure header.
@@ -125,18 +134,15 @@ mod tests {
     #[test]
     fn sys_configs_have_expected_transports() {
         let t = BandwidthTrace::constant(10.0, 10);
-        assert_eq!(
-            sys_config(VideoId::Bbb, "BOLA", 3, t.clone()).transport,
-            TransportMode::Reliable
-        );
-        assert_eq!(
-            sys_config(VideoId::Bbb, "VOXEL", 3, t.clone()).transport,
-            TransportMode::Split
-        );
-        assert_eq!(
-            sys_config(VideoId::Bbb, "VOXEL-rel", 3, t).transport,
-            TransportMode::Reliable
-        );
+        let transport = |sys: &str| {
+            sys_config(VideoId::Bbb, sys, 3, t.clone())
+                .build()
+                .config()
+                .transport
+        };
+        assert_eq!(transport("BOLA"), TransportMode::Reliable);
+        assert_eq!(transport("VOXEL"), TransportMode::Split);
+        assert_eq!(transport("VOXEL-rel"), TransportMode::Reliable);
     }
 
     #[test]

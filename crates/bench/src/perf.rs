@@ -1,0 +1,254 @@
+//! BENCH_5 performance baseline (DESIGN.md §12).
+//!
+//! Three families of numbers, serialized to `BENCH_5.json` at the repo
+//! root by the conformance runner and checked by the `check_bench5` bin:
+//!
+//! - **fleet_scaling** — wall time and event-loop rate of a homogeneous
+//!   VOXEL fleet at 1/2/4/8/16 sessions on one shared 6 Mbit/s link
+//!   (capped at 60 simulated seconds so the full series stays cheap);
+//! - **rangeset** — `voxel_quic::range::RangeSet` ACK-tracking ops/sec
+//!   (scattered inserts + membership/gap queries);
+//! - **session_loop** — single-session fleet event-loop steps/sec over a
+//!   full (uncapped) 120 s trial.
+//!
+//! The same workloads back the Criterion suite in `benches/fleet.rs`;
+//! this module exists so conformance can snapshot them without the bench
+//! harness, and so both report *identical* workloads.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use voxel_core::ContentCache;
+use voxel_fleet::{run_fleet, FleetResult, FleetSpec};
+use voxel_quic::range::RangeSet;
+use voxel_trace::Tracer;
+
+/// Session counts of the fleet-scaling series, in order.
+pub const FLEET_SCALING_SESSIONS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Membership/gap queries + inserts per [`rangeset_workload`] call.
+pub const RANGESET_OPS_PER_CALL: u64 = 2048;
+
+/// The capped homogeneous fleet spec for one scaling point.
+pub fn fleet_scaling_spec(sessions: usize) -> String {
+    format!("BBB:{sessions}xVOXEL:const6:buf3:q64:d300:drr:stg1:cap60")
+}
+
+/// The uncapped single-session workload behind `session_loop`.
+pub fn session_loop_spec() -> String {
+    "BBB:1xVOXEL:const8:buf3:q64:d120:drr:stg0".into()
+}
+
+/// One measured point of the fleet-scaling series.
+#[derive(Debug, Clone)]
+pub struct FleetPoint {
+    /// Sessions sharing the link.
+    pub sessions: usize,
+    /// Wall-clock time of the run, milliseconds.
+    pub wall_ms: f64,
+    /// Event-loop iterations the run took.
+    pub loop_iters: u64,
+    /// Event-loop iterations per wall-clock second.
+    pub steps_per_sec: f64,
+    /// Simulated seconds covered.
+    pub sim_end_s: f64,
+    /// Jain fairness of the (homogeneous) fleet.
+    pub jain: f64,
+}
+
+/// A throughput measurement: `ops` of work in `wall_ms`.
+#[derive(Debug, Clone)]
+pub struct OpsPoint {
+    /// Operations performed.
+    pub ops: u64,
+    /// Wall-clock time, milliseconds.
+    pub wall_ms: f64,
+    /// Operations per wall-clock second.
+    pub ops_per_sec: f64,
+}
+
+impl OpsPoint {
+    /// Build a point, deriving `ops_per_sec`.
+    pub fn new(ops: u64, wall_ms: f64) -> OpsPoint {
+        OpsPoint {
+            ops,
+            wall_ms,
+            ops_per_sec: if wall_ms > 0.0 {
+                ops as f64 * 1000.0 / wall_ms
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// The full BENCH_5 snapshot.
+#[derive(Debug, Clone)]
+pub struct Bench5 {
+    /// Fleet-scaling series, one point per [`FLEET_SCALING_SESSIONS`].
+    pub fleet_scaling: Vec<FleetPoint>,
+    /// RangeSet ACK-tracking throughput.
+    pub rangeset: OpsPoint,
+    /// Single-session event-loop rate (ops = loop iterations).
+    pub session_loop: OpsPoint,
+}
+
+fn timed_fleet(spec: &str, cache: &ContentCache) -> Result<(FleetResult, f64), String> {
+    let spec = FleetSpec::parse(spec)?;
+    let started = Instant::now();
+    let r = run_fleet(&spec, cache, Tracer::disabled())?;
+    Ok((r, started.elapsed().as_secs_f64() * 1000.0))
+}
+
+/// Run one fleet-scaling point.
+pub fn run_fleet_point(sessions: usize, cache: &ContentCache) -> Result<FleetPoint, String> {
+    let (r, wall_ms) = timed_fleet(&fleet_scaling_spec(sessions), cache)?;
+    Ok(FleetPoint {
+        sessions,
+        wall_ms,
+        loop_iters: r.loop_iters,
+        steps_per_sec: if wall_ms > 0.0 {
+            r.loop_iters as f64 * 1000.0 / wall_ms
+        } else {
+            0.0
+        },
+        sim_end_s: r.end_s,
+        jain: r.jain,
+    })
+}
+
+/// The RangeSet ACK-tracking workload: scattered inserts (coalescing and
+/// splitting ranges the way out-of-order ACK arrival does) followed by
+/// membership and gap queries. Returns a checksum so the optimizer cannot
+/// discard the work.
+pub fn rangeset_workload() -> u64 {
+    let mut rs = RangeSet::new();
+    let mut acc = 0u64;
+    for i in 0..1024u64 {
+        let start = (i * 7919) % 60_000;
+        rs.insert(start, start + 1200);
+    }
+    for i in 0..1024u64 {
+        let off = (i * 104_729) % 60_000;
+        acc += u64::from(rs.contains(off));
+    }
+    acc + rs.covered_len() + rs.prefix_len() + rs.gaps(60_000).len() as u64
+}
+
+fn measure_rangeset() -> OpsPoint {
+    // Calibrate-free: the workload is deterministic and ~100 µs, so a
+    // fixed batch gives a stable number without a harness.
+    const CALLS: u64 = 256;
+    let started = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..CALLS {
+        acc = acc.wrapping_add(rangeset_workload());
+    }
+    std::hint::black_box(acc);
+    OpsPoint::new(
+        CALLS * RANGESET_OPS_PER_CALL,
+        started.elapsed().as_secs_f64() * 1000.0,
+    )
+}
+
+/// Collect the full snapshot. Runs ~10 s of simulation work.
+pub fn collect(cache: &ContentCache) -> Result<Bench5, String> {
+    let mut fleet_scaling = Vec::with_capacity(FLEET_SCALING_SESSIONS.len());
+    for sessions in FLEET_SCALING_SESSIONS {
+        fleet_scaling.push(run_fleet_point(sessions, cache)?);
+    }
+    let rangeset = measure_rangeset();
+    let (r, wall_ms) = timed_fleet(&session_loop_spec(), cache)?;
+    let session_loop = OpsPoint::new(r.loop_iters, wall_ms);
+    Ok(Bench5 {
+        fleet_scaling,
+        rangeset,
+        session_loop,
+    })
+}
+
+impl Bench5 {
+    /// Hand-rolled JSON (the workspace vendors no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"voxel-bench5-v1\",\n  \"fleet_scaling\": [\n");
+        for (i, p) in self.fleet_scaling.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"sessions\": {}, \"wall_ms\": {:.3}, \"loop_iters\": {}, \
+                 \"steps_per_sec\": {:.1}, \"sim_end_s\": {:.3}, \"jain\": {:.6}}}{}",
+                p.sessions,
+                p.wall_ms,
+                p.loop_iters,
+                p.steps_per_sec,
+                p.sim_end_s,
+                p.jain,
+                if i + 1 < self.fleet_scaling.len() {
+                    ","
+                } else {
+                    ""
+                },
+            );
+        }
+        s.push_str("  ],\n");
+        for (key, p) in [
+            ("rangeset", &self.rangeset),
+            ("session_loop", &self.session_loop),
+        ] {
+            let _ = writeln!(
+                s,
+                "  \"{key}\": {{\"ops\": {}, \"wall_ms\": {:.3}, \"ops_per_sec\": {:.1}}}{}",
+                p.ops,
+                p.wall_ms,
+                p.ops_per_sec,
+                if key == "rangeset" { "," } else { "" },
+            );
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_specs_parse_and_scale() {
+        for n in FLEET_SCALING_SESSIONS {
+            let s = FleetSpec::parse(&fleet_scaling_spec(n)).expect("spec");
+            assert_eq!(s.total_sessions(), n);
+            assert_eq!(s.cap_s, Some(60));
+            assert!(s.homogeneous());
+        }
+        let s = FleetSpec::parse(&session_loop_spec()).expect("spec");
+        assert_eq!(s.total_sessions(), 1);
+        assert_eq!(s.cap_s, None);
+    }
+
+    #[test]
+    fn rangeset_workload_is_deterministic_and_nonzero() {
+        let a = rangeset_workload();
+        assert_eq!(a, rangeset_workload());
+        assert!(a > 0);
+    }
+
+    #[test]
+    fn json_shape_is_parseable_by_the_checker() {
+        let b = Bench5 {
+            fleet_scaling: vec![FleetPoint {
+                sessions: 1,
+                wall_ms: 10.0,
+                loop_iters: 100,
+                steps_per_sec: 10_000.0,
+                sim_end_s: 60.0,
+                jain: 1.0,
+            }],
+            rangeset: OpsPoint::new(2048, 1.0),
+            session_loop: OpsPoint::new(100, 10.0),
+        };
+        let j = b.to_json();
+        assert!(j.contains("\"schema\": \"voxel-bench5-v1\""));
+        assert!(j.contains("\"sessions\": 1"));
+        assert!(j.contains("\"ops_per_sec\": 2048000.0"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Shared prepared-content cache.
+//!
+//! The §4.1 offline preparation (ladder analysis + extended manifest) is
+//! one-time per video; every harness in the workspace — single-session
+//! experiments, the testkit's conformance runner, fleet runs with many
+//! concurrent sessions — wants to share the result. [`ContentCache`] is
+//! that shared cache: cheaply cloneable (clones share storage), safe to
+//! use from the work-stealing trial pool, and able to prepare either the
+//! full ladder or a restricted level set (the testkit prepares only the
+//! top analyzed level, which every system in the legend can stream).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+use voxel_media::content::VideoId;
+use voxel_media::ladder::QualityLevel;
+use voxel_media::qoe::QoeModel;
+use voxel_media::video::Video;
+use voxel_prep::manifest::Manifest;
+
+struct Inner {
+    entries: BTreeMap<VideoId, (Arc<Manifest>, Arc<Video>)>,
+    qoe: QoeModel,
+    /// `None` prepares the full ladder; `Some(levels)` restricts the §4.1
+    /// analysis to those levels.
+    levels: Option<Vec<QualityLevel>>,
+}
+
+/// Cache of prepared manifests, shareable across threads and harnesses.
+/// Clones share the same storage.
+#[derive(Clone)]
+pub struct ContentCache {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for ContentCache {
+    fn default() -> ContentCache {
+        ContentCache::new()
+    }
+}
+
+impl ContentCache {
+    fn with_mode(levels: Option<Vec<QualityLevel>>) -> ContentCache {
+        ContentCache {
+            inner: Arc::new(Mutex::new(Inner {
+                entries: BTreeMap::new(),
+                qoe: QoeModel::default(),
+                levels,
+            })),
+        }
+    }
+
+    /// Empty cache preparing the full ladder with the default QoE model.
+    pub fn new() -> ContentCache {
+        ContentCache::with_mode(None)
+    }
+
+    /// Empty cache preparing only the top analyzed level (the testkit's
+    /// mode: fast, and sufficient for every system in the legend).
+    pub fn top_level_only() -> ContentCache {
+        ContentCache::with_mode(Some(vec![QualityLevel::MAX]))
+    }
+
+    /// Empty cache preparing exactly `levels`.
+    pub fn with_levels(levels: &[QualityLevel]) -> ContentCache {
+        ContentCache::with_mode(Some(levels.to_vec()))
+    }
+
+    /// The QoE model used for preparation and scoring.
+    pub fn qoe(&self) -> QoeModel {
+        self.lock().qoe.clone()
+    }
+
+    /// Get (or prepare) a video + manifest.
+    pub fn get(&self, id: VideoId) -> (Arc<Manifest>, Arc<Video>) {
+        let mut inner = self.lock();
+        let qoe = inner.qoe.clone();
+        let levels = inner.levels.clone();
+        inner
+            .entries
+            .entry(id)
+            .or_insert_with(|| {
+                let video = Video::generate(id);
+                let manifest = Arc::new(match levels {
+                    None => Manifest::prepare(&video, &qoe),
+                    Some(levels) => Manifest::prepare_levels(&video, &qoe, &levels),
+                });
+                (manifest, Arc::new(video))
+            })
+            .clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_prepares_once_and_clones_share_storage() {
+        let cache = ContentCache::new();
+        let (m1, _) = cache.get(VideoId::YouTube(9));
+        let clone = cache.clone();
+        let (m2, _) = clone.get(VideoId::YouTube(9));
+        assert!(Arc::ptr_eq(&m1, &m2));
+    }
+
+    #[test]
+    fn top_level_only_restricts_the_ladder() {
+        let full = ContentCache::new();
+        let top = ContentCache::top_level_only();
+        let (mf, _) = full.get(VideoId::Bbb);
+        let (mt, _) = top.get(VideoId::Bbb);
+        assert_eq!(mf.num_segments(), mt.num_segments());
+        // Unanalyzed levels carry the placeholder single-point analysis.
+        let bottom = QualityLevel::all().next().expect("ladder is non-empty");
+        assert!(
+            mt.entry(0, bottom).ssims.len() <= mf.entry(0, bottom).ssims.len(),
+            "top-level-only cache analyzed the bottom level"
+        );
+        assert_eq!(
+            mt.entry(0, QualityLevel::MAX).ssims.len(),
+            mf.entry(0, QualityLevel::MAX).ssims.len(),
+            "the top level is analyzed in both modes"
+        );
+    }
+}

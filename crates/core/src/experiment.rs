@@ -5,11 +5,18 @@
 //! ABR algorithm, buffer size, video, and network trace. Unless otherwise
 //! stated, we repeat each experiment 30 times … For each repetition we
 //! linearly shift the network trace by d/30 s."
+//!
+//! The entry point is [`Experiment::builder`]: a fluent builder covering
+//! every knob (ABR, transport, buffer, trace, queue, trials, congestion
+//! control, tracing, fleet size) with the paper's defaults. The legacy
+//! [`Config`] constructors and free-function runners remain as thin
+//! deprecated shims over the same internals.
 
 use crate::client::{PlayerConfig, TransportMode};
+pub use crate::content::ContentCache;
 use crate::metrics::{Aggregate, TrialResult};
 use crate::session::Session;
-use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
 use voxel_abr::{Abr, AbrStar, Beta, Bola, BolaSsim, Mpc, MpcStar, ThroughputAbr};
 use voxel_media::content::VideoId;
@@ -22,8 +29,13 @@ use voxel_sim::SimDuration;
 use voxel_trace::Tracer;
 
 /// Whether (and where) trials emit their cross-layer event timeline.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub enum TraceMode {
+///
+/// This is the single tracing entry point: the builder consumes it, and
+/// every path that used to exist separately (`TraceMode` on the config,
+/// `Session::with_tracer`, `Config::with_trace_jsonl`) routes through it.
+/// The trace shift of a trial doubles as its session id.
+#[derive(Clone, Default)]
+pub enum Tracing {
     /// No tracing: the null path, zero overhead on the session hot loop.
     #[default]
     Off,
@@ -35,6 +47,63 @@ pub enum TraceMode {
         /// Output directory; created if missing.
         dir: std::path::PathBuf,
     },
+    /// A caller-supplied tracer factory, invoked once per trial with the
+    /// session id (the trace shift). This is how the testkit captures
+    /// timelines into in-memory buffers.
+    Custom(Arc<dyn Fn(u64) -> Tracer + Send + Sync>),
+}
+
+impl fmt::Debug for Tracing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tracing::Off => f.write_str("Off"),
+            Tracing::Stderr => f.write_str("Stderr"),
+            Tracing::Jsonl { dir } => f.debug_struct("Jsonl").field("dir", dir).finish(),
+            Tracing::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+impl Tracing {
+    /// JSONL timelines + metrics snapshots under `dir`.
+    pub fn jsonl(dir: impl Into<std::path::PathBuf>) -> Tracing {
+        Tracing::Jsonl { dir: dir.into() }
+    }
+
+    /// A custom per-trial tracer factory (receives the session id).
+    pub fn custom(f: impl Fn(u64) -> Tracer + Send + Sync + 'static) -> Tracing {
+        Tracing::Custom(Arc::new(f))
+    }
+
+    /// The tracer for the trial at `shift_s`.
+    pub(crate) fn tracer_for(&self, shift_s: usize) -> Tracer {
+        match self {
+            Tracing::Off => Tracer::disabled(),
+            Tracing::Stderr => Tracer::stderr(shift_s as u64),
+            Tracing::Jsonl { dir } => {
+                let _ = std::fs::create_dir_all(dir);
+                let path = dir.join(format!("trial-{shift_s:04}.jsonl"));
+                Tracer::jsonl(shift_s as u64, &path).unwrap_or_else(|e| {
+                    eprintln!(
+                        "warning: cannot write timeline {}: {e}; tracing disabled",
+                        path.display()
+                    );
+                    Tracer::disabled()
+                })
+            }
+            Tracing::Custom(f) => f(shift_s as u64),
+        }
+    }
+
+    /// Post-trial side output (the JSONL mode's metrics snapshot).
+    pub(crate) fn write_sidecar(&self, shift_s: usize, result: &TrialResult) {
+        if let (Tracing::Jsonl { dir }, Some(snap)) = (self, &result.metrics) {
+            let _ = std::fs::write(
+                dir.join(format!("trial-{shift_s:04}.metrics.json")),
+                snap.to_json(),
+            );
+        }
+    }
 }
 
 /// Which ABR algorithm a configuration runs.
@@ -128,6 +197,9 @@ impl AbrKind {
 }
 
 /// A full experiment configuration.
+///
+/// Prefer assembling one through [`Experiment::builder`]; the fields stay
+/// public for inspection and for the legacy shims.
 #[derive(Clone)]
 pub struct Config {
     /// The video to stream.
@@ -152,7 +224,7 @@ pub struct Config {
     /// future-work ablation).
     pub cc: CcKind,
     /// Per-trial event tracing (off by default).
-    pub tracing: TraceMode,
+    pub tracing: Tracing,
     /// Testkit canary (DESIGN.md §11): deliberately skew the player's
     /// stall accounting so the conformance sweep's drift oracle has a
     /// known-bad target. Never enable in real experiments.
@@ -161,6 +233,7 @@ pub struct Config {
 
 impl Config {
     /// A §5-style configuration with the paper's defaults.
+    #[deprecated(note = "use Experiment::builder()")]
     pub fn new(
         video: VideoId,
         abr: AbrKind,
@@ -177,132 +250,290 @@ impl Config {
             trials: 30,
             selective_retx: true,
             cc: CcKind::Cubic,
-            tracing: TraceMode::default(),
+            tracing: Tracing::default(),
             debug_stall_skew: false,
         }
     }
 
     /// Override the transport (e.g. vanilla ABRs over QUIC\*, §5.1).
+    #[deprecated(note = "use Experiment::builder().transport(..)")]
     pub fn with_transport(mut self, t: TransportMode) -> Config {
         self.transport = t;
         self
     }
 
     /// Override the trial count (the bench harness's fast mode).
+    #[deprecated(note = "use Experiment::builder().trials(..)")]
     pub fn with_trials(mut self, n: usize) -> Config {
         self.trials = n;
         self
     }
 
     /// Override the queue length.
+    #[deprecated(note = "use Experiment::builder().queue(..)")]
     pub fn with_queue(mut self, packets: usize) -> Config {
         self.queue_packets = packets;
         self
     }
 
     /// Disable selective retransmission.
+    #[deprecated(note = "use Experiment::builder().selective_retx(false)")]
     pub fn without_retx(mut self) -> Config {
         self.selective_retx = false;
         self
     }
 
     /// Use the delay-based congestion controller (Appendix B ablation).
+    #[deprecated(note = "use Experiment::builder().cc(CcKind::Delay)")]
     pub fn with_delay_cc(mut self) -> Config {
         self.cc = CcKind::Delay;
         self
     }
 
     /// Emit per-trial JSONL timelines and metrics snapshots under `dir`.
+    #[deprecated(note = "use Experiment::builder().tracing(Tracing::jsonl(dir))")]
     pub fn with_trace_jsonl(mut self, dir: impl Into<std::path::PathBuf>) -> Config {
-        self.tracing = TraceMode::Jsonl { dir: dir.into() };
+        self.tracing = Tracing::Jsonl { dir: dir.into() };
         self
     }
 
     /// Emit human-readable trace lines on stderr.
+    #[deprecated(note = "use Experiment::builder().tracing(Tracing::Stderr)")]
     pub fn with_trace_stderr(mut self) -> Config {
-        self.tracing = TraceMode::Stderr;
+        self.tracing = Tracing::Stderr;
         self
     }
 }
 
-/// Cache of prepared manifests (the offline §4.1 computation is one-time
-/// per video, exactly as the paper argues).
-#[derive(Default)]
-pub struct ContentCache {
-    entries: BTreeMap<VideoId, (Arc<Manifest>, Arc<Video>)>,
-    qoe: QoeModel,
+/// Fluent builder for [`Experiment`]s, with the paper's §5 defaults:
+/// Big Buck Bunny, VOXEL over split transport, a 3-segment buffer, a
+/// constant 8 Mbit/s 300 s trace, a 32-packet queue, 30 trials, CUBIC,
+/// tracing off, a single session.
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    video: VideoId,
+    abr: AbrKind,
+    transport: Option<TransportMode>,
+    buffer_segments: usize,
+    trace: BandwidthTrace,
+    queue_packets: usize,
+    trials: usize,
+    selective_retx: bool,
+    cc: CcKind,
+    tracing: Tracing,
+    debug_stall_skew: bool,
+    fleet: usize,
 }
 
-impl ContentCache {
-    /// Empty cache with the default QoE model.
-    pub fn new() -> ContentCache {
-        ContentCache {
-            entries: BTreeMap::new(),
-            qoe: QoeModel::default(),
+impl Default for ExperimentBuilder {
+    fn default() -> ExperimentBuilder {
+        ExperimentBuilder {
+            video: VideoId::Bbb,
+            abr: AbrKind::voxel(),
+            transport: None,
+            buffer_segments: 3,
+            trace: BandwidthTrace::constant(8.0, 300),
+            queue_packets: 32,
+            trials: 30,
+            selective_retx: true,
+            cc: CcKind::Cubic,
+            tracing: Tracing::Off,
+            debug_stall_skew: false,
+            fleet: 1,
         }
     }
+}
 
-    /// The QoE model used for preparation and scoring.
-    pub fn qoe(&self) -> QoeModel {
-        self.qoe.clone()
+impl ExperimentBuilder {
+    /// The video to stream.
+    pub fn video(mut self, video: VideoId) -> Self {
+        self.video = video;
+        self
     }
 
-    /// Get (or prepare) a video + manifest.
-    pub fn get(&mut self, id: VideoId) -> (Arc<Manifest>, Arc<Video>) {
-        let qoe = self.qoe.clone();
-        self.entries
-            .entry(id)
-            .or_insert_with(|| {
-                let video = Video::generate(id);
-                let manifest = Arc::new(Manifest::prepare(&video, &qoe));
-                (manifest, Arc::new(video))
-            })
-            .clone()
+    /// The ABR algorithm. Unless [`ExperimentBuilder::transport`] is also
+    /// called, the transport follows the algorithm's paper default.
+    pub fn abr(mut self, abr: AbrKind) -> Self {
+        self.abr = abr;
+        self
+    }
+
+    /// Override the transport (e.g. vanilla ABRs over QUIC\*, §5.1).
+    pub fn transport(mut self, t: TransportMode) -> Self {
+        self.transport = Some(t);
+        self
+    }
+
+    /// Playback buffer capacity in segments.
+    pub fn buffer(mut self, segments: usize) -> Self {
+        self.buffer_segments = segments;
+        self
+    }
+
+    /// The bandwidth trace.
+    pub fn trace(mut self, trace: BandwidthTrace) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Droptail queue length in packets.
+    pub fn queue(mut self, packets: usize) -> Self {
+        self.queue_packets = packets;
+        self
+    }
+
+    /// Number of trials (§5 runs 30, shifting the trace by d/30 each).
+    pub fn trials(mut self, n: usize) -> Self {
+        self.trials = n;
+        self
+    }
+
+    /// Enable or disable selective retransmission (only effective on the
+    /// split transport).
+    pub fn selective_retx(mut self, on: bool) -> Self {
+        self.selective_retx = on;
+        self
+    }
+
+    /// Congestion controller.
+    pub fn cc(mut self, cc: CcKind) -> Self {
+        self.cc = cc;
+        self
+    }
+
+    /// Per-trial event tracing.
+    pub fn tracing(mut self, tracing: Tracing) -> Self {
+        self.tracing = tracing;
+        self
+    }
+
+    /// Arm the testkit's stall-accounting canary (DESIGN.md §11). Never
+    /// enable in real experiments.
+    pub fn debug_stall_skew(mut self, on: bool) -> Self {
+        self.debug_stall_skew = on;
+        self
+    }
+
+    /// Number of concurrent sessions sharing one bottleneck link.
+    /// `1` (the default) is the classic single-session experiment; larger
+    /// fleets are executed by the `voxel-fleet` runtime, which consumes
+    /// the built [`Experiment`].
+    pub fn fleet(mut self, sessions: usize) -> Self {
+        self.fleet = sessions.max(1);
+        self
+    }
+
+    /// Finalize into an [`Experiment`].
+    pub fn build(self) -> Experiment {
+        let transport = self
+            .transport
+            .unwrap_or_else(|| self.abr.default_transport());
+        Experiment {
+            config: Config {
+                video: self.video,
+                abr: self.abr,
+                transport,
+                buffer_segments: self.buffer_segments,
+                trace: self.trace,
+                queue_packets: self.queue_packets,
+                trials: self.trials,
+                selective_retx: self.selective_retx,
+                cc: self.cc,
+                tracing: self.tracing,
+                debug_stall_skew: self.debug_stall_skew,
+            },
+            fleet: self.fleet,
+        }
     }
 }
 
-/// Run one trial of `config` with the trace shifted by `shift_s`.
-pub fn run_trial(config: &Config, cache: &mut ContentCache, shift_s: usize) -> TrialResult {
+/// A fully-specified experiment, ready to run against a [`ContentCache`].
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    config: Config,
+    fleet: usize,
+}
+
+impl fmt::Debug for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Config")
+            .field("video", &self.video)
+            .field("abr", &self.abr)
+            .field("transport", &self.transport)
+            .field("buffer_segments", &self.buffer_segments)
+            .field("trace", &self.trace.duration_s())
+            .field("queue_packets", &self.queue_packets)
+            .field("trials", &self.trials)
+            .field("selective_retx", &self.selective_retx)
+            .field("tracing", &self.tracing)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Experiment {
+    /// Start building an experiment from the paper's defaults.
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder::default()
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+
+    /// Consume into the underlying configuration.
+    pub fn into_config(self) -> Config {
+        self.config
+    }
+
+    /// Concurrent sessions (1 = single-session; >1 runs via `voxel-fleet`).
+    pub fn fleet_size(&self) -> usize {
+        self.fleet
+    }
+
+    /// The full §5 protocol: `trials` repetitions with the trace linearly
+    /// shifted by `d/trials` per repetition, run on the work-stealing
+    /// trial pool; results are ordered by shift regardless of completion
+    /// order, keeping the aggregate bit-identical to a serial run.
+    pub fn run(&self, cache: &ContentCache) -> Aggregate {
+        run_config_impl(&self.config, cache)
+    }
+
+    /// Run one trial with the trace shifted by `shift_s`.
+    pub fn run_trial(&self, cache: &ContentCache, shift_s: usize) -> TrialResult {
+        run_trial_impl(&self.config, cache, shift_s)
+    }
+}
+
+fn run_trial_impl(config: &Config, cache: &ContentCache, shift_s: usize) -> TrialResult {
     let (manifest, video) = cache.get(config.video);
     run_prepared_trial(config, &manifest, &video, &cache.qoe(), shift_s)
 }
 
-/// The full §5 protocol: `config.trials` repetitions with the trace
-/// linearly shifted by `d/trials` per repetition.
-///
-/// Trials are independent deterministic simulations, so they run on a
-/// thread per core; results are ordered by shift regardless of completion
-/// order, keeping the aggregate bit-identical to a serial run.
-pub fn run_config(config: &Config, cache: &mut ContentCache) -> Aggregate {
+fn run_config_impl(config: &Config, cache: &ContentCache) -> Aggregate {
     let d = config.trace.duration_s();
     let n = config.trials.max(1);
     // Prepare the content once, up front, on this thread.
     let (manifest, video) = cache.get(config.video);
     let qoe = cache.qoe();
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<TrialResult>> = (0..n).map(|_| None).collect();
-    let slot_refs: Vec<std::sync::Mutex<&mut Option<TrialResult>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = run_prepared_trial(config, &manifest, &video, &qoe, i * d / n);
-                **slot_refs[i]
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
-            });
-        }
+    let workers = voxel_sim::pool::default_workers(n);
+    let results = voxel_sim::pool::run_indexed(n, workers, |i| {
+        run_prepared_trial(config, &manifest, &video, &qoe, i * d / n)
     });
-    // lint: allow(panic) scoped threads joined above; every slot was written
-    Aggregate::new(slots.into_iter().map(|s| s.expect("trial ran")).collect())
+    Aggregate::new(results)
+}
+
+/// Run one trial of `config` with the trace shifted by `shift_s`.
+#[deprecated(note = "use Experiment::builder()..build().run_trial(cache, shift_s)")]
+pub fn run_trial(config: &Config, cache: &ContentCache, shift_s: usize) -> TrialResult {
+    run_trial_impl(config, cache, shift_s)
+}
+
+/// The full §5 protocol: `config.trials` repetitions with the trace
+/// linearly shifted by `d/trials` per repetition.
+#[deprecated(note = "use Experiment::builder()..build().run(cache)")]
+pub fn run_config(config: &Config, cache: &ContentCache) -> Aggregate {
+    run_config_impl(config, cache)
 }
 
 /// One trial against already-prepared content.
@@ -316,28 +547,9 @@ fn run_prepared_trial(
     // The trace-shift doubles as the session id: it uniquely names the
     // trial within a configuration and keeps identically-seeded runs
     // byte-identical.
-    let tracer = match &config.tracing {
-        TraceMode::Off => Tracer::disabled(),
-        TraceMode::Stderr => Tracer::stderr(shift_s as u64),
-        TraceMode::Jsonl { dir } => {
-            let _ = std::fs::create_dir_all(dir);
-            let path = dir.join(format!("trial-{shift_s:04}.jsonl"));
-            Tracer::jsonl(shift_s as u64, &path).unwrap_or_else(|e| {
-                eprintln!(
-                    "warning: cannot write timeline {}: {e}; tracing disabled",
-                    path.display()
-                );
-                Tracer::disabled()
-            })
-        }
-    };
+    let tracer = config.tracing.tracer_for(shift_s);
     let r = run_instrumented_trial(config, manifest, video, qoe, shift_s, tracer, None);
-    if let (TraceMode::Jsonl { dir }, Some(snap)) = (&config.tracing, &r.metrics) {
-        let _ = std::fs::write(
-            dir.join(format!("trial-{shift_s:04}.metrics.json")),
-            snap.to_json(),
-        );
-    }
+    config.tracing.write_sidecar(shift_s, &r);
     r
 }
 
@@ -345,10 +557,9 @@ fn run_prepared_trial(
 ///
 /// This is the testkit entry point: `voxel-testkit` captures timelines
 /// into in-memory buffers (for oracles and golden digests) and injects
-/// seeded packet faults, neither of which [`TraceMode`] models. Everything
-/// else — path shaping, player wiring, ABR instantiation — is identical to
-/// [`run_trial`], so conformance scenarios exercise the same code path as
-/// real experiments.
+/// seeded packet faults. Everything else — path shaping, player wiring,
+/// ABR instantiation — is identical to [`Experiment::run_trial`], so
+/// conformance scenarios exercise the same code path as real experiments.
 pub fn run_instrumented_trial(
     config: &Config,
     manifest: &Arc<Manifest>,
@@ -419,7 +630,46 @@ mod tests {
     }
 
     #[test]
-    fn config_builders_apply() {
+    fn builder_applies_every_knob() {
+        let e = Experiment::builder()
+            .video(VideoId::Bbb)
+            .abr(AbrKind::Bola)
+            .transport(TransportMode::Split)
+            .buffer(5)
+            .trace(BandwidthTrace::constant(10.0, 300))
+            .queue(750)
+            .trials(5)
+            .selective_retx(false)
+            .cc(CcKind::Delay)
+            .fleet(4)
+            .build();
+        let c = e.config();
+        assert_eq!(c.transport, TransportMode::Split);
+        assert_eq!(c.buffer_segments, 5);
+        assert_eq!(c.trials, 5);
+        assert_eq!(c.queue_packets, 750);
+        assert!(!c.selective_retx);
+        assert_eq!(c.cc, CcKind::Delay);
+        assert_eq!(e.fleet_size(), 4);
+    }
+
+    #[test]
+    fn builder_transport_defaults_follow_the_abr() {
+        let bola = Experiment::builder().abr(AbrKind::Bola).build();
+        assert_eq!(bola.config().transport, TransportMode::Reliable);
+        let voxel = Experiment::builder().abr(AbrKind::voxel()).build();
+        assert_eq!(voxel.config().transport, TransportMode::Split);
+        // An explicit transport wins regardless of call order.
+        let forced = Experiment::builder()
+            .transport(TransportMode::Split)
+            .abr(AbrKind::Bola)
+            .build();
+        assert_eq!(forced.config().transport, TransportMode::Split);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_config_shims_still_apply() {
         let c = Config::new(
             VideoId::Bbb,
             AbrKind::Bola,
@@ -437,8 +687,29 @@ mod tests {
     }
 
     #[test]
+    fn legacy_and_builder_configs_agree() {
+        #[allow(deprecated)]
+        let legacy = Config::new(
+            VideoId::Bbb,
+            AbrKind::voxel(),
+            3,
+            BandwidthTrace::constant(8.0, 300),
+        );
+        let built = Experiment::builder().build();
+        let b = built.config();
+        assert_eq!(legacy.video, b.video);
+        assert_eq!(legacy.abr, b.abr);
+        assert_eq!(legacy.transport, b.transport);
+        assert_eq!(legacy.buffer_segments, b.buffer_segments);
+        assert_eq!(legacy.queue_packets, b.queue_packets);
+        assert_eq!(legacy.trials, b.trials);
+        assert_eq!(legacy.selective_retx, b.selective_retx);
+        assert_eq!(legacy.cc, b.cc);
+    }
+
+    #[test]
     fn cache_prepares_once() {
-        let mut cache = ContentCache::new();
+        let cache = ContentCache::new();
         let (m1, _) = cache.get(VideoId::YouTube(9));
         let (m2, _) = cache.get(VideoId::YouTube(9));
         assert!(Arc::ptr_eq(&m1, &m2));

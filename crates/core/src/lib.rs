@@ -21,6 +21,7 @@
 //! - [`survey`]: the synthetic user panel regenerating the Fig 14 MOS study.
 
 pub mod client;
+pub mod content;
 pub mod experiment;
 pub mod metrics;
 pub mod server;
@@ -28,6 +29,7 @@ pub mod session;
 pub mod survey;
 
 pub use client::{PlayerConfig, TransportMode};
-pub use experiment::{AbrKind, Config, TraceMode};
+pub use content::ContentCache;
+pub use experiment::{AbrKind, Config, Experiment, ExperimentBuilder, Tracing};
 pub use metrics::{Aggregate, TransportStats, TrialResult};
 pub use session::Session;

@@ -36,7 +36,7 @@ pub struct TransportStats {
 }
 
 /// Outcome of one playback trial (one video, one trace shift).
-#[derive(Debug, Clone)]
+#[derive(Debug, Default, Clone)]
 pub struct TrialResult {
     /// Video short name (BBB, ED, …).
     pub video: String,

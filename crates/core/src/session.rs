@@ -118,7 +118,11 @@ impl Session {
     /// whose cwnd/loss/PTO telemetry is the interesting one. Events from
     /// all layers interleave into a single per-session stream with one
     /// monotone sequence counter.
-    pub fn with_tracer(mut self, tracer: Tracer) -> Session {
+    ///
+    /// Crate-private: external callers route tracing through the one
+    /// [`crate::experiment::Tracing`] entry point (use `Tracing::custom`
+    /// for an explicit tracer).
+    pub(crate) fn with_tracer(mut self, tracer: Tracer) -> Session {
         self.server_conn.set_tracer(tracer.clone());
         self.server.set_tracer(tracer.clone());
         self.client.set_tracer(tracer.clone());

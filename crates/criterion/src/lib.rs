@@ -10,6 +10,10 @@
 //! every sample times a batch of iterations sized so a batch takes at least
 //! ~5 ms. Reported numbers are the per-iteration median, minimum, and
 //! maximum across samples.
+//!
+//! `VOXEL_BENCH_FAST=1` switches to a smoke mode (3 samples, ~1 ms
+//! batches) so CI can check that every benchmark *runs* without paying
+//! for statistically meaningful numbers.
 
 use std::time::{Duration, Instant};
 
@@ -91,8 +95,20 @@ impl Bencher {
     }
 }
 
+/// `VOXEL_BENCH_FAST=1`: smoke mode for CI (fewer samples, tiny batches).
+fn fast_mode() -> bool {
+    std::env::var("VOXEL_BENCH_FAST").as_deref() == Ok("1")
+}
+
 fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
-    // Calibrate: find an iteration count whose batch takes >= ~5 ms.
+    let fast = fast_mode();
+    let sample_size = if fast {
+        sample_size.min(3)
+    } else {
+        sample_size
+    };
+    let batch_floor = Duration::from_millis(if fast { 1 } else { 5 });
+    // Calibrate: find an iteration count whose batch takes >= the floor.
     let mut iters = 1u64;
     loop {
         let mut b = Bencher {
@@ -100,7 +116,7 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
             elapsed: Duration::ZERO,
         };
         f(&mut b);
-        if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 24 {
+        if b.elapsed >= batch_floor || iters >= 1 << 24 {
             break;
         }
         iters *= 2;

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! # voxel-fleet
+//!
+//! Multi-session serving runtime: N client sessions — possibly running
+//! different ABRs (VOXEL, BOLA, BETA, …) — stream concurrently through
+//! **one** emulated bottleneck link, inside one deterministic
+//! discrete-event loop.
+//!
+//! The paper evaluates VOXEL one client at a time (§5); the ROADMAP
+//! north-star is a production-scale system serving heavy traffic, where
+//! CUBIC fairness and unreliable-stream behaviour interact across
+//! competing sessions. This crate provides that testbed:
+//!
+//! - [`spec`]: a testkit-style fleet spec grammar
+//!   (`BBB:4xVOXEL+2xBOLA+2xBETA:const6:buf3:q64:d300:drr:stg2`) with
+//!   exact `parse`/`spec` round-tripping, plus the canonical
+//!   system/video name tables shared with `voxel-testkit`.
+//! - [`run`]: the fleet event loop — per-session QUIC\* endpoint pairs
+//!   multiplexed over a [`voxel_netem::SharedLink`] (FIFO or deficit
+//!   round robin with per-flow accounting), pumped exactly like the
+//!   single-session loop in `voxel-core`.
+//! - [`metrics`]: cross-session metrics — per-flow throughput shares,
+//!   the Jain fairness index, aggregate QoE — emitted through
+//!   `voxel-trace` under the `fleet` layer.
+//!
+//! Determinism contract: a fleet run is a pure function of its
+//! [`FleetSpec`] — same spec, byte-identical timeline — which is what
+//! lets `voxel-testkit` hold fleet runs to golden digests.
+
+pub mod metrics;
+pub mod run;
+pub mod spec;
+
+pub use metrics::{jain_index, FleetResult};
+pub use run::{run_experiment_fleet, run_fleet, run_specs};
+pub use spec::{system_by_name, video_by_name, FleetMember, FleetSpec};

@@ -1,0 +1,451 @@
+//! The fleet event loop: N sessions, one link, one virtual clock.
+//!
+//! Structure mirrors the single-session loop in `voxel-core`'s `session`
+//! module — pump applications, drain transmissions, keep one player tick
+//! armed per session, advance to the earliest pending event — except the
+//! downlink goes through a [`SharedLink`]: server packets are *enqueued*
+//! (byte-level) on the shared bottleneck and their payloads held in
+//! per-flow FIFO queues until the link's scheduler completes their
+//! service, at which point delivery is scheduled after the propagation
+//! delay. Uplink packets are delay-only, as in the single-flow path.
+//!
+//! Tracing: a fleet run drives one fleet-level tracer (layer `fleet`) —
+//! membership, per-session summaries, the fairness digest — rather than
+//! N full per-layer session timelines, keeping golden fleet digests
+//! small and stable.
+
+use crate::metrics::{jain_index, FleetResult};
+use crate::spec::{system_by_name, FleetSpec};
+use bytes::Bytes;
+use std::collections::VecDeque;
+use voxel_core::client::{ClientApp, PlayerConfig, TransportMode};
+use voxel_core::server::ServerApp;
+use voxel_core::{AbrKind, ContentCache, Experiment, TransportStats, TrialResult};
+use voxel_media::content::VideoId;
+use voxel_netem::{Discipline, SharedLink, SharedLinkConfig};
+use voxel_quic::{CcKind, Connection, ConnectionConfig, Role};
+use voxel_sim::{EventQueue, SimDuration, SimTime};
+use voxel_trace::{trace_event, Layer, Tracer};
+
+/// Events of the fleet loop.
+enum Ev {
+    /// Datagram arriving at session `flow`'s client.
+    ToClient(usize, Bytes),
+    /// Datagram arriving at session `flow`'s server.
+    ToServer(usize, Bytes),
+    /// Player tick (also the no-op clock bump).
+    Tick,
+    /// The shared link completes the service of its head packet.
+    Service,
+}
+
+/// One session's endpoints inside the fleet.
+struct Endpoint {
+    label: String,
+    start: SimTime,
+    client_conn: Connection,
+    server_conn: Connection,
+    server: ServerApp,
+    /// Taken on finalization.
+    client: Option<ClientApp>,
+    last_tick: SimTime,
+    result: Option<TrialResult>,
+    /// Payloads enqueued on the shared link, awaiting service completion
+    /// (aligned with the link's byte-level per-flow queue).
+    pending_down: VecDeque<Bytes>,
+}
+
+impl Endpoint {
+    fn live(&self, now: SimTime) -> bool {
+        self.start <= now && self.result.is_none()
+    }
+}
+
+/// Everything a fleet run needs, resolved from a spec or an experiment.
+struct Plan {
+    spec: String,
+    video: VideoId,
+    link: SharedLinkConfig,
+    buffer_segments: usize,
+    selective_retx: bool,
+    cc: CcKind,
+    cap: SimTime,
+    stagger_s: usize,
+    systems: Vec<(String, AbrKind, TransportMode)>,
+}
+
+impl Plan {
+    fn from_spec(spec: &FleetSpec) -> Result<Plan, String> {
+        let mut systems = Vec::with_capacity(spec.total_sessions());
+        for name in spec.session_systems() {
+            let (abr, transport) =
+                system_by_name(name).ok_or_else(|| format!("unknown system {name:?}"))?;
+            systems.push((name.to_string(), abr, transport));
+        }
+        if systems.is_empty() {
+            return Err("fleet has no sessions".to_string());
+        }
+        Ok(Plan {
+            spec: spec.spec(),
+            video: spec.video,
+            link: SharedLinkConfig::new(spec.trace(), spec.queue_packets, spec.discipline),
+            buffer_segments: spec.buffer_segments,
+            selective_retx: true,
+            cc: CcKind::Cubic,
+            cap: cap_for(spec.cap_s, spec.duration_s),
+            stagger_s: spec.stagger_s,
+            systems,
+        })
+    }
+
+    fn from_experiment(e: &Experiment) -> Plan {
+        let c = e.config();
+        let label = c.abr.label();
+        Plan {
+            spec: format!("experiment:{}x{}", e.fleet_size(), label),
+            video: c.video,
+            link: SharedLinkConfig::new(c.trace.clone(), c.queue_packets, Discipline::drr()),
+            buffer_segments: c.buffer_segments,
+            selective_retx: c.selective_retx,
+            cc: c.cc,
+            cap: cap_for(None, c.trace.duration_s()),
+            stagger_s: 0,
+            systems: vec![(label, c.abr, c.transport); e.fleet_size()],
+        }
+    }
+}
+
+fn cap_for(cap_s: Option<usize>, duration_s: usize) -> SimTime {
+    match cap_s {
+        Some(s) => SimTime::from_secs(s as u64),
+        // The single-session safety cap, per member; never reached in
+        // practice.
+        None => SimTime::from_secs_f64(duration_s as f64 * 5.0 + 120.0),
+    }
+}
+
+/// Run a fleet described by a parsed [`FleetSpec`]. Deterministic: the
+/// spec alone fixes the timeline byte-for-byte.
+pub fn run_fleet(
+    spec: &FleetSpec,
+    cache: &ContentCache,
+    tracer: Tracer,
+) -> Result<FleetResult, String> {
+    Plan::from_spec(spec).map(|plan| run_plan(plan, cache, tracer))
+}
+
+/// Run a homogeneous fleet built from an [`Experiment`] (the builder's
+/// `.fleet(n)` knob): `n` copies of the experiment's session share one
+/// DRR-scheduled link carrying the experiment's trace.
+pub fn run_experiment_fleet(e: &Experiment, cache: &ContentCache, tracer: Tracer) -> FleetResult {
+    run_plan(Plan::from_experiment(e), cache, tracer)
+}
+
+/// Run many independent fleet specs on the work-stealing pool (untraced);
+/// results come back in spec order.
+pub fn run_specs(specs: &[FleetSpec], cache: &ContentCache) -> Vec<Result<FleetResult, String>> {
+    let workers = voxel_sim::pool::default_workers(specs.len());
+    voxel_sim::pool::run_indexed(specs.len(), workers, |i| {
+        run_fleet(&specs[i], cache, Tracer::disabled())
+    })
+}
+
+fn run_plan(plan: Plan, cache: &ContentCache, tracer: Tracer) -> FleetResult {
+    let (manifest, video) = cache.get(plan.video);
+    let qoe = cache.qoe();
+    let n = plan.systems.len();
+    let mut link = SharedLink::new(plan.link.clone(), n);
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let conn_config = |cc: CcKind| ConnectionConfig {
+        cc,
+        ..ConnectionConfig::default()
+    };
+
+    let mut endpoints: Vec<Endpoint> = Vec::with_capacity(n);
+    for (i, (label, abr, transport)) in plan.systems.iter().enumerate() {
+        let mut player = PlayerConfig::new(plan.buffer_segments, *transport);
+        player.selective_retx = plan.selective_retx && *transport == TransportMode::Split;
+        let client = ClientApp::new(
+            player,
+            manifest.clone(),
+            video.clone(),
+            qoe.clone(),
+            abr.make(),
+        );
+        let start = SimTime::from_secs((plan.stagger_s * i) as u64);
+        endpoints.push(Endpoint {
+            label: label.clone(),
+            start,
+            client_conn: Connection::new(Role::Client, conn_config(plan.cc)),
+            server_conn: Connection::new(Role::Server, conn_config(plan.cc)),
+            server: ServerApp::new(manifest.clone(), true),
+            client: Some(client),
+            last_tick: start,
+            result: None,
+            pending_down: VecDeque::new(),
+        });
+        queue.schedule(start, Ev::Tick);
+    }
+
+    trace_event!(
+        tracer,
+        SimTime::ZERO,
+        Layer::Fleet,
+        "fleet_start",
+        "sessions" = n,
+        "queue_packets" = plan.link.queue_packets,
+        "discipline" = plan.link.discipline.as_str(),
+        "mean_mbps" = plan.link.trace.mean_mbps(),
+    );
+    for (i, ep) in endpoints.iter().enumerate() {
+        trace_event!(
+            tracer,
+            ep.start,
+            Layer::Fleet,
+            "fleet_session_start",
+            "flow" = i,
+            "system" = ep.label.as_str(),
+            "start_s" = ep.start.as_secs_f64(),
+        );
+    }
+
+    let mut armed: Option<SimTime> = None;
+    let mut iters: u64 = 0;
+    let end = loop {
+        let now = queue.now();
+        iters += 1;
+
+        // Application pumps, in flow order.
+        for (i, ep) in endpoints.iter_mut().enumerate() {
+            if !ep.live(now) {
+                continue;
+            }
+            ep.server.handle(now, &mut ep.server_conn);
+            let Some(client) = ep.client.as_mut() else {
+                continue;
+            };
+            client.on_wake(now, &mut ep.client_conn);
+            #[cfg(feature = "paranoid")]
+            if let Err(e) = client.check_invariants(now) {
+                // lint: allow(panic) the paranoid layer is intentionally fatal on corruption
+                panic!("fleet member {i} invariant violated at {now:?}: {e}");
+            }
+            if client.is_done() {
+                finalize(ep, i, now, &tracer);
+            }
+        }
+        if endpoints.iter().all(|ep| ep.result.is_some()) {
+            break now;
+        }
+
+        // Drain transmissions until no endpoint has anything to send.
+        loop {
+            let mut progressed = false;
+            for (i, ep) in endpoints.iter_mut().enumerate() {
+                if !ep.live(now) {
+                    continue;
+                }
+                while let Some(p) = ep.server_conn.poll_transmit(now) {
+                    let size = p.wire_size();
+                    if link.enqueue(now, i, size) {
+                        ep.pending_down.push_back(p.encode());
+                    }
+                    progressed = true;
+                }
+                while let Some(p) = ep.client_conn.poll_transmit(now) {
+                    queue.schedule(link.uplink(now), Ev::ToServer(i, p.encode()));
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        // Arm the link's next service completion.
+        if let Some(done) = link.next_departure() {
+            if armed != Some(done) {
+                queue.schedule(done, Ev::Service);
+                armed = Some(done);
+            }
+        }
+
+        // Keep exactly one player tick armed per live session.
+        for ep in endpoints.iter_mut() {
+            if !ep.live(now) || ep.last_tick > now {
+                continue;
+            }
+            if let Some(client) = ep.client.as_ref() {
+                if let Some(wake) = client.next_wake(now) {
+                    ep.last_tick = wake;
+                    queue.schedule(wake, Ev::Tick);
+                }
+            }
+        }
+
+        // Next event: queue, or any live transport timer.
+        let mut next = queue.peek_time();
+        for ep in &endpoints {
+            if ep.result.is_some() {
+                continue;
+            }
+            for t in [ep.client_conn.next_timeout(), ep.server_conn.next_timeout()] {
+                next = match (next, t) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+        }
+        let Some(next) = next else {
+            // Nothing pending at all: force a tick so the players can
+            // re-evaluate.
+            if endpoints.iter().any(|ep| ep.result.is_none()) {
+                let t = queue.now() + SimDuration::from_millis(100);
+                queue.schedule(t, Ev::Tick);
+            }
+            continue;
+        };
+        if next > plan.cap {
+            // Safety cap (or an explicit benchmark cap): freeze the
+            // stragglers where they are.
+            let cap = plan.cap;
+            for (i, ep) in endpoints.iter_mut().enumerate() {
+                if ep.result.is_none() {
+                    finalize(ep, i, cap, &tracer);
+                }
+            }
+            break cap;
+        }
+
+        // Fire transport timers due at (or before) `next`.
+        for ep in endpoints.iter_mut() {
+            if ep.result.is_some() {
+                continue;
+            }
+            if ep.client_conn.next_timeout().is_some_and(|t| t <= next) {
+                ep.client_conn.on_timeout(next);
+            }
+            if ep.server_conn.next_timeout().is_some_and(|t| t <= next) {
+                ep.server_conn.on_timeout(next);
+            }
+        }
+        // Deliver everything due at `next`.
+        while queue.peek_time() == Some(next) {
+            let Some(ev) = queue.pop() else {
+                break;
+            };
+            match ev.event {
+                Ev::ToClient(i, d) => {
+                    if endpoints[i].result.is_none() {
+                        endpoints[i].client_conn.on_datagram(next, d);
+                    }
+                }
+                Ev::ToServer(i, d) => {
+                    if endpoints[i].result.is_none() {
+                        endpoints[i].server_conn.on_datagram(next, d);
+                    }
+                }
+                Ev::Tick => {}
+                Ev::Service => {
+                    armed = None;
+                    for dep in link.pop_due(next) {
+                        let ep = &mut endpoints[dep.flow];
+                        if let Some(payload) = ep.pending_down.pop_front() {
+                            queue.schedule(
+                                dep.at + link.delay_down(),
+                                Ev::ToClient(dep.flow, payload),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // If only timers fired (queue still in the past), bump the
+        // queue's clock with a no-op event.
+        if queue.now() < next {
+            queue.schedule(next, Ev::Tick);
+            queue.pop();
+        }
+    };
+
+    // Cross-session accounting and the fairness digest.
+    let flows = link.stats().to_vec();
+    let delivered: Vec<f64> = flows.iter().map(|f| f.bytes_delivered as f64).collect();
+    let total: f64 = delivered.iter().sum();
+    let shares_pct: Vec<f64> = delivered
+        .iter()
+        .map(|&b| if total > 0.0 { 100.0 * b / total } else { 0.0 })
+        .collect();
+    let jain = jain_index(&delivered);
+    let sessions: Vec<TrialResult> = endpoints.into_iter().filter_map(|ep| ep.result).collect();
+    let result = FleetResult {
+        spec: plan.spec,
+        sessions,
+        flows,
+        shares_pct,
+        jain,
+        end_s: end.as_secs_f64(),
+        loop_iters: iters,
+    };
+    for (i, share) in result.shares_pct.iter().enumerate() {
+        tracer.observe("fleet.flow_share_pct", share.round() as u64);
+        tracer.observe(
+            "fleet.session_stall_ms",
+            (result.sessions[i].stall_s * 1e3) as u64,
+        );
+    }
+    tracer.count("fleet.link_drops", result.total_drops());
+    trace_event!(
+        tracer,
+        end,
+        Layer::Fleet,
+        "fleet_end",
+        "sessions" = result.sessions.len(),
+        "jain" = result.jain,
+        "mean_ssim" = result.mean_ssim(),
+        "drops" = result.total_drops(),
+        "delivered_bytes" = total,
+    );
+    tracer.flush();
+    result
+}
+
+/// Close out one member: convert its player state into a [`TrialResult`]
+/// with transport stats read straight off the connections (fleet runs
+/// have no per-session metrics registry).
+fn finalize(ep: &mut Endpoint, flow: usize, now: SimTime, tracer: &Tracer) {
+    let Some(client) = ep.client.take() else {
+        return;
+    };
+    let stats = ep.server_conn.stats();
+    let client_stats = ep.client_conn.stats();
+    let mut r = client.into_result(now);
+    r.abr = ep.label.clone();
+    r.transport = TransportStats {
+        packets_sent: stats.packets_sent,
+        packets_lost: stats.packets_lost,
+        loss_events: stats.loss_events,
+        ptos: stats.ptos,
+        bytes_sent: stats.bytes_sent,
+        bytes_retransmitted: stats.bytes_retransmitted,
+        mean_cwnd_bytes: ep.server_conn.cwnd() as f64,
+        mean_srtt_ms: ep.server_conn.srtt().as_secs_f64() * 1e3,
+        client_packets_received: client_stats.packets_received,
+        client_packets_duplicate: client_stats.packets_duplicate,
+        client_packets_reordered: client_stats.packets_reordered,
+    };
+    trace_event!(
+        tracer,
+        now,
+        Layer::Fleet,
+        "fleet_session_end",
+        "flow" = flow,
+        "system" = ep.label.as_str(),
+        "completed" = r.completed,
+        "stall_s" = r.stall_s,
+        "ssim" = r.avg_ssim(),
+        "bytes_downloaded" = r.bytes_downloaded,
+    );
+    tracer.count("fleet.sessions_completed", 1);
+    ep.result = Some(r);
+}

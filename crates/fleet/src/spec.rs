@@ -1,0 +1,313 @@
+//! Fleet specs: a compact, round-trippable grammar for multi-session
+//! experiments, in the style of the testkit's scenario specs.
+//!
+//! Canonical form:
+//!
+//! ```text
+//! <video>:<count>x<system>[+<count>x<system>…]:const<mbps>:buf<N>:q<N>:d<N>:<fifo|drr>:stg<N>[:cap<N>]
+//! ```
+//!
+//! e.g. `BBB:4xVOXEL+2xBOLA+2xBETA:const6:buf3:q64:d300:drr:stg2` — an
+//! 8-session mixed-ABR fleet on a shared constant 6 Mbit/s link, 3-segment
+//! buffers, a 64-packet shared queue, DRR scheduling, session starts
+//! staggered 2 s apart. [`FleetSpec::spec`] is the exact inverse of
+//! [`FleetSpec::parse`].
+//!
+//! This module also owns the canonical system/video name tables
+//! ([`system_by_name`], [`video_by_name`]) that `voxel-testkit` re-exports,
+//! so scenario specs and fleet specs can never disagree on what `VOXEL`
+//! means.
+
+use voxel_core::client::TransportMode;
+use voxel_core::AbrKind;
+use voxel_media::content::VideoId;
+use voxel_netem::{BandwidthTrace, Discipline};
+
+/// Resolve a system legend name to its ABR + transport.
+pub fn system_by_name(system: &str) -> Option<(AbrKind, TransportMode)> {
+    Some(match system {
+        "BOLA" => (AbrKind::Bola, TransportMode::Reliable),
+        "BOLA-SSIM" => (AbrKind::BolaSsim, TransportMode::Split),
+        "MPC" => (AbrKind::Mpc, TransportMode::Reliable),
+        "MPC*" => (AbrKind::MpcStar, TransportMode::Split),
+        "Tput" => (AbrKind::Tput, TransportMode::Reliable),
+        "BETA" => (AbrKind::Beta, TransportMode::Reliable),
+        "VOXEL" => (AbrKind::voxel(), TransportMode::Split),
+        "VOXEL-tuned" => (AbrKind::voxel_tuned(), TransportMode::Split),
+        "VOXEL-rel" => (AbrKind::voxel(), TransportMode::Reliable),
+        _ => return None,
+    })
+}
+
+/// Resolve a video legend name (`BBB`/`ED`/`Sintel`/`ToS`/`P1`..`P10`).
+pub fn video_by_name(name: &str) -> Option<VideoId> {
+    match name {
+        "BBB" => Some(VideoId::Bbb),
+        "ED" => Some(VideoId::Ed),
+        "Sintel" => Some(VideoId::Sintel),
+        "ToS" => Some(VideoId::Tos),
+        p => {
+            let n: u8 = p.strip_prefix('P')?.parse().ok()?;
+            (1..=10).contains(&n).then_some(VideoId::YouTube(n))
+        }
+    }
+}
+
+/// The legend name of a video (inverse of [`video_by_name`]).
+pub fn video_name(id: VideoId) -> String {
+    match id {
+        VideoId::Bbb => "BBB".into(),
+        VideoId::Ed => "ED".into(),
+        VideoId::Sintel => "Sintel".into(),
+        VideoId::Tos => "ToS".into(),
+        VideoId::YouTube(n) => format!("P{n}"),
+    }
+}
+
+/// One homogeneous group of fleet members.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetMember {
+    /// Number of sessions in the group.
+    pub count: usize,
+    /// System legend name (validated against [`system_by_name`]).
+    pub system: String,
+}
+
+/// A fully-specified fleet experiment. See the module docs for the
+/// grammar; [`FleetSpec::default`] carries the workspace defaults
+/// (`buf3:q64:d300:drr:stg0`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// The video every session streams.
+    pub video: VideoId,
+    /// Member groups, in spec order. Session (= flow) ids number the
+    /// expanded list: `4xVOXEL+2xBOLA` gives flows 0–3 VOXEL, 4–5 BOLA.
+    pub members: Vec<FleetMember>,
+    /// Shared link rate, Mbit/s (constant trace).
+    pub link_mbps: f64,
+    /// Trace duration, seconds.
+    pub duration_s: usize,
+    /// Per-session playback buffer capacity, segments.
+    pub buffer_segments: usize,
+    /// Shared droptail queue length, packets.
+    pub queue_packets: usize,
+    /// Link scheduling discipline.
+    pub discipline: Discipline,
+    /// Session `i` starts at `i * stagger_s` seconds (symmetry breaking).
+    pub stagger_s: usize,
+    /// Optional hard cap on simulated seconds (benchmark slices); `None`
+    /// uses the session safety cap.
+    pub cap_s: Option<usize>,
+}
+
+impl Default for FleetSpec {
+    fn default() -> FleetSpec {
+        FleetSpec {
+            video: VideoId::Bbb,
+            members: vec![FleetMember {
+                count: 2,
+                system: "VOXEL".into(),
+            }],
+            link_mbps: 6.0,
+            duration_s: 300,
+            buffer_segments: 3,
+            queue_packets: 64,
+            discipline: Discipline::drr(),
+            stagger_s: 0,
+            cap_s: None,
+        }
+    }
+}
+
+impl FleetSpec {
+    /// Parse a spec string. Exact inverse of [`FleetSpec::spec`].
+    pub fn parse(spec: &str) -> Result<FleetSpec, String> {
+        let mut parts = spec.split(':');
+        let video_tok = parts.next().filter(|t| !t.is_empty()).ok_or("empty spec")?;
+        let video =
+            video_by_name(video_tok).ok_or_else(|| format!("unknown video {video_tok:?}"))?;
+        let members_tok = parts.next().ok_or("missing members (<count>x<system>+…)")?;
+        let mut members = Vec::new();
+        for group in members_tok.split('+') {
+            let (count, system) = group
+                .split_once('x')
+                .ok_or_else(|| format!("member group {group:?} needs <count>x<system>"))?;
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("bad member count in {group:?}"))?;
+            if count == 0 {
+                return Err(format!("member group {group:?} has zero sessions"));
+            }
+            if system_by_name(system).is_none() {
+                return Err(format!("unknown system {system:?}"));
+            }
+            members.push(FleetMember {
+                count,
+                system: system.to_string(),
+            });
+        }
+        let trace_tok = parts.next().ok_or("missing trace (const<mbps>)")?;
+        let link_mbps: f64 = trace_tok
+            .strip_prefix("const")
+            .ok_or_else(|| format!("fleet traces are const<mbps>, got {trace_tok:?}"))?
+            .parse()
+            .map_err(|_| format!("bad rate in {trace_tok:?}"))?;
+
+        let mut out = FleetSpec {
+            video,
+            members,
+            link_mbps,
+            ..FleetSpec::default()
+        };
+        for tok in parts {
+            // Literal discipline tokens first: `drr` must not be eaten by
+            // the `d<duration>` prefix.
+            if tok == "fifo" {
+                out.discipline = Discipline::Fifo;
+            } else if tok == "drr" {
+                out.discipline = Discipline::drr();
+            } else if let Some(v) = tok.strip_prefix("buf") {
+                out.buffer_segments = v.parse().map_err(|_| format!("bad buf in {tok:?}"))?;
+            } else if let Some(v) = tok.strip_prefix("q") {
+                out.queue_packets = v.parse().map_err(|_| format!("bad queue in {tok:?}"))?;
+            } else if let Some(v) = tok.strip_prefix("d") {
+                out.duration_s = v.parse().map_err(|_| format!("bad duration in {tok:?}"))?;
+            } else if let Some(v) = tok.strip_prefix("stg") {
+                out.stagger_s = v.parse().map_err(|_| format!("bad stagger in {tok:?}"))?;
+            } else if let Some(v) = tok.strip_prefix("cap") {
+                out.cap_s = Some(v.parse().map_err(|_| format!("bad cap in {tok:?}"))?);
+            } else {
+                return Err(format!("unknown fleet spec token {tok:?}"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// The canonical spec string (exact inverse of [`FleetSpec::parse`]).
+    pub fn spec(&self) -> String {
+        let members: Vec<String> = self
+            .members
+            .iter()
+            .map(|m| format!("{}x{}", m.count, m.system))
+            .collect();
+        let mut s = format!(
+            "{}:{}:const{}:buf{}:q{}:d{}:{}:stg{}",
+            video_name(self.video),
+            members.join("+"),
+            self.link_mbps,
+            self.buffer_segments,
+            self.queue_packets,
+            self.duration_s,
+            self.discipline.as_str(),
+            self.stagger_s,
+        );
+        if let Some(cap) = self.cap_s {
+            s.push_str(&format!(":cap{cap}"));
+        }
+        s
+    }
+
+    /// Total session count (expanded members).
+    pub fn total_sessions(&self) -> usize {
+        self.members.iter().map(|m| m.count).sum()
+    }
+
+    /// Expanded per-session system names, in flow-id order.
+    pub fn session_systems(&self) -> Vec<&str> {
+        let mut out = Vec::with_capacity(self.total_sessions());
+        for m in &self.members {
+            for _ in 0..m.count {
+                out.push(m.system.as_str());
+            }
+        }
+        out
+    }
+
+    /// Whether every session runs the same system.
+    pub fn homogeneous(&self) -> bool {
+        self.members
+            .iter()
+            .all(|m| m.system == self.members[0].system)
+    }
+
+    /// The shared link's bandwidth trace.
+    pub fn trace(&self) -> BandwidthTrace {
+        BandwidthTrace::constant(self.link_mbps, self.duration_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip_through_parse() {
+        let spec = "BBB:4xVOXEL+2xBOLA+2xBETA:const6:buf3:q64:d300:drr:stg2";
+        let s = FleetSpec::parse(spec).expect("parses");
+        assert_eq!(s.spec(), spec);
+        assert_eq!(FleetSpec::parse(&s.spec()).expect("re-parses"), s);
+        assert_eq!(s.total_sessions(), 8);
+        assert!(!s.homogeneous());
+
+        let capped = "ToS:8xVOXEL:const12.5:buf1:q32:d120:fifo:stg0:cap60";
+        let c = FleetSpec::parse(capped).expect("parses");
+        assert_eq!(c.spec(), capped);
+        assert_eq!(c.cap_s, Some(60));
+        assert_eq!(c.discipline, Discipline::Fifo);
+        assert!(c.homogeneous());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "BBB",
+            "BBB:2xVOXEL",
+            "NOPE:2xVOXEL:const6",
+            "BBB:2xWAT:const6",
+            "BBB:0xVOXEL:const6",
+            "BBB:VOXEL:const6",
+            "BBB:2xVOXEL:tmobile",
+            "BBB:2xVOXEL:const6:wat9",
+        ] {
+            assert!(FleetSpec::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn session_systems_expand_in_flow_order() {
+        let s = FleetSpec::parse("BBB:2xVOXEL+1xBOLA:const6").expect("parses");
+        assert_eq!(s.session_systems(), ["VOXEL", "VOXEL", "BOLA"]);
+        // Un-specified knobs take the documented defaults.
+        assert_eq!(s.buffer_segments, 3);
+        assert_eq!(s.queue_packets, 64);
+        assert_eq!(s.duration_s, 300);
+        assert_eq!(s.stagger_s, 0);
+        assert_eq!(s.discipline, Discipline::drr());
+    }
+
+    #[test]
+    fn name_tables_cover_the_legend() {
+        for sys in [
+            "BOLA",
+            "BOLA-SSIM",
+            "MPC",
+            "MPC*",
+            "Tput",
+            "BETA",
+            "VOXEL",
+            "VOXEL-tuned",
+            "VOXEL-rel",
+        ] {
+            assert!(system_by_name(sys).is_some(), "missing {sys}");
+        }
+        for (name, id) in [
+            ("BBB", VideoId::Bbb),
+            ("ToS", VideoId::Tos),
+            ("P3", VideoId::YouTube(3)),
+        ] {
+            assert_eq!(video_by_name(name), Some(id));
+            assert_eq!(video_name(id), name);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! End-to-end smoke of the fleet event loop on a small mixed fleet.
+//! Heavier conformance (golden digests, fairness oracles) lives in the
+//! workspace-level `tests/fleet.rs` and `voxel-testkit`.
+
+use voxel_core::ContentCache;
+use voxel_fleet::{run_fleet, FleetSpec};
+use voxel_trace::Tracer;
+
+#[test]
+fn small_mixed_fleet_plays_to_completion() {
+    let cache = ContentCache::top_level_only();
+    let spec =
+        FleetSpec::parse("BBB:2xVOXEL+1xBOLA:const6:buf3:q64:d60:drr:stg1").expect("spec parses");
+    let r = run_fleet(&spec, &cache, Tracer::disabled()).expect("fleet runs");
+
+    assert_eq!(r.sessions.len(), 3);
+    assert_eq!(r.flows.len(), 3);
+    assert!(r.all_completed(), "sessions: {:?}", r.sessions);
+    assert!(r.end_s > 0.0 && r.end_s < 400.0, "end_s = {}", r.end_s);
+    assert!(r.loop_iters > 0);
+
+    let share_sum: f64 = r.shares_pct.iter().sum();
+    assert!((share_sum - 100.0).abs() < 1e-6, "shares sum {share_sum}");
+    assert!(r.jain > 0.0 && r.jain <= 1.0 + 1e-12, "jain = {}", r.jain);
+    for f in &r.flows {
+        assert!(f.bytes_delivered > 0, "flow starved: {f:?}");
+    }
+
+    // Determinism: same spec, identical outcome.
+    let again = run_fleet(&spec, &cache, Tracer::disabled()).expect("fleet runs");
+    assert_eq!(r.loop_iters, again.loop_iters);
+    assert_eq!(r.shares_pct, again.shares_pct);
+    assert_eq!(r.end_s, again.end_s);
+}

@@ -26,8 +26,8 @@ use std::path::{Path, PathBuf};
 /// `bytes`, `rand`, `proptest`, `criterion` — are third-party idiom and
 /// exempt).
 pub const FIRST_PARTY: &[&str] = &[
-    "sim", "trace", "media", "prep", "netem", "quic", "http", "abr", "core", "bench", "lint",
-    "testkit",
+    "sim", "trace", "media", "prep", "netem", "quic", "http", "abr", "core", "fleet", "bench",
+    "lint", "testkit",
 ];
 
 /// Run the full lint pass over the workspace rooted at `root`.
@@ -39,6 +39,7 @@ pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
         collect(&src, root, name, &mut files)?;
     }
     collect(&root.join("src"), root, ".", &mut files)?;
+    collect(&root.join("examples"), root, "examples", &mut files)?;
 
     let mut violations = Vec::new();
     let mut uses = rules::WaiverUse::default();

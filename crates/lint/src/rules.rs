@@ -11,7 +11,7 @@ use crate::scan::SourceFile;
 use std::collections::BTreeSet;
 
 /// Crates whose iteration order feeds the deterministic simulation.
-pub const SIM_CRITICAL: &[&str] = &["sim", "quic", "http", "abr", "core", "netem"];
+pub const SIM_CRITICAL: &[&str] = &["sim", "quic", "http", "abr", "core", "netem", "fleet"];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -48,7 +48,9 @@ impl WaiverUse {
 
 /// Run all per-line rules over one file.
 pub fn check_file(f: &SourceFile, uses: &mut WaiverUse, out: &mut Vec<Violation>) {
-    let is_bin = f.rel_path.ends_with("main.rs") || f.rel_path.contains("/bin/");
+    let is_bin = f.rel_path.ends_with("main.rs")
+        || f.rel_path.contains("/bin/")
+        || f.crate_name == "examples";
     for (i, line) in f.lines.iter().enumerate() {
         let lineno = i + 1;
         if line.in_test {
@@ -99,6 +101,29 @@ pub fn check_file(f: &SourceFile, uses: &mut WaiverUse, out: &mut Vec<Violation>
                         format!(
                             "`{}` in library code; propagate an error or waive with the invariant that makes it unreachable",
                             pat.trim_start_matches('.').trim_end_matches('(')
+                        ),
+                        uses,
+                        out,
+                    );
+                }
+            }
+        }
+
+        // --- API surface: examples go through the facade prelude ---
+        if f.crate_name == "examples" {
+            if let Some(target) = m.trim_start().strip_prefix("use ") {
+                let deep = target.starts_with("voxel_")
+                    || target
+                        .strip_prefix("voxel::")
+                        .is_some_and(|rest| !rest.starts_with("prelude"));
+                if deep {
+                    report(
+                        f,
+                        lineno,
+                        "deep-import",
+                        format!(
+                            "example imports `{}` directly; use `voxel::prelude::*` (or waive with why the deep path is the point)",
+                            target.trim_end().trim_end_matches(';')
                         ),
                         uses,
                         out,
@@ -356,6 +381,22 @@ mod tests {
             "if a.ssim != b.ssim { }\n",
         );
         assert_eq!(v2[0].rule, "float-eq");
+    }
+
+    #[test]
+    fn deep_import_fires_only_in_examples() {
+        let src = "use voxel::media::video::Video;\nuse voxel_core::Config;\nuse voxel::prelude::*;\nuse std::sync::Arc;\n";
+        let v = run("examples", "examples/demo.rs", src);
+        let lines: Vec<_> = v.iter().map(|v| (v.rule, v.line)).collect();
+        assert_eq!(lines, vec![("deep-import", 1), ("deep-import", 2)]);
+        // The same imports are fine outside examples/.
+        assert!(run("bench", "crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn deep_import_waiver_and_bin_style_panics_in_examples() {
+        let src = "use voxel::prep::analysis::BytesQoeMap; // lint: allow(deep-import) the example is about prep internals\nfn main() { x.unwrap(); }\n";
+        assert!(run("examples", "examples/demo.rs", src).is_empty());
     }
 
     #[test]

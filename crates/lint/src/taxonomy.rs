@@ -157,19 +157,23 @@ pub fn extract(f: &SourceFile) -> Vec<Emission> {
         }
         start = abs + "trace_event!(".len();
     }
-    // tracer.count("name", ...) / tracer.observe("name", ...)
-    for pat in [".count(\"", ".observe(\""] {
+    // tracer.count("name", ...) / tracer.observe("name", ...) — rustfmt
+    // may break the line after the paren, so skip whitespace to the quote.
+    for pat in [".count(", ".observe("] {
         let mut start = 0;
         while let Some(pos) = text[start..].find(pat) {
             let abs = start + pos;
-            let lit = &text[abs + pat.len()..];
-            if let Some(endq) = lit.find('"') {
-                out.push(Emission {
-                    path: f.rel_path.clone(),
-                    line: line_of(abs),
-                    kind: None,
-                    metric: Some(lit[..endq].to_string()),
-                });
+            let after = &text[abs + pat.len()..];
+            let lead = after.len() - after.trim_start().len();
+            if let Some(lit) = after.trim_start().strip_prefix('"') {
+                if let Some(endq) = lit.find('"') {
+                    out.push(Emission {
+                        path: f.rel_path.clone(),
+                        line: line_of(abs + pat.len() + lead + 1),
+                        kind: None,
+                        metric: Some(lit[..endq].to_string()),
+                    });
+                }
             }
             start = abs + pat.len();
         }
@@ -306,6 +310,16 @@ mod tests {
                 .count(),
             4
         );
+    }
+
+    #[test]
+    fn extracts_metric_split_across_lines() {
+        let src = "fn f(tracer: &Tracer) {\n    tracer.observe(\n        \"fleet.session_stall_ms\",\n        v,\n    );\n}\n";
+        let f = SourceFile::parse("crates/fleet/src/x.rs", "fleet", src);
+        let em = extract(&f);
+        assert_eq!(em.len(), 1);
+        assert_eq!(em[0].metric, Some("fleet.session_stall_ms".to_string()));
+        assert_eq!(em[0].line, 3);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   (Poisson session arrivals, bounded-Pareto transfer sizes) run through a
 //!   fluid fair-sharing model to produce the bandwidth actually available
 //!   to the video flow.
+//! - [`shared`]: the multi-flow variant of the bottleneck — one link
+//!   shared by N sessions under FIFO or deficit-round-robin scheduling
+//!   with per-flow accounting, driving the fleet runtime in `voxel-fleet`.
 //! - [`fault`]: the seeded fault-injection plane the testkit threads
 //!   through sessions — loss bursts, reorder/dup windows, bandwidth cliffs
 //!   and stuck-trace stretches (DESIGN.md §11).
@@ -25,8 +28,10 @@
 pub mod crosstraffic;
 pub mod fault;
 pub mod path;
+pub mod shared;
 pub mod trace;
 
 pub use fault::{FaultKind, FaultPlane, PacketFate};
 pub use path::{BottleneckPath, PathConfig, PathStats};
+pub use shared::{Departure, Discipline, FlowStats, SharedLink, SharedLinkConfig};
 pub use trace::BandwidthTrace;

@@ -20,6 +20,7 @@
 
 pub mod clock;
 pub mod event;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 

@@ -1,0 +1,182 @@
+//! Fleet conformance: oracles and golden digests for multi-session runs.
+//!
+//! A fleet run is a pure function of its [`FleetSpec`] (no sweep seed —
+//! the spec fixes the timeline byte-for-byte), so the golden machinery
+//! reuses [`crate::digest::check_or_bless`] with `seed: 0`. Oracles check
+//! the cross-session properties single-session oracles cannot see:
+//! conservation of link shares, fairness of homogeneous fleets, and
+//! per-flow starvation.
+
+use crate::digest::GoldenScenario;
+use crate::runner::Content;
+use voxel_fleet::{run_fleet, FleetResult, FleetSpec};
+use voxel_trace::{JsonlSink, SharedBuf, Tracer};
+
+/// Homogeneous fleets must land at least this fair (Jain index) — CUBIC
+/// flows with identical ABRs on one DRR link have no excuse not to.
+pub const HOMOGENEOUS_JAIN_FLOOR: f64 = 0.8;
+
+/// The canonical fleet specs whose digests are committed. One mixed
+/// 8-session fleet (the acceptance scenario: 4 VOXEL, 2 BOLA, 2 BETA on
+/// a shared 6 Mbit/s DRR link) and one homogeneous VOXEL fleet pinning
+/// the fairness floor.
+pub fn canonical_fleets() -> Vec<GoldenScenario> {
+    vec![
+        GoldenScenario {
+            name: "fleet-mixed8",
+            spec: "BBB:4xVOXEL+2xBOLA+2xBETA:const6:buf3:q64:d300:drr:stg2",
+            seed: 0,
+        },
+        GoldenScenario {
+            name: "fleet-voxel8",
+            spec: "BBB:8xVOXEL:const6:buf3:q64:d300:drr:stg2",
+            seed: 0,
+        },
+    ]
+}
+
+/// Cross-session invariants every fleet run must satisfy. Returns
+/// violations (empty = all oracles passed).
+pub fn fleet_invariants(spec: &FleetSpec, r: &FleetResult) -> Vec<String> {
+    let mut v = Vec::new();
+    let n = spec.total_sessions();
+    if r.sessions.len() != n {
+        v.push(format!(
+            "fleet produced {} session results for {} members",
+            r.sessions.len(),
+            n
+        ));
+    }
+    if r.flows.len() != n {
+        v.push(format!(
+            "fleet produced {} flow stats for {} members",
+            r.flows.len(),
+            n
+        ));
+    }
+    if !r.all_completed() {
+        let stuck: Vec<usize> = r
+            .sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.completed)
+            .map(|(i, _)| i)
+            .collect();
+        v.push(format!("sessions {stuck:?} did not complete"));
+    }
+    let share_sum: f64 = r.shares_pct.iter().sum();
+    if (share_sum - 100.0).abs() > 1e-6 {
+        v.push(format!("flow shares sum to {share_sum}, not 100"));
+    }
+    if !(0.0..=1.0 + 1e-12).contains(&r.jain) {
+        v.push(format!("Jain index {} outside [0, 1]", r.jain));
+    }
+    if spec.homogeneous() && r.jain < HOMOGENEOUS_JAIN_FLOOR {
+        v.push(format!(
+            "homogeneous {} fleet has Jain {:.3} < {HOMOGENEOUS_JAIN_FLOOR}",
+            spec.members[0].system, r.jain
+        ));
+    }
+    for (i, f) in r.flows.iter().enumerate() {
+        if f.bytes_delivered == 0 {
+            v.push(format!("flow {i} was starved (0 bytes delivered)"));
+        }
+    }
+    // Per-flow conservation: everything enqueued is either delivered or
+    // still unaccounted-for queue residue at teardown — never invented.
+    for (i, f) in r.flows.iter().enumerate() {
+        if f.delivered > f.enqueued {
+            v.push(format!(
+                "flow {i} delivered {} packets but enqueued only {}",
+                f.delivered, f.enqueued
+            ));
+        }
+    }
+    v
+}
+
+/// Run one golden fleet and return (timeline, oracle violations).
+pub fn run_fleet_golden(
+    g: &GoldenScenario,
+    content: &Content,
+) -> Result<(Vec<u8>, Vec<String>), String> {
+    let spec = FleetSpec::parse(g.spec)?;
+    let buf = SharedBuf::new();
+    let tracer = Tracer::new(0, Box::new(JsonlSink::to_writer(Box::new(buf.clone()))));
+    let result = run_fleet(&spec, content.cache(), tracer)?;
+    Ok((buf.contents(), fleet_invariants(&spec, &result)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxel_core::TrialResult;
+    use voxel_netem::FlowStats;
+
+    fn fake_result(spec: &FleetSpec, delivered: &[u64]) -> FleetResult {
+        let total: u64 = delivered.iter().sum();
+        FleetResult {
+            spec: spec.spec(),
+            sessions: delivered
+                .iter()
+                .map(|_| TrialResult {
+                    completed: true,
+                    ..TrialResult::default()
+                })
+                .collect(),
+            flows: delivered
+                .iter()
+                .map(|&b| FlowStats {
+                    enqueued: 10,
+                    dropped: 0,
+                    delivered: 10,
+                    bytes_delivered: b,
+                })
+                .collect(),
+            shares_pct: delivered
+                .iter()
+                .map(|&b| 100.0 * b as f64 / total as f64)
+                .collect(),
+            jain: voxel_fleet::jain_index(&delivered.iter().map(|&b| b as f64).collect::<Vec<_>>()),
+            end_s: 100.0,
+            loop_iters: 1,
+        }
+    }
+
+    #[test]
+    fn canonical_fleets_parse_and_are_unique() {
+        let all = canonical_fleets();
+        let mut names: Vec<&str> = all.iter().map(|g| g.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+        for g in &all {
+            let s = FleetSpec::parse(g.spec).expect(g.spec);
+            assert_eq!(s.spec(), g.spec, "{} must be canonical", g.name);
+            assert_eq!(s.total_sessions(), 8);
+        }
+    }
+
+    #[test]
+    fn fleet_oracles_pass_on_a_fair_fleet() {
+        let spec = FleetSpec::parse("BBB:2xVOXEL:const6").expect("spec");
+        let r = fake_result(&spec, &[1000, 990]);
+        assert_eq!(fleet_invariants(&spec, &r), Vec::<String>::new());
+    }
+
+    #[test]
+    fn fleet_oracles_flag_unfair_and_starved_fleets() {
+        let spec = FleetSpec::parse("BBB:2xVOXEL:const6").expect("spec");
+        let mut r = fake_result(&spec, &[1000, 0]);
+        // Starved flow 1: degenerate shares and a Jain of 0.5.
+        r.shares_pct = vec![100.0, 0.0];
+        let v = fleet_invariants(&spec, &r);
+        assert!(v.iter().any(|m| m.contains("starved")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("Jain")), "{v:?}");
+
+        let mut r = fake_result(&spec, &[1000, 1000]);
+        r.sessions[1].completed = false;
+        let v = fleet_invariants(&spec, &r);
+        assert!(v.iter().any(|m| m.contains("did not complete")), "{v:?}");
+    }
+}

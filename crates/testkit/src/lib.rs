@@ -31,6 +31,7 @@
 //! bounded slice of the same checks in tier-1.
 
 pub mod digest;
+pub mod fleet;
 pub mod oracle;
 pub mod runner;
 pub mod scenario;
@@ -39,6 +40,7 @@ pub mod sweep;
 pub use digest::{
     check_or_bless, fnv64, run_golden, timeline_digest, GoldenScenario, GoldenStatus,
 };
+pub use fleet::{canonical_fleets, fleet_invariants, run_fleet_golden};
 pub use oracle::Bounds;
 pub use runner::{run_scenario, Content, ScenarioRun, TrialRun};
 pub use scenario::{

@@ -9,12 +9,10 @@
 
 use crate::oracle::{self, Bounds};
 use crate::scenario::{system_by_name, Inject, Scenario};
-use std::collections::BTreeMap;
 use std::sync::Arc;
-use voxel_core::experiment::{run_instrumented_trial, Config};
-use voxel_core::TrialResult;
+use voxel_core::experiment::run_instrumented_trial;
+use voxel_core::{ContentCache, Experiment, TrialResult};
 use voxel_media::content::VideoId;
-use voxel_media::ladder::QualityLevel;
 use voxel_media::qoe::QoeModel;
 use voxel_media::video::Video;
 use voxel_netem::FaultPlane;
@@ -23,33 +21,36 @@ use voxel_trace::{JsonlSink, SharedBuf, Tracer};
 
 /// Prepared-content cache shared across scenarios (§4.1 preparation is
 /// one-time per video; the testkit prepares the top analyzed level only,
-/// which every system in the legend can stream).
-#[derive(Default)]
+/// which every system in the legend can stream). Thin wrapper over
+/// [`ContentCache::top_level_only`] so fleet scenarios and session
+/// scenarios share one store.
 pub struct Content {
-    entries: BTreeMap<VideoId, (Arc<Manifest>, Arc<Video>)>,
-    qoe: QoeModel,
+    cache: ContentCache,
+}
+
+impl Default for Content {
+    fn default() -> Content {
+        Content::new()
+    }
 }
 
 impl Content {
     /// Empty cache with the default QoE model.
     pub fn new() -> Content {
-        Content::default()
+        Content {
+            cache: ContentCache::top_level_only(),
+        }
     }
 
     /// Get (or prepare) a video + manifest.
     pub fn get(&mut self, id: VideoId) -> (Arc<Manifest>, Arc<Video>, QoeModel) {
-        let qoe = self.qoe.clone();
-        let (m, v) = self
-            .entries
-            .entry(id)
-            .or_insert_with(|| {
-                let video = Video::generate(id);
-                let manifest =
-                    Arc::new(Manifest::prepare_levels(&video, &qoe, &[QualityLevel::MAX]));
-                (manifest, Arc::new(video))
-            })
-            .clone();
-        (m, v, qoe)
+        let (m, v) = self.cache.get(id);
+        (m, v, self.cache.qoe())
+    }
+
+    /// The underlying shared cache (what fleet runs take).
+    pub fn cache(&self) -> &ContentCache {
+        &self.cache
     }
 }
 
@@ -98,11 +99,17 @@ pub fn run_scenario(
     let trace = scenario.build_trace(seed);
     let (manifest, video, qoe) = content.get(scenario.video);
 
-    let mut config = Config::new(scenario.video, abr, scenario.buffer_segments, trace)
-        .with_transport(transport)
-        .with_trials(scenario.trials)
-        .with_queue(scenario.queue_packets);
-    config.debug_stall_skew = scenario.inject == Some(Inject::StallSkew);
+    let config = Experiment::builder()
+        .video(scenario.video)
+        .abr(abr)
+        .transport(transport)
+        .buffer(scenario.buffer_segments)
+        .trace(trace)
+        .trials(scenario.trials)
+        .queue(scenario.queue_packets)
+        .debug_stall_skew(scenario.inject == Some(Inject::StallSkew))
+        .build()
+        .into_config();
 
     let bounds = Bounds::for_scenario(scenario);
     let d = config.trace.duration_s();

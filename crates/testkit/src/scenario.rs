@@ -20,8 +20,6 @@
 //! synthetic (`const<mbps>`, `step<before>-<after>@<at>`) or the seeded §5
 //! generators (`tmobile`, `verizon`, `att`, `3g`, `fcc`, `wifi`).
 
-use voxel_core::experiment::AbrKind;
-use voxel_core::TransportMode;
 use voxel_media::content::VideoId;
 use voxel_netem::fault::{cliff, stuck};
 use voxel_netem::trace::generators;
@@ -209,35 +207,10 @@ pub struct Scenario {
     pub bounds: Option<crate::oracle::Bounds>,
 }
 
-/// Resolve a §5 system legend name to its (ABR, transport) pair.
-pub fn system_by_name(system: &str) -> Option<(AbrKind, TransportMode)> {
-    Some(match system {
-        "BOLA" => (AbrKind::Bola, TransportMode::Reliable),
-        "BOLA-SSIM" => (AbrKind::BolaSsim, TransportMode::Split),
-        "MPC" => (AbrKind::Mpc, TransportMode::Reliable),
-        "MPC*" => (AbrKind::MpcStar, TransportMode::Split),
-        "Tput" => (AbrKind::Tput, TransportMode::Reliable),
-        "BETA" => (AbrKind::Beta, TransportMode::Reliable),
-        "VOXEL" => (AbrKind::voxel(), TransportMode::Split),
-        "VOXEL-tuned" => (AbrKind::voxel_tuned(), TransportMode::Split),
-        "VOXEL-rel" => (AbrKind::voxel(), TransportMode::Reliable),
-        _ => return None,
-    })
-}
-
-/// Resolve a video legend name (`BBB`/`ED`/`Sintel`/`ToS`/`P1`..`P10`).
-pub fn video_by_name(name: &str) -> Option<VideoId> {
-    match name {
-        "BBB" => Some(VideoId::Bbb),
-        "ED" => Some(VideoId::Ed),
-        "Sintel" => Some(VideoId::Sintel),
-        "ToS" => Some(VideoId::Tos),
-        p => {
-            let n: u8 = p.strip_prefix('P')?.parse().ok()?;
-            (1..=10).contains(&n).then_some(VideoId::YouTube(n))
-        }
-    }
-}
+// The §5 legend name tables (system → (ABR, transport), video names) live
+// canonically in voxel-fleet's spec module so scenario specs and fleet
+// specs can never disagree; re-exported here for the testkit surface.
+pub use voxel_fleet::spec::{system_by_name, video_by_name};
 
 /// Parse `<start>+<len>` (both numbers).
 fn parse_window(body: &str, tok: &str) -> Result<(f64, f64), String> {
@@ -623,6 +596,7 @@ impl Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use voxel_core::TransportMode;
 
     #[test]
     fn minimal_spec_gets_defaults() {

@@ -16,6 +16,9 @@ pub enum Layer {
     Player,
     /// Session harness: trial boundaries, progress, summaries.
     Session,
+    /// Fleet harness: multi-session runs on a shared link — membership,
+    /// per-flow shares, fairness summaries.
+    Fleet,
 }
 
 impl Layer {
@@ -27,6 +30,7 @@ impl Layer {
             Layer::Abr => "abr",
             Layer::Player => "player",
             Layer::Session => "session",
+            Layer::Fleet => "fleet",
         }
     }
 }
@@ -275,8 +279,9 @@ mod tests {
             Layer::Abr,
             Layer::Player,
             Layer::Session,
+            Layer::Fleet,
         ];
         let names: Vec<&str> = all.iter().map(|l| l.as_str()).collect();
-        assert_eq!(names, ["quic", "http", "abr", "player", "session"]);
+        assert_eq!(names, ["quic", "http", "abr", "player", "session", "fleet"]);
     }
 }

@@ -7,11 +7,7 @@
 //! cargo run --release --example abr_shootout 3G 2
 //! ```
 
-use voxel::core::experiment::{run_config, AbrKind, Config, ContentCache};
-use voxel::core::TransportMode;
-use voxel::media::content::VideoId;
-use voxel::netem::trace::generators;
-use voxel::netem::BandwidthTrace;
+use voxel::prelude::*;
 
 fn trace_by_name(name: &str) -> BandwidthTrace {
     match name {
@@ -30,7 +26,7 @@ fn main() {
     let buffer: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
     let trace = trace_by_name(trace_name);
 
-    let mut cache = ContentCache::new();
+    let cache = ContentCache::new();
     println!(
         "trace {trace_name} (mean {:.1} Mbps, std {:.1}), buffer {buffer} segments, video ED\n",
         trace.mean_mbps(),
@@ -54,10 +50,15 @@ fn main() {
         "system", "bufRatio-p90", "bitrate", "SSIM", "skipped", "wasted-MB"
     );
     for (name, abr, transport) in contenders {
-        let cfg = Config::new(VideoId::Ed, abr, buffer, trace.clone())
-            .with_transport(transport)
-            .with_trials(6);
-        let agg = run_config(&cfg, &mut cache);
+        let agg = Experiment::builder()
+            .video(VideoId::Ed)
+            .abr(abr)
+            .transport(transport)
+            .buffer(buffer)
+            .trace(trace.clone())
+            .trials(6)
+            .build()
+            .run(&cache);
         let wasted: f64 = agg
             .trials
             .iter()

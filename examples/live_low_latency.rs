@@ -10,13 +10,10 @@
 //! cargo run --release --example live_low_latency
 //! ```
 
-use voxel::core::experiment::{run_config, AbrKind, Config, ContentCache};
-use voxel::core::TransportMode;
-use voxel::media::content::VideoId;
-use voxel::netem::trace::generators;
+use voxel::prelude::*;
 
 fn main() {
-    let mut cache = ContentCache::new();
+    let cache = ContentCache::new();
     let trace = generators::tmobile_lte(2021, 300);
     println!(
         "T-Mobile-like trace: mean {:.1} Mbps, std {:.1} Mbps (violently varying)",
@@ -35,10 +32,15 @@ fn main() {
         "system", "bufRatio-p90", "bitrate", "SSIM", "restarts", "partials"
     );
     for (name, abr, transport) in systems {
-        let config = Config::new(VideoId::Tos, abr, 1, trace.clone())
-            .with_transport(transport)
-            .with_trials(6);
-        let agg = run_config(&config, &mut cache);
+        let agg = Experiment::builder()
+            .video(VideoId::Tos)
+            .abr(abr)
+            .transport(transport)
+            .buffer(1)
+            .trace(trace.clone())
+            .trials(6)
+            .build()
+            .run(&cache);
         let restarts: f64 =
             agg.trials.iter().map(|t| t.restarts as f64).sum::<f64>() / agg.trials.len() as f64;
         let partials: f64 = agg

@@ -6,13 +6,15 @@
 //! cargo run --release --example offline_prep
 //! ```
 
-use voxel::media::content::VideoId;
-use voxel::media::gop::FrameKind;
-use voxel::media::ladder::QualityLevel;
-use voxel::media::qoe::QoeModel;
-use voxel::media::video::Video;
-use voxel::prep::analysis::{analyze_segment, BytesQoeMap};
-use voxel::prep::ordering::{frame_order, OrderingKind};
+// lint: allow(deep-import) this example is a tour of the media internals the prelude omits
+use voxel::media::{
+    content::VideoId, gop::FrameKind, ladder::QualityLevel, qoe::QoeModel, video::Video,
+};
+// lint: allow(deep-import) offline analysis/ordering are server-side-only surfaces, not in the prelude
+use voxel::prep::{
+    analysis::{analyze_segment, BytesQoeMap},
+    ordering::{frame_order, OrderingKind},
+};
 
 fn main() {
     let video = Video::generate(VideoId::Sintel);

@@ -6,15 +6,8 @@
 //! ```
 
 use std::sync::Arc;
-use voxel::abr::AbrStar;
-use voxel::core::client::{PlayerConfig, TransportMode};
-use voxel::core::session::Session;
-use voxel::media::content::VideoId;
-use voxel::media::qoe::QoeModel;
-use voxel::media::video::Video;
-use voxel::netem::trace::generators;
-use voxel::netem::PathConfig;
-use voxel::prep::manifest::Manifest;
+use voxel::abr::AbrStar; // lint: allow(deep-import) quickstart hand-builds the raw Session pipeline, ABR* included
+use voxel::prelude::*;
 
 fn main() {
     // 1. "Transcode" a video: generate the synthetic Big Buck Bunny clip

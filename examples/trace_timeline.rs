@@ -4,29 +4,26 @@
 //! cargo run --release --example trace_timeline [dir]
 //! ```
 //!
-//! Runs a short VOXEL experiment with `Config::with_trace_jsonl` enabled and
-//! prints where the `trial-NNNN.jsonl` / `trial-NNNN.metrics.json` files
-//! landed, plus a few sample events. See DESIGN.md §9 for the event taxonomy.
+//! Runs a short VOXEL experiment with `Tracing::jsonl` enabled and prints
+//! where the `trial-NNNN.jsonl` / `trial-NNNN.metrics.json` files landed,
+//! plus a few sample events. See DESIGN.md §9 for the event taxonomy.
 
-use voxel::core::experiment::{run_config, AbrKind, Config, ContentCache};
-use voxel::media::content::VideoId;
-use voxel::netem::trace::generators;
+use voxel::prelude::*;
 
 fn main() {
     let dir = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "timelines".into());
-    let config = Config::new(
-        VideoId::Bbb,
-        AbrKind::voxel(),
-        3,
-        generators::verizon_lte(11, 300),
-    )
-    .with_trials(2)
-    .with_trace_jsonl(&dir);
-
-    let mut cache = ContentCache::new();
-    let agg = run_config(&config, &mut cache);
+    let cache = ContentCache::new();
+    let agg = Experiment::builder()
+        .video(VideoId::Bbb)
+        .abr(AbrKind::voxel())
+        .buffer(3)
+        .trace(generators::verizon_lte(11, 300))
+        .trials(2)
+        .tracing(Tracing::jsonl(&dir))
+        .build()
+        .run(&cache);
     println!(
         "ran {} trials: bufRatio p90 {:.2} %, mean SSIM {:.4}, mean cwnd {:.0} B",
         agg.trials.len(),

@@ -11,7 +11,7 @@
 //! policy in DESIGN.md).
 
 use std::collections::HashMap;
-use voxel::core::experiment::{run_config, AbrKind, Config, ContentCache};
+use voxel::core::experiment::{AbrKind, ContentCache, Experiment};
 use voxel::core::survey::run_survey;
 use voxel::core::TransportMode;
 use voxel::media::content::VideoId;
@@ -50,14 +50,8 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 }
 
 fn video_by_name(name: &str) -> VideoId {
-    match name {
-        "BBB" => VideoId::Bbb,
-        "ED" => VideoId::Ed,
-        "Sintel" => VideoId::Sintel,
-        "ToS" => VideoId::Tos,
-        p if p.starts_with('P') => VideoId::YouTube(p[1..].parse().unwrap_or_else(|_| usage())),
-        _ => usage(),
-    }
+    // The canonical legend table (shared with fleet specs and the testkit).
+    voxel::fleet::video_by_name(name).unwrap_or_else(|| usage())
 }
 
 fn trace_by_name(name: &str) -> BandwidthTrace {
@@ -73,17 +67,7 @@ fn trace_by_name(name: &str) -> BandwidthTrace {
 }
 
 fn abr_by_name(name: &str) -> (AbrKind, TransportMode) {
-    match name {
-        "Tput" => (AbrKind::Tput, TransportMode::Reliable),
-        "BOLA" => (AbrKind::Bola, TransportMode::Reliable),
-        "MPC" => (AbrKind::Mpc, TransportMode::Reliable),
-        "MPC*" => (AbrKind::MpcStar, TransportMode::Split),
-        "BETA" => (AbrKind::Beta, TransportMode::Reliable),
-        "BOLA-SSIM" => (AbrKind::BolaSsim, TransportMode::Split),
-        "VOXEL" => (AbrKind::voxel(), TransportMode::Split),
-        "VOXEL-tuned" => (AbrKind::voxel_tuned(), TransportMode::Split),
-        _ => usage(),
-    }
+    voxel::fleet::system_by_name(name).unwrap_or_else(|| usage())
 }
 
 fn cmd_prep(video: &str) {
@@ -112,12 +96,17 @@ fn cmd_stream(flags: &HashMap<String, String>) {
         .get("trials")
         .and_then(|v| v.parse().ok())
         .unwrap_or(4);
-    let config = Config::new(video, abr, buffer, trace)
-        .with_transport(transport)
-        .with_trials(trials);
-    let mut cache = ContentCache::new();
+    let cache = ContentCache::new();
     eprintln!("streaming {video} with {abr_name}, {buffer}-segment buffer, {trials} trials ...");
-    let agg = run_config(&config, &mut cache);
+    let agg = Experiment::builder()
+        .video(video)
+        .abr(abr)
+        .transport(transport)
+        .buffer(buffer)
+        .trace(trace)
+        .trials(trials)
+        .build()
+        .run(&cache);
     println!("bufRatio   p90  : {:8.2} %", agg.buf_ratio_p90());
     println!("bufRatio   mean : {:8.2} %", agg.buf_ratio_mean());
     println!("bitrate    mean : {:8.0} kbps", agg.bitrate_mean_kbps());
@@ -145,16 +134,20 @@ fn cmd_trace(name: &str, flags: &HashMap<String, String>) {
 fn cmd_survey(flags: &HashMap<String, String>) {
     let trace = trace_by_name(flags.get("trace").map(String::as_str).unwrap_or("3G"));
     let video = video_by_name(flags.get("video").map(String::as_str).unwrap_or("BBB"));
-    let mut cache = ContentCache::new();
+    let cache = ContentCache::new();
     eprintln!("running paired BOLA vs VOXEL sessions + a 54-user synthetic panel ...");
-    let bola = run_config(
-        &Config::new(video, AbrKind::Bola, 1, trace.clone()).with_trials(1),
-        &mut cache,
-    );
-    let voxel = run_config(
-        &Config::new(video, AbrKind::voxel(), 1, trace).with_trials(1),
-        &mut cache,
-    );
+    let run_one = |abr: AbrKind, trace: BandwidthTrace| {
+        Experiment::builder()
+            .video(video)
+            .abr(abr)
+            .buffer(1)
+            .trace(trace)
+            .trials(1)
+            .build()
+            .run(&cache)
+    };
+    let bola = run_one(AbrKind::Bola, trace.clone());
+    let voxel = run_one(AbrKind::voxel(), trace);
     let s = run_survey(&bola.trials[0], &voxel.trials[0], 54, 14);
     println!("{:12} {:>8} {:>8}", "dimension", "BOLA", "VOXEL");
     println!(

@@ -1,0 +1,85 @@
+//! API-redesign safety net: the deprecated `Config` constructor chain and
+//! `Experiment::builder()` must configure byte-identical trials.
+//!
+//! Runs every canonical golden scenario twice — once with a config built
+//! through the legacy shims, once through the builder — and requires the
+//! two JSONL timelines to match byte-for-byte. Any divergence means the
+//! builder is not a faithful replacement and the old goldens would drift.
+
+#![allow(deprecated)]
+
+use voxel::prelude::*;
+use voxel::testkit::digest::{canonical_scenarios, timeline_digest};
+use voxel::testkit::scenario::Inject;
+use voxel::trace::{JsonlSink, SharedBuf};
+
+fn run_with(config: &Config, scenario: &Scenario, seed: u64, content: &mut Content) -> Vec<u8> {
+    let (manifest, video, qoe) = content.get(scenario.video);
+    let buf = SharedBuf::new();
+    let tracer = Tracer::new(0, Box::new(JsonlSink::to_writer(Box::new(buf.clone()))));
+    let faults = (!scenario.faults.is_empty())
+        .then(|| voxel::netem::FaultPlane::new(seed, scenario.faults.clone()));
+    run_instrumented_trial(config, &manifest, &video, &qoe, 0, tracer, faults);
+    buf.contents()
+}
+
+#[test]
+fn builder_and_legacy_configs_produce_identical_timelines() {
+    let mut content = Content::new();
+    for g in canonical_scenarios() {
+        let scenario = Scenario::parse(g.spec).expect(g.spec);
+        let (abr, transport) = system_by_name(&scenario.system).expect("legend system");
+        let trace = scenario.build_trace(g.seed);
+
+        let mut legacy = Config::new(scenario.video, abr, scenario.buffer_segments, trace.clone())
+            .with_transport(transport)
+            .with_trials(scenario.trials)
+            .with_queue(scenario.queue_packets);
+        legacy.debug_stall_skew = scenario.inject == Some(Inject::StallSkew);
+
+        let built = Experiment::builder()
+            .video(scenario.video)
+            .abr(abr)
+            .transport(transport)
+            .buffer(scenario.buffer_segments)
+            .trace(trace)
+            .trials(scenario.trials)
+            .queue(scenario.queue_packets)
+            .debug_stall_skew(scenario.inject == Some(Inject::StallSkew))
+            .build()
+            .into_config();
+
+        let a = run_with(&legacy, &scenario, g.seed, &mut content);
+        let b = run_with(&built, &scenario, g.seed, &mut content);
+        assert!(!a.is_empty(), "{}: legacy run produced no events", g.name);
+        assert_eq!(
+            timeline_digest(&a),
+            timeline_digest(&b),
+            "{}: legacy and builder configs diverged",
+            g.name
+        );
+        assert_eq!(a, b, "{}: timelines differ byte-wise", g.name);
+    }
+}
+
+#[test]
+fn builder_defaults_match_legacy_defaults() {
+    let trace = BandwidthTrace::constant(8.0, 300);
+    let legacy = Config::new(VideoId::Bbb, AbrKind::voxel(), 3, trace.clone());
+    let built = Experiment::builder()
+        .video(VideoId::Bbb)
+        .abr(AbrKind::voxel())
+        .buffer(3)
+        .trace(trace)
+        .build()
+        .into_config();
+    assert_eq!(legacy.video, built.video);
+    assert_eq!(legacy.abr, built.abr);
+    assert_eq!(legacy.transport, built.transport);
+    assert_eq!(legacy.buffer_segments, built.buffer_segments);
+    assert_eq!(legacy.queue_packets, built.queue_packets);
+    assert_eq!(legacy.trials, built.trials);
+    assert_eq!(legacy.selective_retx, built.selective_retx);
+    assert_eq!(legacy.cc, built.cc);
+    assert_eq!(legacy.debug_stall_skew, built.debug_stall_skew);
+}

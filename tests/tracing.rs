@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 use voxel::core::client::{PlayerConfig, TransportMode};
+use voxel::core::experiment::{run_instrumented_trial, AbrKind, Experiment};
 use voxel::core::session::Session;
 use voxel::media::content::VideoId;
 use voxel::media::ladder::QualityLevel;
@@ -13,7 +14,8 @@ use voxel::prep::manifest::Manifest;
 use voxel::trace::{JsonlSink, SharedBuf, Tracer};
 
 /// A lossy VOXEL session (tight queue forces drops on the unreliable
-/// body streams) with a JSONL tracer writing into memory.
+/// body streams) with a JSONL tracer writing into memory, through the
+/// same instrumented-trial entry point the experiment pipeline uses.
 fn run_traced(session_id: u64) -> (voxel::core::TrialResult, Vec<u8>) {
     let video = Video::generate(VideoId::Bbb);
     let qoe = QoeModel::default();
@@ -23,16 +25,16 @@ fn run_traced(session_id: u64) -> (voxel::core::TrialResult, Vec<u8>) {
         session_id,
         Box::new(JsonlSink::to_writer(Box::new(buf.clone()))),
     );
-    let session = Session::new(
-        PathConfig::new(BandwidthTrace::constant(3.0, 600), 32),
-        manifest,
-        Arc::new(video),
-        qoe,
-        Box::new(voxel::abr::AbrStar::default()),
-        PlayerConfig::new(3, TransportMode::Split),
-    )
-    .with_tracer(tracer);
-    let r = session.run();
+    let config = Experiment::builder()
+        .video(VideoId::Bbb)
+        .abr(AbrKind::voxel())
+        .transport(TransportMode::Split)
+        .buffer(3)
+        .trace(BandwidthTrace::constant(3.0, 600))
+        .queue(32)
+        .build()
+        .into_config();
+    let r = run_instrumented_trial(&config, &manifest, &Arc::new(video), &qoe, 0, tracer, None);
     (r, buf.contents())
 }
 
