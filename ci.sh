@@ -28,8 +28,11 @@ VOXEL_TESTKIT_FAULT=stall_off_by_one cargo run -q --release -p voxel-bench --bin
 echo "==> perf: criterion smoke (fleet scaling / rangeset / session loop)"
 VOXEL_BENCH_FAST=1 cargo bench -q -p voxel-bench --bench fleet
 
-echo "==> perf: BENCH_5.json shape check"
-cargo run -q --release -p voxel-bench --bin check_bench5
+echo "==> perf: BENCH_5.json shape check + regression compare (>15% below history median fails)"
+cargo run -q --release -p voxel-bench --bin check_bench5 -- --compare
+
+echo "==> perf: profiler overhead guard (obs_ab, <5% on the session event loop)"
+cargo run -q --release -p voxel-bench --bin obs_ab
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -3,11 +3,15 @@
 //! Checks that the snapshot the conformance runner emits is well-formed:
 //! the v1 schema marker, a fleet-scaling series covering exactly
 //! 1/2/4/8/16 sessions with positive event-loop rates, and positive
-//! RangeSet / session-loop throughputs. Run by `ci.sh` after the
-//! conformance step.
+//! RangeSet / session-loop throughputs. With `--compare`, additionally
+//! diffs the snapshot's per-workload rates against the medians of
+//! `BENCH_HISTORY.jsonl` (appended by every conformance run) and fails
+//! when any workload regressed by more than 15%, naming the culprit.
+//! Run by `ci.sh` after the conformance step.
 //!
 //! ```sh
-//! cargo run --release -p voxel-bench --bin check_bench5 [path]
+//! cargo run --release -p voxel-bench --bin check_bench5 -- \
+//!     [snapshot.json] [--compare [history.jsonl]]
 //! ```
 
 use std::process::ExitCode;
@@ -73,13 +77,122 @@ fn check(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// A workload regresses when its rate drops more than this far below the
+/// history median.
+const REGRESSION_PCT: f64 = 15.0;
+
+/// The per-workload rates of a `BENCH_5.json` snapshot, named the same
+/// way as `Bench5::workloads` / the history records.
+fn snapshot_workloads(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    let mut in_scaling = false;
+    for line in text.lines() {
+        if line.contains("\"fleet_scaling\"") {
+            in_scaling = true;
+            continue;
+        }
+        if in_scaling {
+            if line.trim_start().starts_with(']') {
+                in_scaling = false;
+                continue;
+            }
+            let n = field(line, "sessions").ok_or_else(|| format!("bad point: {line}"))?;
+            let steps = field(line, "steps_per_sec")
+                .ok_or_else(|| format!("point missing steps_per_sec: {line}"))?;
+            out.push((format!("fleet{}", n as usize), steps));
+        }
+    }
+    for key in ["rangeset", "session_loop"] {
+        let line = text
+            .lines()
+            .find(|l| l.contains(&format!("\"{key}\"")))
+            .ok_or_else(|| format!("missing {key} entry"))?;
+        let rate =
+            field(line, "ops_per_sec").ok_or_else(|| format!("{key} missing ops_per_sec"))?;
+        out.push((key.to_string(), rate));
+    }
+    Ok(out)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// Diff `current` against the per-workload medians of `history` (JSONL,
+/// one record per past run). Returns the per-workload report lines, or
+/// an error naming every workload that regressed past the threshold.
+fn compare(current: &[(String, f64)], history: &str) -> Result<Vec<String>, String> {
+    let records: Vec<&str> = history.lines().filter(|l| !l.trim().is_empty()).collect();
+    if records.is_empty() {
+        return Ok(vec!["history empty: nothing to compare against".into()]);
+    }
+    let mut report = Vec::new();
+    let mut culprits = Vec::new();
+    for (name, cur) in current {
+        let past: Vec<f64> = records
+            .iter()
+            .filter_map(|l| field(l, name))
+            .filter(|v| *v > 0.0)
+            .collect();
+        if past.is_empty() {
+            report.push(format!("{name:<14} {cur:>12.1}   (no history)"));
+            continue;
+        }
+        let runs = past.len();
+        let med = median(past);
+        let delta_pct = 100.0 * (cur - med) / med;
+        report.push(format!(
+            "{name:<14} {cur:>12.1} vs median {med:>12.1} ({delta_pct:>+6.1}%, {runs} run(s))"
+        ));
+        if delta_pct < -REGRESSION_PCT {
+            culprits.push(format!(
+                "{name} regressed {:.1}% ({cur:.1} vs median {med:.1})",
+                -delta_pct
+            ));
+        }
+    }
+    if culprits.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!(
+            "perf regression past the {REGRESSION_PCT}% threshold:\n  {}",
+            culprits.join("\n  ")
+        ))
+    }
+}
+
+fn repo_file(name: &str) -> String {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
 fn main() -> ExitCode {
-    let path = std::env::args().nth(1).unwrap_or_else(|| {
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../../BENCH_5.json")
-            .to_string_lossy()
-            .into_owned()
-    });
+    let mut snapshot_path = None;
+    let mut do_compare = false;
+    let mut history_path = None;
+    for a in std::env::args().skip(1) {
+        if a == "--compare" {
+            do_compare = true;
+        } else if !do_compare && snapshot_path.is_none() {
+            snapshot_path = Some(a);
+        } else if do_compare && history_path.is_none() {
+            history_path = Some(a);
+        } else {
+            eprintln!("check_bench5: unexpected argument {a:?}");
+            eprintln!("usage: check_bench5 [snapshot.json] [--compare [history.jsonl]]");
+            return ExitCode::FAILURE;
+        }
+    }
+    let path = snapshot_path.unwrap_or_else(|| repo_file("BENCH_5.json"));
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -89,8 +202,30 @@ fn main() -> ExitCode {
         }
     };
     match check(&text) {
-        Ok(()) => {
-            println!("# BENCH_5.json: ok ({path})");
+        Ok(()) => println!("# BENCH_5.json: ok ({path})"),
+        Err(e) => {
+            eprintln!("check_bench5: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if !do_compare {
+        return ExitCode::SUCCESS;
+    }
+    let hpath = history_path.unwrap_or_else(|| repo_file("BENCH_HISTORY.jsonl"));
+    let history = std::fs::read_to_string(&hpath).unwrap_or_default();
+    let current = match snapshot_workloads(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("check_bench5: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match compare(&current, &history) {
+        Ok(report) => {
+            println!("# compare vs {hpath}:");
+            for line in report {
+                println!("#   {line}");
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -135,5 +270,71 @@ mod tests {
         assert!(check(&b.to_json()).is_err());
         let j = sample().to_json().replace("voxel-bench5-v1", "v0");
         assert!(check(&j).is_err());
+    }
+
+    #[test]
+    fn snapshot_workloads_match_the_bench5_naming() {
+        let b = sample();
+        let from_json = snapshot_workloads(&b.to_json()).expect("workloads parse");
+        assert_eq!(from_json, b.workloads());
+        let names: Vec<&str> = from_json.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"fleet16"), "{names:?}");
+        assert!(names.contains(&"session_loop"), "{names:?}");
+    }
+
+    #[test]
+    fn compare_passes_on_the_unchanged_baseline() {
+        let b = sample();
+        let history = format!(
+            "{}\n{}\n{}\n",
+            b.history_line(),
+            b.history_line(),
+            b.history_line()
+        );
+        let report = compare(&b.workloads(), &history).expect("no regression");
+        assert!(report.iter().all(|l| l.contains("+0.0%")), "{report:?}");
+    }
+
+    #[test]
+    fn compare_flags_a_20pct_regression_and_names_the_culprit() {
+        let b = sample();
+        let history = format!(
+            "{}\n{}\n{}\n",
+            b.history_line(),
+            b.history_line(),
+            b.history_line()
+        );
+        let mut slow = b.workloads();
+        let row = slow
+            .iter_mut()
+            .find(|(n, _)| n == "session_loop")
+            .expect("workload present");
+        row.1 *= 0.8; // synthetic 20% regression
+        let err = compare(&slow, &history).expect_err("20% > 15% threshold");
+        assert!(err.contains("session_loop"), "culprit unnamed: {err}");
+        assert!(err.contains("regressed 20.0%"), "{err}");
+        assert!(
+            !err.contains("fleet"),
+            "innocent workloads dragged in: {err}"
+        );
+    }
+
+    #[test]
+    fn compare_tolerates_sub_threshold_noise_and_missing_history() {
+        let b = sample();
+        let history = format!("{}\n", b.history_line());
+        let mut noisy = b.workloads();
+        for row in &mut noisy {
+            row.1 *= 0.9; // 10% down: inside the 15% budget
+        }
+        assert!(compare(&noisy, &history).is_ok());
+        // Empty history: nothing to diff, pass with a note.
+        let report = compare(&b.workloads(), "").expect("empty history passes");
+        assert!(report[0].contains("history empty"), "{report:?}");
+        // A median over mixed history uses every record: one half-speed
+        // outlier run cannot fail a current snapshot matching the rest.
+        let slower = history.replace("100000.0", "50000.0");
+        let mixed = format!("{history}{history}{slower}");
+        assert!(compare(&b.workloads(), &mixed).is_ok());
     }
 }

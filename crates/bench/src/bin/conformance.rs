@@ -57,6 +57,9 @@ fn print_failures(report: &SweepReport) {
             println!("  minimized to {}", r.triple());
             println!("  repro:\n{}", r.test_source());
         }
+        if let Some(p) = &f.postmortem {
+            println!("{p}");
+        }
     }
 }
 
@@ -107,13 +110,16 @@ fn run_conformance() -> Result<bool, String> {
     let mut fleets_ok = true;
     for g in voxel_testkit::canonical_fleets() {
         let started = Instant::now();
-        let (timeline, failures) = voxel_testkit::run_fleet_golden(&g, &content)?;
-        if !failures.is_empty() {
-            println!("FAIL fleet {}: {failures:?}", g.name);
+        let run = voxel_testkit::run_fleet_golden(&g, &content)?;
+        if !run.failures.is_empty() {
+            println!("FAIL fleet {}: {:?}", g.name, run.failures);
+            if let Some(p) = &run.postmortem {
+                println!("{p}");
+            }
             fleets_ok = false;
             continue;
         }
-        match check_or_bless(&golden_dir, &g, &timeline) {
+        match check_or_bless(&golden_dir, &g, &run.timeline) {
             Ok(GoldenStatus::Matched) => println!(
                 "# fleet {}: ok ({:.1}s)",
                 g.name,
@@ -134,6 +140,18 @@ fn run_conformance() -> Result<bool, String> {
     std::fs::write(&bench5_path, bench5.to_json())
         .map_err(|e| format!("writing {}: {e}", bench5_path.display()))?;
     println!("# perf baseline written to {}", bench5_path.display());
+    // Append this run's rates to the history so `check_bench5 --compare`
+    // has medians to diff future snapshots against.
+    let history_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_HISTORY.jsonl");
+    use std::io::Write as _;
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history_path)
+        .and_then(|mut f| writeln!(f, "{}", bench5.history_line()))
+        .map_err(|e| format!("appending {}: {e}", history_path.display()))?;
+    println!("# perf history appended to {}", history_path.display());
     for p in &bench5.fleet_scaling {
         println!(
             "#   {:>2} sessions: {:>8.0} steps/s ({:.0} ms wall, jain {:.3})",

@@ -1,0 +1,185 @@
+//! Hot-path profiling harness (DESIGN.md §13).
+//!
+//! Runs one scenario or one fleet spec with the `voxel-obs` sampling
+//! profiler armed and prints the per-layer / per-session time and
+//! allocation breakdown (flat + top-down tree), followed by a
+//! reconciliation line checking that the scaled span totals explain the
+//! measured wall time of the run.
+//!
+//! ```sh
+//! cargo run --release -p voxel-bench --bin dbg_profile -- \
+//!     --fleet BBB:4xVOXEL+2xBOLA+2xBETA:const6:buf3:q64:d300:drr:stg2
+//! cargo run --release -p voxel-bench --bin dbg_profile -- \
+//!     --scenario ToS:VOXEL:tmobile:buf1 --seed 3
+//! Options: --sample N (profile 1-in-N loop iterations, default 1)
+//!          --check    (exit non-zero unless spans reconcile within ±10%)
+//! ```
+//!
+//! Content preparation and a full warmup run happen *before* the
+//! profiler is installed, so the report covers the event loop alone and
+//! the reconciliation is not diluted by one-time setup.
+
+use std::process::ExitCode;
+use std::time::Instant;
+use voxel_fleet::FleetSpec;
+use voxel_obs::Profiler;
+use voxel_testkit::{run_scenario, Content, Scenario};
+use voxel_trace::Tracer;
+
+/// Span totals must explain this fraction of measured wall time.
+const RECONCILE_TOLERANCE: f64 = 0.10;
+
+struct Args {
+    fleet: Option<String>,
+    scenario: Option<String>,
+    seed: u64,
+    sample: u64,
+    check: bool,
+}
+
+fn usage() -> String {
+    "usage: dbg_profile (--fleet <spec> | --scenario <spec>) \
+     [--seed N] [--sample N] [--check]"
+        .into()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        fleet: None,
+        scenario: None,
+        seed: 1,
+        sample: 1,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match a.as_str() {
+            "--fleet" => args.fleet = Some(value("--fleet")?),
+            "--scenario" => args.scenario = Some(value("--scenario")?),
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--sample" => {
+                args.sample = value("--sample")?
+                    .parse()
+                    .map_err(|e| format!("bad --sample: {e}"))?
+            }
+            "--check" => args.check = true,
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    if args.fleet.is_some() == args.scenario.is_some() {
+        return Err(format!(
+            "pick exactly one of --fleet/--scenario\n{}",
+            usage()
+        ));
+    }
+    Ok(args)
+}
+
+/// Run the workload once (untimed warmup: JIT-free Rust, but this
+/// prepares the content cache and faults the working set in), then once
+/// with the profiler installed. Returns the measured wall time of the
+/// profiled run.
+fn profile_run(args: &Args, profiler: &Profiler) -> Result<f64, String> {
+    if let Some(spec) = &args.fleet {
+        let spec = FleetSpec::parse(spec)?;
+        let content = Content::new();
+        voxel_fleet::run_fleet(&spec, content.cache(), Tracer::disabled())?;
+        let t0 = Instant::now();
+        let result = {
+            let _g = profiler.install();
+            voxel_fleet::run_fleet(&spec, content.cache(), Tracer::disabled())?
+        };
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "# fleet {}: {} sessions, sim end {:.1}s, jain {:.3}, {} loop iters",
+            result.spec,
+            result.sessions.len(),
+            result.end_s,
+            result.jain,
+            result.loop_iters,
+        );
+        Ok(wall)
+    } else {
+        let spec = args.scenario.as_deref().expect("mode checked in parse");
+        let scenario = Scenario::parse(spec)?;
+        let mut content = Content::new();
+        run_scenario(&scenario, args.seed, &mut content)?;
+        let t0 = Instant::now();
+        let run = {
+            let _g = profiler.install();
+            run_scenario(&scenario, args.seed, &mut content)?
+        };
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "# scenario {} seed {}: {} trial(s), oracles {}",
+            run.spec,
+            run.seed,
+            run.trials.len(),
+            if run.ok() { "passed" } else { "FAILED" },
+        );
+        for f in &run.failures {
+            println!("#   oracle: {f}");
+        }
+        Ok(wall)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("dbg_profile: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let profiler = Profiler::with_sample(args.sample);
+    let wall_s = match profile_run(&args, &profiler) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("dbg_profile: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match profiler.report() {
+        Some(r) => r,
+        None => {
+            eprintln!("dbg_profile: no profile collected (profiler never installed?)");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!();
+    print!("{}", report.render());
+
+    // Reconciliation: the scaled span totals must explain the measured
+    // wall time of the profiled run. Spans sit inside the event loop, so
+    // they can only undershoot wall time (setup/teardown around the
+    // loop); a large gap means uninstrumented hot code.
+    let spans_s = report.total_ns() as f64 / 1e9;
+    let ratio = if wall_s > 0.0 { spans_s / wall_s } else { 0.0 };
+    println!(
+        "\nreconcile: spans {:.1} ms vs wall {:.1} ms ({:.1}%)",
+        spans_s * 1e3,
+        wall_s * 1e3,
+        100.0 * ratio,
+    );
+    let within = (1.0 - ratio).abs() <= RECONCILE_TOLERANCE;
+    if !within {
+        println!(
+            "reconcile: spans outside ±{:.0}% of wall — uninstrumented hot code \
+             or sampling too coarse (try --sample 1)",
+            100.0 * RECONCILE_TOLERANCE,
+        );
+    }
+    if args.check && !within {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

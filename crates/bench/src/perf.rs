@@ -167,6 +167,30 @@ pub fn collect(cache: &ContentCache) -> Result<Bench5, String> {
 }
 
 impl Bench5 {
+    /// Named workload → rate pairs (higher is better): the unit of
+    /// perf-regression comparison in `check_bench5 --compare`.
+    pub fn workloads(&self) -> Vec<(String, f64)> {
+        let mut w: Vec<(String, f64)> = self
+            .fleet_scaling
+            .iter()
+            .map(|p| (format!("fleet{}", p.sessions), p.steps_per_sec))
+            .collect();
+        w.push(("rangeset".into(), self.rangeset.ops_per_sec));
+        w.push(("session_loop".into(), self.session_loop.ops_per_sec));
+        w
+    }
+
+    /// One `BENCH_HISTORY.jsonl` record: this snapshot's workload rates,
+    /// appended by the conformance runner after every green run.
+    pub fn history_line(&self) -> String {
+        let fields: Vec<String> = self
+            .workloads()
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v:.1}"))
+            .collect();
+        format!("{{\"schema\": \"voxel-bench5-v1\", {}}}", fields.join(", "))
+    }
+
     /// Hand-rolled JSON (the workspace vendors no serde).
     pub fn to_json(&self) -> String {
         let mut s = String::new();
@@ -250,5 +274,27 @@ mod tests {
         assert!(j.contains("\"schema\": \"voxel-bench5-v1\""));
         assert!(j.contains("\"sessions\": 1"));
         assert!(j.contains("\"ops_per_sec\": 2048000.0"));
+    }
+
+    #[test]
+    fn history_line_names_every_workload() {
+        let b = Bench5 {
+            fleet_scaling: vec![FleetPoint {
+                sessions: 8,
+                wall_ms: 10.0,
+                loop_iters: 100,
+                steps_per_sec: 10_000.0,
+                sim_end_s: 60.0,
+                jain: 1.0,
+            }],
+            rangeset: OpsPoint::new(2048, 1.0),
+            session_loop: OpsPoint::new(100, 10.0),
+        };
+        let line = b.history_line();
+        assert!(!line.contains('\n'), "one JSONL record per snapshot");
+        assert!(line.contains("\"fleet8\": 10000.0"), "{line}");
+        assert!(line.contains("\"rangeset\": 2048000.0"), "{line}");
+        assert!(line.contains("\"session_loop\": 10000.0"), "{line}");
+        assert_eq!(b.workloads().len(), 3);
     }
 }

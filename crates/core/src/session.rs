@@ -166,6 +166,12 @@ impl Session {
         loop {
             let now = self.queue.now();
             iters += 1;
+            // Profiler sampling gate: free unless a voxel-obs profiler is
+            // installed on this thread, and even then only 1-in-N
+            // iterations take clock readings (which never touch sim state).
+            voxel_obs::arm(iters);
+            let _step = voxel_obs::span!("session.step");
+            voxel_obs::observe("obs.queue_depth", self.queue.len() as u64);
             if iters.is_multiple_of(10_000) {
                 let (seg, dl, recs) = self.client.debug_state();
                 let stats = self.server_conn.stats();
@@ -187,10 +193,18 @@ impl Session {
                 );
             }
             // Application pumps.
-            self.server.handle(now, &mut self.server_conn);
-            self.client.on_wake(now, &mut self.client_conn);
+            {
+                let _pump = voxel_obs::span!("session.pump");
+                self.server.handle(now, &mut self.server_conn);
+                self.client.on_wake(now, &mut self.client_conn);
+            }
             #[cfg(feature = "paranoid")]
             if let Err(e) = self.client.check_invariants(now) {
+                if let Some(dump) =
+                    voxel_obs::dump_current(&format!("player invariant violated at {now:?}: {e}"))
+                {
+                    eprintln!("{dump}");
+                }
                 // lint: allow(panic) the paranoid layer is intentionally fatal on corruption
                 panic!("player invariant violated at {now:?}: {e}");
             }
@@ -199,6 +213,7 @@ impl Session {
             }
 
             // Drain transmissions until neither side has anything to send.
+            let _transmit = voxel_obs::span!("session.transmit");
             loop {
                 let mut progressed = false;
                 while let Some(p) = self.server_conn.poll_transmit(now) {
@@ -254,6 +269,7 @@ impl Session {
                     break;
                 }
             }
+            drop(_transmit);
 
             // Keep exactly one player tick armed ~100 ms out.
             if last_tick <= now {
@@ -284,6 +300,7 @@ impl Session {
             }
 
             // Deliver everything due at `next`.
+            let _deliver = voxel_obs::span!("session.deliver");
             if timer_c.is_some_and(|t| t <= next) {
                 // Advance queue time via a synthetic tick if needed.
                 self.client_conn.on_timeout(next);

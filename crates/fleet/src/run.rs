@@ -214,12 +214,21 @@ fn run_plan(plan: Plan, cache: &ContentCache, tracer: Tracer) -> FleetResult {
     let end = loop {
         let now = queue.now();
         iters += 1;
+        // Profiler sampling gate: free unless a voxel-obs profiler is
+        // installed on this thread; clock readings stay quarantined in the
+        // profile and never reach sim state.
+        voxel_obs::arm(iters);
+        let _step = voxel_obs::span!("fleet.step");
+        voxel_obs::observe("obs.queue_depth", queue.len() as u64);
+        voxel_obs::observe("obs.link_queue", link.queue_len() as u64);
 
         // Application pumps, in flow order.
+        let _pump = voxel_obs::span!("fleet.pump");
         for (i, ep) in endpoints.iter_mut().enumerate() {
             if !ep.live(now) {
                 continue;
             }
+            let _session = voxel_obs::span!("fleet.session", i);
             ep.server.handle(now, &mut ep.server_conn);
             let Some(client) = ep.client.as_mut() else {
                 continue;
@@ -227,6 +236,11 @@ fn run_plan(plan: Plan, cache: &ContentCache, tracer: Tracer) -> FleetResult {
             client.on_wake(now, &mut ep.client_conn);
             #[cfg(feature = "paranoid")]
             if let Err(e) = client.check_invariants(now) {
+                if let Some(dump) = voxel_obs::dump_current(&format!(
+                    "fleet member {i} invariant violated at {now:?}: {e}"
+                )) {
+                    eprintln!("{dump}");
+                }
                 // lint: allow(panic) the paranoid layer is intentionally fatal on corruption
                 panic!("fleet member {i} invariant violated at {now:?}: {e}");
             }
@@ -234,11 +248,13 @@ fn run_plan(plan: Plan, cache: &ContentCache, tracer: Tracer) -> FleetResult {
                 finalize(ep, i, now, &tracer);
             }
         }
+        drop(_pump);
         if endpoints.iter().all(|ep| ep.result.is_some()) {
             break now;
         }
 
         // Drain transmissions until no endpoint has anything to send.
+        let _transmit = voxel_obs::span!("fleet.transmit");
         loop {
             let mut progressed = false;
             for (i, ep) in endpoints.iter_mut().enumerate() {
@@ -261,6 +277,7 @@ fn run_plan(plan: Plan, cache: &ContentCache, tracer: Tracer) -> FleetResult {
                 break;
             }
         }
+        drop(_transmit);
 
         // Arm the link's next service completion.
         if let Some(done) = link.next_departure() {
@@ -318,6 +335,7 @@ fn run_plan(plan: Plan, cache: &ContentCache, tracer: Tracer) -> FleetResult {
         }
 
         // Fire transport timers due at (or before) `next`.
+        let _deliver = voxel_obs::span!("fleet.deliver");
         for ep in endpoints.iter_mut() {
             if ep.result.is_some() {
                 continue;

@@ -26,8 +26,8 @@ use std::path::{Path, PathBuf};
 /// `bytes`, `rand`, `proptest`, `criterion` — are third-party idiom and
 /// exempt).
 pub const FIRST_PARTY: &[&str] = &[
-    "sim", "trace", "media", "prep", "netem", "quic", "http", "abr", "core", "fleet", "bench",
-    "lint", "testkit",
+    "sim", "trace", "obs", "media", "prep", "netem", "quic", "http", "abr", "core", "fleet",
+    "bench", "lint", "testkit",
 ];
 
 /// Run the full lint pass over the workspace rooted at `root`.

@@ -159,7 +159,10 @@ pub fn extract(f: &SourceFile) -> Vec<Emission> {
     }
     // tracer.count("name", ...) / tracer.observe("name", ...) — rustfmt
     // may break the line after the paren, so skip whitespace to the quote.
-    for pat in [".count(", ".observe("] {
+    // `::observe(` catches the profiler's free-function gauges
+    // (`voxel_obs::observe("obs.queue_depth", ..)`) and `.set_counter(`
+    // the snapshot-time injections (`snap.set_counter("trace.dropped", ..)`).
+    for pat in [".count(", ".observe(", "::observe(", ".set_counter("] {
         let mut start = 0;
         while let Some(pos) = text[start..].find(pat) {
             let abs = start + pos;
@@ -320,6 +323,21 @@ mod tests {
         assert_eq!(em.len(), 1);
         assert_eq!(em[0].metric, Some("fleet.session_stall_ms".to_string()));
         assert_eq!(em[0].line, 3);
+    }
+
+    #[test]
+    fn extracts_obs_free_functions_and_snapshot_injections() {
+        let src = "fn f(snap: &mut MetricsSnapshot) {\n    voxel_obs::observe(\"obs.queue_depth\", 3);\n    snap.set_counter(\"trace.dropped\", 7);\n}\n";
+        let f = SourceFile::parse("crates/fleet/src/x.rs", "fleet", src);
+        let metrics: Vec<String> = extract(&f).into_iter().filter_map(|e| e.metric).collect();
+        assert!(
+            metrics.contains(&"obs.queue_depth".to_string()),
+            "{metrics:?}"
+        );
+        assert!(
+            metrics.contains(&"trace.dropped".to_string()),
+            "{metrics:?}"
+        );
     }
 
     #[test]

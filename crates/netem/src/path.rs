@@ -109,6 +109,7 @@ impl BottleneckPath {
     /// Returns the client-side arrival time, or `None` if the droptail queue
     /// was full.
     pub fn send_downlink(&mut self, now: SimTime, bytes: usize) -> Option<SimTime> {
+        let _obs = voxel_obs::span!("netem.send_downlink");
         let qlen = self.queue_len(now);
         if qlen >= self.config.queue_packets {
             self.stats.dropped += 1;

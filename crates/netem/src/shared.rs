@@ -167,6 +167,7 @@ impl SharedLink {
     /// The driver must have popped all departures due at or before `now`
     /// first, so occupancy reflects the link state at `now`.
     pub fn enqueue(&mut self, now: SimTime, flow: usize, bytes: usize) -> bool {
+        let _obs = voxel_obs::span!("netem.enqueue");
         if self.queue_len() >= self.config.queue_packets {
             self.stats[flow].dropped += 1;
             return false;
@@ -190,6 +191,7 @@ impl SharedLink {
     /// packet's service back-to-back at each completion instant
     /// (work-conserving).
     pub fn pop_due(&mut self, now: SimTime) -> Vec<Departure> {
+        let _obs = voxel_obs::span!("netem.pop_due");
         let mut out = Vec::new();
         while let Some(dep) = self.in_service {
             if dep.at > now {

@@ -286,6 +286,7 @@ impl Connection {
 
     /// Process an incoming datagram.
     pub fn on_datagram(&mut self, now: SimTime, data: Bytes) {
+        let _obs = voxel_obs::span!("quic.on_datagram");
         let Some(packet) = Packet::decode(data) else {
             return; // malformed: drop, as a real endpoint would
         };
@@ -542,6 +543,7 @@ impl Connection {
     /// Produce the next outgoing packet, or `None` if there is nothing to
     /// send right now (congestion-blocked, flow-blocked, or idle).
     pub fn poll_transmit(&mut self, now: SimTime) -> Option<Packet> {
+        let _obs = voxel_obs::span!("quic.poll_transmit");
         self.debug_invariants();
         if self.closed {
             return None;
@@ -702,6 +704,7 @@ impl Connection {
 
     /// Handle an expired timer.
     pub fn on_timeout(&mut self, now: SimTime) {
+        let _obs = voxel_obs::span!("quic.on_timeout");
         // Delayed-ACK deadline: nothing to do here — poll_transmit emits the
         // ACK because `should_ack(now)` is true.
         if self

@@ -10,6 +10,7 @@
 use crate::digest::GoldenScenario;
 use crate::runner::Content;
 use voxel_fleet::{run_fleet, FleetResult, FleetSpec};
+use voxel_obs::FlightRecorder;
 use voxel_trace::{JsonlSink, SharedBuf, Tracer};
 
 /// Homogeneous fleets must land at least this fair (Jain index) — CUBIC
@@ -95,16 +96,40 @@ pub fn fleet_invariants(spec: &FleetSpec, r: &FleetResult) -> Vec<String> {
     v
 }
 
-/// Run one golden fleet and return (timeline, oracle violations).
-pub fn run_fleet_golden(
-    g: &GoldenScenario,
-    content: &Content,
-) -> Result<(Vec<u8>, Vec<String>), String> {
+/// One executed golden fleet: its timeline, oracle verdict, and — when
+/// an oracle fired — the flight-recorder postmortem of the run's tail.
+pub struct FleetGoldenRun {
+    /// The raw JSONL timeline (what the digest is taken over).
+    pub timeline: Vec<u8>,
+    /// Cross-session oracle violations (empty = passed).
+    pub failures: Vec<String>,
+    /// Last-events dump, present exactly when `failures` is non-empty.
+    pub postmortem: Option<String>,
+}
+
+/// Run one golden fleet, its sink teed through a flight recorder.
+pub fn run_fleet_golden(g: &GoldenScenario, content: &Content) -> Result<FleetGoldenRun, String> {
     let spec = FleetSpec::parse(g.spec)?;
     let buf = SharedBuf::new();
-    let tracer = Tracer::new(0, Box::new(JsonlSink::to_writer(Box::new(buf.clone()))));
-    let result = run_fleet(&spec, content.cache(), tracer)?;
-    Ok((buf.contents(), fleet_invariants(&spec, &result)))
+    let recorder = FlightRecorder::new(
+        format!("fleet={} spec={}", g.name, g.spec),
+        voxel_obs::DEFAULT_CAPACITY,
+    );
+    let tracer = Tracer::new(
+        0,
+        Box::new(recorder.wrap(Box::new(JsonlSink::to_writer(Box::new(buf.clone()))))),
+    );
+    let result = {
+        let _bound = voxel_obs::install_recorder(&recorder);
+        run_fleet(&spec, content.cache(), tracer)?
+    };
+    let failures = fleet_invariants(&spec, &result);
+    let postmortem = failures.first().map(|first| recorder.postmortem(first));
+    Ok(FleetGoldenRun {
+        timeline: buf.contents(),
+        failures,
+        postmortem,
+    })
 }
 
 #[cfg(test)]

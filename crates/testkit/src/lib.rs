@@ -40,7 +40,7 @@ pub mod sweep;
 pub use digest::{
     check_or_bless, fnv64, run_golden, timeline_digest, GoldenScenario, GoldenStatus,
 };
-pub use fleet::{canonical_fleets, fleet_invariants, run_fleet_golden};
+pub use fleet::{canonical_fleets, fleet_invariants, run_fleet_golden, FleetGoldenRun};
 pub use oracle::Bounds;
 pub use runner::{run_scenario, Content, ScenarioRun, TrialRun};
 pub use scenario::{

@@ -6,6 +6,13 @@
 //! with a JSONL tracer writing into memory and the scenario's fault plane
 //! armed. All oracles run against each trial; violations accumulate on
 //! the returned [`ScenarioRun`].
+//!
+//! Every trial's sink is teed through a [`FlightRecorder`]
+//! (DESIGN.md §13): when an oracle fires, the trial's last events are
+//! rendered into a pasteable postmortem on
+//! [`ScenarioRun::postmortems`], and the recorder is installed on the
+//! running thread so `paranoid` audits deep in the event loop dump the
+//! same context before panicking.
 
 use crate::oracle::{self, Bounds};
 use crate::scenario::{system_by_name, Inject, Scenario};
@@ -16,6 +23,7 @@ use voxel_media::content::VideoId;
 use voxel_media::qoe::QoeModel;
 use voxel_media::video::Video;
 use voxel_netem::FaultPlane;
+use voxel_obs::FlightRecorder;
 use voxel_prep::manifest::Manifest;
 use voxel_trace::{JsonlSink, SharedBuf, Tracer};
 
@@ -74,6 +82,10 @@ pub struct ScenarioRun {
     pub trials: Vec<TrialRun>,
     /// Oracle violations, each prefixed with the offending trial.
     pub failures: Vec<String>,
+    /// Flight-recorder postmortems, one per failing trial: the last
+    /// ring-buffered events plus profiler state at the moment the
+    /// oracles fired (empty when every trial passed).
+    pub postmortems: Vec<String>,
 }
 
 impl ScenarioRun {
@@ -119,25 +131,40 @@ pub fn run_scenario(
         seed,
         trials: Vec::with_capacity(n),
         failures: Vec::new(),
+        postmortems: Vec::new(),
     };
     for i in 0..n {
         let shift = i * d / n;
         let buf = SharedBuf::new();
+        // Tee the JSONL sink through a flight recorder so a failing trial
+        // can replay its final events without re-running anything.
+        let recorder = FlightRecorder::new(
+            format!("spec={} seed={seed} trial={i} shift={shift}s", run.spec),
+            voxel_obs::DEFAULT_CAPACITY,
+        );
         let tracer = Tracer::new(
             shift as u64,
-            Box::new(JsonlSink::to_writer(Box::new(buf.clone()))),
+            Box::new(recorder.wrap(Box::new(JsonlSink::to_writer(Box::new(buf.clone()))))),
         );
         // Each trial gets its own plane stream so faults land on its own
         // packet sequence, still fully determined by (seed, trial).
         let faults = (!scenario.faults.is_empty())
             .then(|| FaultPlane::new(seed ^ ((i as u64) << 32), scenario.faults.clone()));
-        let result =
-            run_instrumented_trial(&config, &manifest, &video, &qoe, shift, tracer, faults);
+        let result = {
+            // Bound to the thread for the duration of the trial so
+            // paranoid audits can dump this recorder with no plumbing.
+            let _bound = voxel_obs::install_recorder(&recorder);
+            run_instrumented_trial(&config, &manifest, &video, &qoe, shift, tracer, faults)
+        };
         let timeline = buf.contents();
 
         let mut violations = oracle::trial_invariants(&result);
         violations.extend(oracle::timeline_invariants(&timeline, &result));
         violations.extend(bounds.check(&result));
+        if let Some(first) = violations.first() {
+            run.postmortems
+                .push(recorder.postmortem(&format!("trial {i} (shift {shift}s): {first}")));
+        }
         run.failures.extend(
             violations
                 .into_iter()

@@ -102,6 +102,9 @@ pub struct SweepFailure {
     /// The minimized reproduction (when minimization was requested and
     /// converged).
     pub repro: Option<Repro>,
+    /// Flight-recorder postmortem of the first failing trial: the last
+    /// events before the oracle fired, pasteable into a bug report.
+    pub postmortem: Option<String>,
 }
 
 /// Outcome of a sweep.
@@ -152,6 +155,7 @@ pub fn run_sweep(
                 seed,
                 failures: run.failures,
                 repro,
+                postmortem: run.postmortems.into_iter().next(),
             });
         }
     }

@@ -247,6 +247,20 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Insert or overwrite a counter, preserving the by-name sort order.
+    ///
+    /// Used for values that live outside the registry proper — e.g. the
+    /// sink's `trace.dropped` tally, which only exists at snapshot time.
+    pub fn set_counter(&mut self, name: &str, v: u64) {
+        match self
+            .counters
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        {
+            Ok(i) => self.counters[i].1 = v,
+            Err(i) => self.counters.insert(i, (name.to_string(), v)),
+        }
+    }
+
     /// Counter value (0 if absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
@@ -380,6 +394,69 @@ mod tests {
         // [256, 512) — accept the bucket-level approximation.
         let p50 = h.percentile(0.5);
         assert!((256.0..512.0).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn u64_max_saturates_in_the_top_bucket() {
+        let mut h = Histogram::default();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX - 1);
+        h.observe(1u64 << 63);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 1u64 << 63);
+        assert_eq!(h.max(), u64::MAX);
+        // The top bucket's upper bound saturates at u64::MAX rather than
+        // wrapping; every percentile stays inside [min, max].
+        let (lo, hi) = bucket_bounds(64);
+        assert_eq!(lo, 1u64 << 63);
+        assert_eq!(hi, u64::MAX);
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            let q = h.percentile(p);
+            assert!(
+                ((1u64 << 63) as f64..=u64::MAX as f64).contains(&q),
+                "p{p} = {q} escaped [min, max]"
+            );
+        }
+        // Mean over near-MAX samples must not overflow into nonsense.
+        assert!(h.mean() >= (1u64 << 63) as f64);
+        assert!(h.mean() <= u64::MAX as f64);
+    }
+
+    proptest::proptest! {
+        /// For any sample set, `percentile(p)` is monotone non-decreasing
+        /// in `p` and clamped to the observed `[min, max]` — including
+        /// zeros, duplicate-heavy sets, and values up to `u64::MAX`.
+        #[test]
+        fn percentile_is_monotone_and_clamped(
+            samples in proptest::collection::vec((0u64..3, 0u64..=u64::MAX), 1..64),
+            ps in proptest::collection::vec(0.0f64..=1.0, 2..16),
+        ) {
+            let mut h = Histogram::default();
+            for &(class, raw) in &samples {
+                // Mix value classes: tiny counts (incl. zeros), mid-range,
+                // and near-MAX values exercising top-bucket saturation.
+                let v = match class {
+                    0 => raw % 17,
+                    1 => raw % 1_000_000,
+                    _ => u64::MAX - (raw % 1000),
+                };
+                h.observe(v);
+            }
+            let mut ps = ps;
+            ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut prev = f64::NEG_INFINITY;
+            for &p in &ps {
+                let q = h.percentile(p);
+                proptest::prop_assert!(q >= prev, "percentile({p}) = {q} < {prev}");
+                proptest::prop_assert!(
+                    (h.min() as f64..=h.max() as f64).contains(&q),
+                    "percentile({p}) = {q} outside [{}, {}]",
+                    h.min(),
+                    h.max()
+                );
+                prev = q;
+            }
+        }
     }
 
     #[test]

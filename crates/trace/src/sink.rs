@@ -15,6 +15,12 @@ pub trait TraceSink: Send {
     fn record(&mut self, event: &TraceEvent);
     /// Flush any buffered output (end of session).
     fn flush(&mut self) {}
+    /// Events this sink has silently lost (e.g. ring-buffer eviction).
+    /// Surfaced as the `trace.dropped` counter in metrics snapshots so
+    /// truncation is visible in reports. Lossless sinks report 0.
+    fn dropped_events(&self) -> u64 {
+        0
+    }
 }
 
 /// Discards everything — tracing's off-switch with the wiring still in
@@ -76,6 +82,10 @@ impl TraceSink for MemorySink {
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
         buf.push_back(event.clone());
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped()
     }
 }
 
@@ -148,6 +158,16 @@ impl TraceSink for JsonlSink {
     }
 
     fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    /// Flush on drop so aborted or panicked trials keep the tail of the
+    /// timeline. `BufWriter`'s own drop writes its buffer out but does
+    /// *not* flush the underlying writer; a full `flush()` pushes the
+    /// tail all the way through (e.g. a buffered or shared inner writer).
+    fn drop(&mut self) {
         let _ = self.out.flush();
     }
 }
@@ -230,6 +250,30 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(lines[0], event(0).to_json());
         assert_eq!(lines[1], event(1).to_json());
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        let buf = SharedBuf::new();
+        {
+            let mut sink = JsonlSink::to_writer(Box::new(buf.clone()));
+            sink.record(&event(3));
+            // No explicit flush: dropping the sink must not lose the tail.
+        }
+        let text = String::from_utf8(buf.contents()).unwrap();
+        assert_eq!(text, format!("{}\n", event(3).to_json()));
+    }
+
+    #[test]
+    fn dropped_events_defaults_to_zero_and_memory_sink_reports_evictions() {
+        let buf = SharedBuf::new();
+        let jsonl = JsonlSink::to_writer(Box::new(buf));
+        assert_eq!(TraceSink::dropped_events(&jsonl), 0);
+        let (mut sink, _handle) = MemorySink::shared(2);
+        for i in 0..5 {
+            sink.record(&event(i));
+        }
+        assert_eq!(TraceSink::dropped_events(&sink), 3);
     }
 
     #[test]

@@ -139,12 +139,27 @@ impl Tracer {
     }
 
     /// Snapshot the metrics registry at sim time `at` (None when disabled).
+    ///
+    /// The snapshot also surfaces the sink's silently-lost-event tally as
+    /// a `trace.dropped` counter (omitted while zero), so ring-buffer
+    /// truncation in bounded sinks is visible in reports instead of
+    /// quietly shortening timelines.
     pub fn metrics_snapshot(&self, at: SimTime) -> Option<MetricsSnapshot> {
         self.inner.as_ref().map(|i| {
-            i.metrics
+            let mut snap = i
+                .metrics
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .snapshot(at)
+                .snapshot(at);
+            let dropped = i
+                .sink
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .dropped_events();
+            if dropped > 0 {
+                snap.set_counter("trace.dropped", dropped);
+            }
+            snap
         })
     }
 
@@ -204,6 +219,30 @@ mod tests {
         assert_eq!(handle.events()[1].seq, 1, "shared sequence counter");
         let snap = t.metrics_snapshot(SimTime::ZERO).unwrap();
         assert_eq!(snap.counter("n"), 3);
+    }
+
+    #[test]
+    fn snapshot_surfaces_sink_drops_as_trace_dropped() {
+        let (t, _handle) = Tracer::memory(1, 2);
+        for i in 0..5u64 {
+            trace_event!(t, SimTime::from_micros(i), Layer::Session, "tick", "i" = i);
+        }
+        let snap = t.metrics_snapshot(SimTime::ZERO).unwrap();
+        assert_eq!(snap.counter("trace.dropped"), 3);
+        // Sorted invariant survives the injection.
+        let mut names: Vec<&String> = snap.counters.iter().map(|(n, _)| n).collect();
+        let sorted = names.clone();
+        names.sort();
+        assert_eq!(names, sorted);
+
+        // Lossless sinks never grow the counter.
+        let (t, _handle) = Tracer::memory(1, 64);
+        trace_event!(t, SimTime::ZERO, Layer::Session, "tick");
+        let snap = t.metrics_snapshot(SimTime::ZERO).unwrap();
+        assert!(
+            !snap.counters.iter().any(|(n, _)| n == "trace.dropped"),
+            "zero drops stay out of the snapshot"
+        );
     }
 
     #[test]

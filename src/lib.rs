@@ -31,6 +31,7 @@ pub use voxel_fleet as fleet;
 pub use voxel_http as http;
 pub use voxel_media as media;
 pub use voxel_netem as netem;
+pub use voxel_obs as obs;
 pub use voxel_prep as prep;
 pub use voxel_quic as quic;
 pub use voxel_sim as sim;

@@ -10,6 +10,45 @@
 use std::path::Path;
 use voxel::testkit::{check_or_bless, run_golden, Content, GoldenStatus};
 
+/// The profiler must be a pure observer (DESIGN.md §13): arming it at
+/// sample=1 — every span taken, every alloc counted — must not perturb
+/// a single byte of the simulated timeline.
+#[test]
+fn goldens_unchanged_with_profiler_armed() {
+    let mut content = Content::new();
+    for g in voxel::testkit::digest::canonical_scenarios() {
+        let (baseline, failures) = run_golden(&g, &mut content).expect("scenario runs");
+        assert!(
+            failures.is_empty(),
+            "golden {} baseline failed: {failures:?}",
+            g.name
+        );
+
+        let profiler = voxel::obs::Profiler::with_sample(1);
+        let (profiled, failures) = {
+            let _armed = profiler.install();
+            run_golden(&g, &mut content).expect("scenario runs under profiler")
+        };
+        assert!(
+            failures.is_empty(),
+            "golden {} profiled failed: {failures:?}",
+            g.name
+        );
+        assert_eq!(
+            baseline, profiled,
+            "golden {} timeline changed with the profiler armed",
+            g.name
+        );
+
+        let report = profiler.report().expect("armed profiler yields a report");
+        assert!(
+            report.total_ns() > 0,
+            "golden {} recorded no spans at sample=1 — instrumentation is dead",
+            g.name
+        );
+    }
+}
+
 #[test]
 fn canonical_timelines_match_their_golden_digests() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");

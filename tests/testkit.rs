@@ -72,11 +72,23 @@ fn injected_stall_skew_is_caught_and_minimized() {
     assert!(repro.test_source().contains("#[test]"));
     assert!(repro.test_source().contains(&repro.spec));
 
+    // A forced oracle failure must come with a flight-recorder dump: the
+    // last traced events plus the failure reason, ready to paste.
+    let dump = f
+        .postmortem
+        .as_ref()
+        .expect("failing run carries a flight-recorder postmortem");
+    assert!(dump.contains("flight recorder"), "{dump}");
+    assert!(dump.contains("stall accounting drift"), "{dump}");
+    assert!(dump.contains("seed=1"), "{dump}");
+
     // The same scenario without the injection passes every oracle — the
-    // canary fires on the fault, not on the scenario.
+    // canary fires on the fault, not on the scenario — and carries no
+    // postmortem.
     let clean = Scenario::parse("ToS:BOLA:tmobile:buf1").expect("spec parses");
     let run = run_scenario(&clean, 1, &mut content).expect("scenario runs");
     assert!(run.ok(), "clean scenario failed: {:?}", run.failures);
+    assert!(run.postmortems.is_empty());
 }
 
 #[test]
