@@ -10,8 +10,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> voxel-lint (static invariant pass, DESIGN.md §10)"
-cargo run -q --release -p voxel-lint
+echo "==> voxel-lint (static invariant pass, DESIGN.md §10; wall-time guard 10s; JSON -> results/lint.json)"
+mkdir -p results
+cargo run -q --release -p voxel-lint -- --json results/lint.json --max-seconds 10
+
+echo "==> voxel-lint api-baseline (pub-surface diff vs lint/api-baseline.txt)"
+cargo run -q --release -p voxel-lint -- --only api
 
 echo "==> cargo test -q -p voxel-lint -p voxel-quic (lint self-tests + property tests)"
 cargo test -q -p voxel-lint -p voxel-quic

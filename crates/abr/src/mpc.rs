@@ -44,11 +44,11 @@ impl Default for Mpc {
 /// Buffer discretization for the memo table (0.25 s buckets).
 const BUCKET_S: f64 = 0.25;
 
+// lint: allow(nondeterministic-map) the whole impl is the memoized DP: HashMap is key-lookup only, never iterated
 impl Mpc {
     fn plan(&self, ctx: &AbrContext<'_>, predicted_bps: f64) -> QualityLevel {
         let last = ctx.last_level.unwrap_or(QualityLevel::MIN);
         let num_segments = ctx.manifest.num_segments();
-        // lint: allow(nondeterministic-map) memo table — key lookup only, never iterated
         let mut memo: HashMap<(usize, usize, i64), (f64, usize)> = HashMap::new();
         let (_, first) = self.search(
             ctx,
@@ -72,7 +72,6 @@ impl Mpc {
         prev_level: usize,
         buffer_s: f64,
         num_segments: usize,
-        // lint: allow(nondeterministic-map) memo table — key lookup only, never iterated
         memo: &mut HashMap<(usize, usize, i64), (f64, usize)>,
     ) -> (f64, usize) {
         if step >= self.horizon || ctx.segment_index + step >= num_segments {

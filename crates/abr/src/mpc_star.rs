@@ -64,6 +64,7 @@ fn utility(ssim: f64) -> f64 {
     -((1.0 - ssim).max(1e-3)).ln()
 }
 
+// lint: allow(nondeterministic-map) the whole impl is the memoized DP: HashMap is key-lookup only, never iterated
 impl MpcStar {
     /// The curbed option set for one segment: BOLA-SSIM's candidate points
     /// (bound, a few intermediates, full) per level.
@@ -92,7 +93,6 @@ impl MpcStar {
         step: usize,
         prev_u: i64,
         buffer_s: f64,
-        // lint: allow(nondeterministic-map) memo table — key lookup only, never iterated
         memo: &mut HashMap<(usize, i64, i64), (f64, usize)>,
     ) -> (f64, usize) {
         if step >= self.horizon || ctx.segment_index + step >= ctx.manifest.num_segments() {

@@ -1,0 +1,7 @@
+//! Bad-fixture example: imports a crate directly instead of the prelude.
+
+use voxel_quic::Conn;
+
+fn main() {
+    let _ = Conn { state: std::ptr::null_mut() };
+}

@@ -1,0 +1,8 @@
+//! Clean-fixture example: prelude import plus one justified deep path.
+
+use voxel::prelude::*;
+use voxel_quic::Conn; // lint: allow(deep-import) fixture: demonstrates a justified deep path
+
+fn main() {
+    let _ = Conn { seq: 0 };
+}

@@ -1,48 +1,110 @@
-//! CLI for the workspace lint pass. Exit code 1 on any violation.
+//! CLI for the workspace lint pass. Exit code 1 on any unwaived
+//! violation (or a blown wall-time guard), 2 on operational error.
 //!
-//! Usage: `cargo run -p voxel-lint [-- --root <path>]`
+//! Usage: `cargo run -p voxel-lint [-- --root <path>] [--json <file>]
+//! [--only <family>] [--max-seconds <n>]`
+//!
+//! `VOXEL_BLESS=1` rewrites `lint/api-baseline.txt` and
+//! `lint/unsafe-budget.txt` from the current workspace instead of
+//! diffing against them.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let t0 = std::time::Instant::now(); // lint: allow(wall-clock) measures the lint pass itself for the CI wall-time guard, never sim state
     let mut args = std::env::args().skip(1);
     let mut root = voxel_lint::default_root();
+    let mut json_path: Option<PathBuf> = None;
+    let mut max_seconds: Option<u64> = None;
+    let mut opts = voxel_lint::Options::from_env();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => match args.next() {
                 Some(p) => root = PathBuf::from(p),
+                None => return usage_error("--root requires a path"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage_error("--json requires an output path"),
+            },
+            "--only" => match args.next() {
+                Some(f) => opts.only = Some(f),
                 None => {
-                    eprintln!("--root requires a path");
-                    return ExitCode::from(2);
+                    return usage_error(&format!(
+                        "--only requires a rule family ({})",
+                        voxel_lint::FAMILIES.join(", ")
+                    ))
                 }
+            },
+            "--max-seconds" => match args.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => max_seconds = Some(n),
+                None => return usage_error("--max-seconds requires an integer"),
             },
             "--help" | "-h" => {
                 println!("voxel-lint: workspace invariant lints (see DESIGN.md §10)");
-                println!("usage: voxel-lint [--root <repo-root>]");
+                println!(
+                    "usage: voxel-lint [--root <repo-root>] [--json <file>] [--only <family>] [--max-seconds <n>]"
+                );
+                println!("families: {}", voxel_lint::FAMILIES.join(", "));
+                println!("env: VOXEL_BLESS=1 re-blesses the API baseline and unsafe budget");
                 return ExitCode::SUCCESS;
             }
-            other => {
-                eprintln!("unknown argument: {other}");
-                return ExitCode::from(2);
-            }
+            other => return usage_error(&format!("unknown argument: {other}")),
         }
     }
-    match voxel_lint::run(&root) {
-        Ok(violations) if violations.is_empty() => {
-            println!("voxel-lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
-            for v in &violations {
-                println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.msg);
-            }
-            println!("voxel-lint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
-        }
+
+    let violations = match voxel_lint::run_with(&root, &opts) {
+        Ok(v) => v,
         Err(e) => {
             eprintln!("voxel-lint: error: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &json_path {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, voxel_lint::render_json(&violations)) {
+            eprintln!("voxel-lint: error: write {}: {e}", path.display());
+            return ExitCode::from(2);
         }
     }
+
+    let waived = violations.iter().filter(|v| v.waived).count();
+    let unwaived: Vec<_> = violations.iter().filter(|v| !v.waived).collect();
+    for v in &unwaived {
+        println!("{}:{}: [{}] {}", v.path, v.line, v.rule, v.msg);
+    }
+    let mut failed = !unwaived.is_empty();
+    if failed {
+        println!(
+            "voxel-lint: {} violation(s), {waived} waived finding(s)",
+            unwaived.len()
+        );
+    } else {
+        println!("voxel-lint: clean ({waived} waived finding(s))");
+    }
+
+    if let Some(max) = max_seconds {
+        let elapsed = t0.elapsed();
+        if elapsed.as_secs_f64() > max as f64 {
+            println!(
+                "voxel-lint: wall-time guard: pass took {:.2}s (limit {max}s)",
+                elapsed.as_secs_f64()
+            );
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("voxel-lint: {msg}");
+    ExitCode::from(2)
 }

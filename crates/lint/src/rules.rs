@@ -1,34 +1,40 @@
-//! Line-oriented lint rules.
+//! Token-accurate lint rules.
 //!
-//! Every rule reports against the `masked` projection (comments removed,
-//! string contents blanked) and skips `#[cfg(test)]` regions. A finding
-//! is suppressed by a same-line or immediately-preceding
-//! `// lint: allow(<rule>) <reason>` waiver; waivers without a reason are
-//! themselves violations, and waivers that suppress nothing are reported
-//! as stale.
+//! Every rule walks the token stream (`scan::SourceFile`), so string and
+//! comment contents can never trip a rule, and constructs split across
+//! lines (`.lock()\n.expect(..)`) are matched exactly like single-line
+//! ones. Rules skip `#[cfg(test)]` items and honour line- and item-level
+//! `// lint: allow(<rule>) <reason>` waivers; a suppressed finding is
+//! still recorded (with `waived = true`) so `--json` can report it and
+//! the hygiene pass can prove the waiver earns its keep.
 
+use crate::lexer::{self, TokKind};
 use crate::scan::SourceFile;
 use std::collections::BTreeSet;
+use std::path::Path;
 
 /// Crates whose iteration order feeds the deterministic simulation.
 pub const SIM_CRITICAL: &[&str] = &["sim", "quic", "http", "abr", "core", "netem", "fleet"];
 
-/// One lint finding.
+/// One lint finding. `waived = true` means a justified waiver suppressed
+/// it — reported in machine output, but not a failure.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Violation {
     pub path: String,
     pub line: usize,
     pub rule: &'static str,
     pub msg: String,
+    pub waived: bool,
 }
 
 impl Violation {
-    fn new(f: &SourceFile, line: usize, rule: &'static str, msg: String) -> Violation {
+    pub(crate) fn new(path: &str, line: usize, rule: &'static str, msg: String) -> Violation {
         Violation {
-            path: f.rel_path.clone(),
+            path: path.to_string(),
             line,
             rule,
             msg,
+            waived: false,
         }
     }
 }
@@ -40,67 +46,133 @@ pub struct WaiverUse {
 }
 
 impl WaiverUse {
-    fn mark(&mut self, f: &SourceFile, line: usize, rule: &str) {
+    pub(crate) fn mark(&mut self, f: &SourceFile, declared_on: usize, rule: &str) {
         self.used
-            .insert((f.rel_path.clone(), line, rule.to_string()));
+            .insert((f.rel_path.clone(), declared_on, rule.to_string()));
     }
 }
 
-/// Run all per-line rules over one file.
+/// Report a finding at `line`, consulting waivers.
+pub(crate) fn report(
+    f: &SourceFile,
+    line: usize,
+    rule: &'static str,
+    msg: String,
+    uses: &mut WaiverUse,
+    out: &mut Vec<Violation>,
+) {
+    let mut v = Violation::new(&f.rel_path, line, rule, msg);
+    if let Some(w) = f.waiver_for(line, rule) {
+        uses.mark(f, w.declared_on, rule);
+        v.waived = true;
+    }
+    out.push(v);
+}
+
+/// Is this file binary-style code (panics acceptable)?
+fn is_bin(f: &SourceFile) -> bool {
+    f.rel_path.ends_with("main.rs") || f.rel_path.contains("/bin/") || f.crate_name == "examples"
+}
+
+/// Run the classic token rules over one file: `nondeterministic-map`,
+/// `wall-clock`, `panic`, `float-eq`, `deep-import`.
 pub fn check_file(f: &SourceFile, uses: &mut WaiverUse, out: &mut Vec<Violation>) {
-    let is_bin = f.rel_path.ends_with("main.rs")
-        || f.rel_path.contains("/bin/")
-        || f.crate_name == "examples";
-    for (i, line) in f.lines.iter().enumerate() {
-        let lineno = i + 1;
-        if line.in_test {
+    let sig = f.sig_indices();
+    let text = |s: usize| -> &str {
+        match sig.get(s) {
+            Some(&i) => f.tok_text(&f.toks[i]),
+            None => "",
+        }
+    };
+    let kind = |s: usize| -> Option<TokKind> { sig.get(s).map(|&i| f.toks[i].kind) };
+    let line = |s: usize| -> usize {
+        match sig.get(s) {
+            Some(&i) => f.toks[i].line,
+            None => 0,
+        }
+    };
+    let bin = is_bin(f);
+
+    for s in 0..sig.len() {
+        let l = line(s);
+        if f.is_test(l) {
             continue;
         }
-        let m = &line.masked;
+        let t = text(s);
+        let k = kind(s);
 
         // --- determinism: unordered collections in sim-critical crates ---
-        if SIM_CRITICAL.contains(&f.crate_name.as_str()) {
-            for tok in ["HashMap", "HashSet"] {
-                if has_token(m, tok) {
-                    report(
-                        f,
-                        lineno,
-                        "nondeterministic-map",
-                        format!("{tok} in sim-critical crate `{}`; use BTreeMap/BTreeSet or waive with a reason", f.crate_name),
-                        uses,
-                        out,
-                    );
-                }
-            }
+        if k == Some(TokKind::Ident)
+            && (t == "HashMap" || t == "HashSet")
+            && SIM_CRITICAL.contains(&f.crate_name.as_str())
+        {
+            report(
+                f,
+                l,
+                "nondeterministic-map",
+                format!(
+                    "{t} in sim-critical crate `{}`; use BTreeMap/BTreeSet or waive with a reason",
+                    f.crate_name
+                ),
+                uses,
+                out,
+            );
         }
 
         // --- determinism: wall-clock access outside bench ---
-        if f.crate_name != "bench" {
-            for pat in ["Instant::now", "SystemTime", "thread::sleep"] {
-                if m.contains(pat) {
-                    report(
-                        f,
-                        lineno,
-                        "wall-clock",
-                        format!("`{pat}` breaks sim-time determinism; use voxel_sim::SimTime"),
-                        uses,
-                        out,
-                    );
-                }
+        if f.crate_name != "bench" && k == Some(TokKind::Ident) {
+            let pat = if t == "Instant"
+                && text(s + 1) == ":"
+                && text(s + 2) == ":"
+                && text(s + 3) == "now"
+            {
+                Some("Instant::now")
+            } else if t == "SystemTime" {
+                Some("SystemTime")
+            } else if t == "thread"
+                && text(s + 1) == ":"
+                && text(s + 2) == ":"
+                && text(s + 3) == "sleep"
+            {
+                Some("thread::sleep")
+            } else {
+                None
+            };
+            if let Some(pat) = pat {
+                report(
+                    f,
+                    l,
+                    "wall-clock",
+                    format!("`{pat}` breaks sim-time determinism; use voxel_sim::SimTime"),
+                    uses,
+                    out,
+                );
             }
         }
 
         // --- robustness: panics in library code ---
-        if f.crate_name != "bench" && !is_bin {
-            for pat in [".unwrap()", ".expect(", "panic!"] {
-                if m.contains(pat) {
+        if f.crate_name != "bench" && !bin {
+            let hit = if t == "."
+                && text(s + 1) == "unwrap"
+                && text(s + 2) == "("
+                && text(s + 3) == ")"
+            {
+                Some(("unwrap", line(s + 1)))
+            } else if t == "." && text(s + 1) == "expect" && text(s + 2) == "(" {
+                Some(("expect", line(s + 1)))
+            } else if k == Some(TokKind::Ident) && t == "panic" && text(s + 1) == "!" {
+                Some(("panic!", l))
+            } else {
+                None
+            };
+            if let Some((what, at)) = hit {
+                if !f.is_test(at) {
                     report(
                         f,
-                        lineno,
+                        at,
                         "panic",
                         format!(
-                            "`{}` in library code; propagate an error or waive with the invariant that makes it unreachable",
-                            pat.trim_start_matches('.').trim_end_matches('(')
+                            "`{what}` in library code; propagate an error or waive with the invariant that makes it unreachable"
                         ),
                         uses,
                         out,
@@ -108,43 +180,30 @@ pub fn check_file(f: &SourceFile, uses: &mut WaiverUse, out: &mut Vec<Violation>
                 }
             }
         }
+    }
 
-        // --- API surface: examples go through the facade prelude ---
-        if f.crate_name == "examples" {
-            if let Some(target) = m.trim_start().strip_prefix("use ") {
-                let deep = target.starts_with("voxel_")
-                    || target
-                        .strip_prefix("voxel::")
-                        .is_some_and(|rest| !rest.starts_with("prelude"));
-                if deep {
-                    report(
-                        f,
-                        lineno,
-                        "deep-import",
-                        format!(
-                            "example imports `{}` directly; use `voxel::prelude::*` (or waive with why the deep path is the point)",
-                            target.trim_end().trim_end_matches(';')
-                        ),
-                        uses,
-                        out,
-                    );
-                }
+    // --- robustness: exact equality involving quality floats ---
+    check_float_eq(f, uses, out);
+
+    // --- API surface: examples go through the facade prelude ---
+    if f.crate_name == "examples" {
+        for it in &f.items {
+            if it.kind != crate::parse::ItemKind::Use || f.is_test(it.kw_line) {
+                continue;
             }
-        }
-
-        // --- robustness: exact equality on quality floats ---
-        for (lhs, op, rhs) in comparisons(m) {
-            let suspicious = |t: &str| {
-                let lower = t.to_ascii_lowercase();
-                is_float_literal(t) || lower.contains("ssim") || lower.contains("qoe")
-            };
-            if suspicious(&lhs) || suspicious(&rhs) {
+            let target = it.name.as_str();
+            let deep = target.starts_with("voxel_")
+                || target
+                    .strip_prefix("voxel::")
+                    .is_some_and(|rest| !rest.starts_with("prelude"));
+            if deep {
                 report(
                     f,
-                    lineno,
-                    "float-eq",
-                    format!("exact `{op}` comparison involving `{}`; use a tolerance or waive with why exactness is sound",
-                            if suspicious(&lhs) { &lhs } else { &rhs }),
+                    it.kw_line,
+                    "deep-import",
+                    format!(
+                        "example imports `{target}` directly; use `voxel::prelude::*` (or waive with why the deep path is the point)"
+                    ),
                     uses,
                     out,
                 );
@@ -153,138 +212,202 @@ pub fn check_file(f: &SourceFile, uses: &mut WaiverUse, out: &mut Vec<Violation>
     }
 }
 
-/// After all files ran: flag waivers that never fired and waivers with no
-/// justification text.
-pub fn check_waiver_hygiene(files: &[SourceFile], uses: &WaiverUse, out: &mut Vec<Violation>) {
+/// `==`/`!=` where an operand is a float literal or an ssim/qoe-named
+/// identifier. Works on the raw token stream so adjacency (`<=`, `=>`,
+/// `+=`, `===`) is judged by byte spans, not per-line character context.
+fn check_float_eq(f: &SourceFile, uses: &mut WaiverUse, out: &mut Vec<Violation>) {
+    let toks = &f.toks;
+    let ptext = |i: usize| f.tok_text(&toks[i]);
+    for i in 0..toks.len().saturating_sub(1) {
+        let (a, b) = (&toks[i], &toks[i + 1]);
+        if a.kind != TokKind::Punct || b.kind != TokKind::Punct || a.end != b.start {
+            continue;
+        }
+        let op = match (ptext(i), ptext(i + 1)) {
+            ("=", "=") => "==",
+            ("!", "=") => "!=",
+            _ => continue,
+        };
+        // Not part of a longer operator: `<=`, `>=`, `+=`, `..=`, `=>`.
+        let glued_before = i > 0
+            && toks[i - 1].kind == TokKind::Punct
+            && toks[i - 1].end == a.start
+            && matches!(
+                ptext(i - 1),
+                "=" | "<" | ">" | "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^" | "!" | "."
+            );
+        let glued_after = toks.get(i + 2).is_some_and(|c| {
+            c.kind == TokKind::Punct && c.end > c.start && b.end == c.start && ptext(i + 2) == "="
+        });
+        if glued_before || glued_after || f.is_test(a.line) {
+            continue;
+        }
+        let lhs = toks[..i].iter().rev().find(|t| !t.kind.is_trivia());
+        let rhs = toks[i + 2..].iter().find(|t| !t.kind.is_trivia());
+        let suspicious = |t: Option<&&crate::lexer::Tok>| -> Option<String> {
+            let t = t?;
+            let s = f.tok_text(t);
+            match t.kind {
+                TokKind::Num if lexer::is_float_literal(s) => Some(s.to_string()),
+                TokKind::Ident => {
+                    let lower = s.to_ascii_lowercase();
+                    if lower.contains("ssim") || lower.contains("qoe") {
+                        Some(s.to_string())
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        };
+        if let Some(operand) = suspicious(lhs.as_ref()).or_else(|| suspicious(rhs.as_ref())) {
+            report(
+                f,
+                a.line,
+                "float-eq",
+                format!(
+                    "exact `{op}` comparison involving `{operand}`; use a tolerance or waive with why exactness is sound"
+                ),
+                uses,
+                out,
+            );
+        }
+    }
+}
+
+/// Unsafe-audit: every `unsafe` keyword outside tests needs an adjacent
+/// `// SAFETY:` justification, and the workspace-wide count is held to a
+/// ratcheted budget in `lint/unsafe-budget.txt` (`VOXEL_BLESS=1` rewrites
+/// it; raising it is a deliberate, reviewed edit).
+pub fn check_unsafe(
+    files: &[SourceFile],
+    root: &Path,
+    bless: bool,
+    uses: &mut WaiverUse,
+    out: &mut Vec<Violation>,
+) -> Result<(), String> {
+    let mut count = 0usize;
     for f in files {
-        for (&line, ws) in &f.waivers {
-            for w in ws {
-                if w.reason.is_empty() {
-                    out.push(Violation::new(
-                        f,
-                        w.declared_on,
-                        "waiver-missing-reason",
-                        format!("waiver for `{}` has no justification", w.rule),
-                    ));
-                }
-                let key = (f.rel_path.clone(), line, w.rule.clone());
-                if !uses.used.contains(&key) {
-                    out.push(Violation::new(
-                        f,
-                        w.declared_on,
-                        "stale-waiver",
-                        format!("waiver for `{}` suppresses nothing; remove it", w.rule),
-                    ));
-                }
+        for &i in &f.sig_indices() {
+            let t = &f.toks[i];
+            if t.kind != TokKind::Ident || f.tok_text(t) != "unsafe" || f.is_test(t.line) {
+                continue;
+            }
+            count += 1;
+            if !safety_comment_adjacent(f, t.line) {
+                report(
+                    f,
+                    t.line,
+                    "unsafe-audit",
+                    "`unsafe` without an adjacent `// SAFETY:` justification".to_string(),
+                    uses,
+                    out,
+                );
             }
         }
     }
-}
 
-fn report(
-    f: &SourceFile,
-    lineno: usize,
-    rule: &'static str,
-    msg: String,
-    uses: &mut WaiverUse,
-    out: &mut Vec<Violation>,
-) {
-    if f.waiver_for(lineno, rule).is_some() {
-        uses.mark(f, lineno, rule);
-    } else {
-        out.push(Violation::new(f, lineno, rule, msg));
-    }
-}
-
-/// Word-boundary token search: `tok` not embedded in a longer identifier.
-fn has_token(s: &str, tok: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = s[start..].find(tok) {
-        let abs = start + pos;
-        let before = s[..abs].chars().next_back();
-        let after = s[abs + tok.len()..].chars().next();
-        let is_ident = |c: char| c.is_alphanumeric() || c == '_';
-        if !before.is_some_and(is_ident) && !after.is_some_and(is_ident) {
-            return true;
+    let budget_path = root.join("lint").join("unsafe-budget.txt");
+    let budget_rel = "lint/unsafe-budget.txt";
+    if bless {
+        let body = format!(
+            "# Ratcheted unsafe budget for the VOXEL workspace (voxel-lint).\n\
+             # Number of `unsafe` keywords outside #[cfg(test)] code. The lint\n\
+             # fails when the workspace exceeds OR undershoots this number;\n\
+             # re-bless with `VOXEL_BLESS=1 cargo run -p voxel-lint` to ratchet\n\
+             # down. Raising it is a deliberate, reviewed edit of this file.\n\
+             {count}\n"
+        );
+        if let Some(dir) = budget_path.parent() {
+            let _ = std::fs::create_dir_all(dir);
         }
-        start = abs + tok.len();
+        std::fs::write(&budget_path, body)
+            .map_err(|e| format!("write {}: {e}", budget_path.display()))?;
+        return Ok(());
+    }
+    let budget = match std::fs::read_to_string(&budget_path) {
+        Ok(body) => body
+            .lines()
+            .map(str::trim)
+            .find(|l| !l.is_empty() && !l.starts_with('#'))
+            .and_then(|l| l.parse::<usize>().ok()),
+        Err(_) => None,
+    };
+    match budget {
+        None => out.push(Violation::new(
+            budget_rel,
+            0,
+            "unsafe-budget",
+            format!(
+                "missing or unreadable unsafe budget; bless with `VOXEL_BLESS=1` (current count: {count})"
+            ),
+        )),
+        Some(b) if count > b => out.push(Violation::new(
+            budget_rel,
+            0,
+            "unsafe-budget",
+            format!(
+                "{count} unsafe site(s) exceed the ratcheted budget of {b}; remove them or raise lint/unsafe-budget.txt in review"
+            ),
+        )),
+        Some(b) if count < b => out.push(Violation::new(
+            budget_rel,
+            0,
+            "unsafe-budget",
+            format!(
+                "budget {b} is stale ({count} unsafe site(s) remain); ratchet down with `VOXEL_BLESS=1`"
+            ),
+        )),
+        Some(_) => {}
+    }
+    Ok(())
+}
+
+/// A `SAFETY:` comment on the same line, or in the contiguous comment /
+/// attribute block immediately above.
+fn safety_comment_adjacent(f: &SourceFile, lineno: usize) -> bool {
+    if f.line_text(lineno).contains("SAFETY:") {
+        return true;
+    }
+    let mut l = lineno;
+    while l > 1 {
+        l -= 1;
+        let t = f.line_text(l).trim();
+        if t.is_empty() || t.starts_with("//") || t.starts_with("#[") || t.starts_with('*') {
+            if t.contains("SAFETY:") {
+                return true;
+            }
+        } else {
+            break;
+        }
     }
     false
 }
 
-/// Extract `(lhs_token, op, rhs_token)` for each `==`/`!=` in a line.
-fn comparisons(s: &str) -> Vec<(String, &'static str, String)> {
-    let b: Vec<char> = s.chars().collect();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i + 1 < b.len() {
-        let op = match (b[i], b[i + 1]) {
-            ('=', '=') => Some("=="),
-            ('!', '=') => Some("!="),
-            _ => None,
-        };
-        // Skip `<=`, `>=`, `=>`, `+=` style neighbours and `===` runs.
-        let prev = if i > 0 { Some(b[i - 1]) } else { None };
-        let next2 = b.get(i + 2).copied();
-        let standalone = op.is_some()
-            && !matches!(
-                prev,
-                Some('=')
-                    | Some('<')
-                    | Some('>')
-                    | Some('+')
-                    | Some('-')
-                    | Some('*')
-                    | Some('/')
-                    | Some('%')
-                    | Some('&')
-                    | Some('|')
-                    | Some('^')
-            )
-            && next2 != Some('=');
-        if let (Some(op), true) = (op, standalone) {
-            let lhs = token_back(&b, i);
-            let rhs = token_fwd(&b, i + 2);
-            out.push((lhs, op, rhs));
-            i += 2;
-        } else {
-            i += 1;
+/// After all files ran: flag waivers that never fired and waivers with no
+/// justification text.
+pub fn check_waiver_hygiene(files: &[SourceFile], uses: &WaiverUse, out: &mut Vec<Violation>) {
+    for f in files {
+        for w in f.all_waivers() {
+            if w.reason.is_empty() {
+                out.push(Violation::new(
+                    &f.rel_path,
+                    w.declared_on,
+                    "waiver-missing-reason",
+                    format!("waiver for `{}` has no justification", w.rule),
+                ));
+            }
+            let key = (f.rel_path.clone(), w.declared_on, w.rule.clone());
+            if !uses.used.contains(&key) {
+                out.push(Violation::new(
+                    &f.rel_path,
+                    w.declared_on,
+                    "stale-waiver",
+                    format!("waiver for `{}` suppresses nothing; remove it", w.rule),
+                ));
+            }
         }
     }
-    out
-}
-
-fn token_back(b: &[char], end: usize) -> String {
-    let mut j = end;
-    while j > 0 && b[j - 1] == ' ' {
-        j -= 1;
-    }
-    let stop = j;
-    while j > 0 && (b[j - 1].is_alphanumeric() || matches!(b[j - 1], '_' | '.')) {
-        j -= 1;
-    }
-    b[j..stop].iter().collect()
-}
-
-fn token_fwd(b: &[char], start: usize) -> String {
-    let mut j = start;
-    while j < b.len() && b[j] == ' ' {
-        j += 1;
-    }
-    let begin = j;
-    while j < b.len() && (b[j].is_alphanumeric() || matches!(b[j], '_' | '.')) {
-        j += 1;
-    }
-    b[begin..j].iter().collect()
-}
-
-/// `0.0`, `1.5e-3`, `1e6` — a literal that parses as f64 and is visibly
-/// floating (contains `.` or an exponent). Plain integers don't count.
-fn is_float_literal(t: &str) -> bool {
-    if t.is_empty() || !t.chars().next().is_some_and(|c| c.is_ascii_digit()) {
-        return false;
-    }
-    (t.contains('.') || t.contains('e') || t.contains('E')) && t.parse::<f64>().is_ok()
 }
 
 #[cfg(test)]
@@ -298,6 +421,7 @@ mod tests {
         let mut out = Vec::new();
         check_file(&f, &mut uses, &mut out);
         check_waiver_hygiene(std::slice::from_ref(&f), &uses, &mut out);
+        out.retain(|v| !v.waived);
         out
     }
 
@@ -311,6 +435,12 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "nondeterministic-map");
         assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn hashmap_in_string_or_comment_is_quiet() {
+        let src = "let s = \"HashMap\"; // a HashMap joke\n/* HashMap */\n";
+        assert!(run("core", "crates/core/src/x.rs", src).is_empty());
     }
 
     #[test]
@@ -364,6 +494,14 @@ mod tests {
     }
 
     #[test]
+    fn panic_rule_catches_multi_line_chain() {
+        let src = "fn f() {\n    let g = self\n        .inner\n        .lock()\n        .expect(\"poisoned\");\n}\n";
+        let v = run("quic", "crates/quic/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].rule, v[0].line), ("panic", 5));
+    }
+
+    #[test]
     fn panic_rule_skips_bins_unwrap_or_and_strings() {
         let src = "fn f() { let s = \"don't .unwrap() me\"; let x = y.unwrap_or(0); }\n";
         assert!(run("quic", "crates/quic/src/x.rs", src).is_empty());
@@ -384,13 +522,26 @@ mod tests {
     }
 
     #[test]
-    fn deep_import_fires_only_in_examples() {
+    fn float_eq_quiet_on_integers_and_compound_ops() {
+        assert!(run("abr", "crates/abr/src/x.rs", "if n == 0 { }\n").is_empty());
+        assert!(run("abr", "crates/abr/src/x.rs", "x += 1.0; if a <= 2.0 {}\n").is_empty());
+        assert!(run("abr", "crates/abr/src/x.rs", "let ok = idx != len;\n").is_empty());
+        assert!(run("abr", "crates/abr/src/x.rs", "let r = 0..=1.0;\n").is_empty());
+    }
+
+    #[test]
+    fn deep_import_fires_only_in_examples_and_sees_multiline_use() {
         let src = "use voxel::media::video::Video;\nuse voxel_core::Config;\nuse voxel::prelude::*;\nuse std::sync::Arc;\n";
         let v = run("examples", "examples/demo.rs", src);
         let lines: Vec<_> = v.iter().map(|v| (v.rule, v.line)).collect();
         assert_eq!(lines, vec![("deep-import", 1), ("deep-import", 2)]);
         // The same imports are fine outside examples/.
         assert!(run("bench", "crates/bench/src/x.rs", src).is_empty());
+        // A use split across lines is still one import.
+        let multi = "use voxel::media::{\n    Video,\n    Ladder,\n};\n";
+        let v2 = run("examples", "examples/demo2.rs", multi);
+        assert_eq!(v2.len(), 1);
+        assert_eq!(v2[0].line, 1);
     }
 
     #[test]
@@ -400,9 +551,26 @@ mod tests {
     }
 
     #[test]
-    fn float_eq_quiet_on_integers_and_compound_ops() {
-        assert!(run("abr", "crates/abr/src/x.rs", "if n == 0 { }\n").is_empty());
-        assert!(run("abr", "crates/abr/src/x.rs", "x += 1.0; if a <= 2.0 {}\n").is_empty());
-        assert!(run("abr", "crates/abr/src/x.rs", "let ok = idx != len;\n").is_empty());
+    fn unsafe_audit_requires_safety_comment() {
+        let ok = "fn f() {\n    // SAFETY: the slot was initialized above\n    let x = unsafe { read() };\n}\n";
+        let bad = "fn f() {\n    let x = unsafe { read() };\n}\n";
+        let dir = std::env::temp_dir(); // budget handled separately; only audit here
+        let _ = dir;
+        let check = |src: &str| -> Vec<Violation> {
+            let f = SourceFile::parse("crates/quic/src/x.rs", "quic", src);
+            let mut uses = WaiverUse::default();
+            let mut out = Vec::new();
+            // Use a root with no lint/ dir: the budget violation is
+            // expected; filter to the audit rule.
+            let root = std::path::Path::new("/nonexistent-lint-root");
+            check_unsafe(std::slice::from_ref(&f), root, false, &mut uses, &mut out)
+                .expect("check_unsafe runs");
+            out.retain(|v| v.rule == "unsafe-audit" && !v.waived);
+            out
+        };
+        assert!(check(ok).is_empty());
+        let v = check(bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
     }
 }

@@ -1,19 +1,27 @@
-//! Source model for the lint pass.
+//! Source model for the lint pass, built on the token stream.
 //!
-//! Each file is reduced to a per-line view with three projections:
+//! `SourceFile` lexes the file once (`lexer`), recovers the item tree
+//! (`parse`), and resolves waivers. Rules consume tokens — so a pattern
+//! inside a string literal or comment can never fire — and attribute
+//! findings to the line of the offending token, which makes multi-line
+//! constructs (`.lock()\n.expect(..)`, `trace_event!(\n..)`) first-class.
 //!
-//! - `raw`    — the original text,
-//! - `code`   — comments removed, string literals kept (used by the
-//!   taxonomy extractor, which reads event-kind literals),
-//! - `masked` — comments removed *and* string-literal contents blanked
-//!   (used by the token rules so `"HashMap"` inside a string or doc
-//!   comment cannot trip a lint).
+//! ## Waivers
 //!
-//! The scanner also tracks `#[cfg(test)]` regions by brace depth (rules
-//! skip test-only code) and collects `// lint: allow(<rule>) <reason>`
-//! waivers. A waiver written on its own comment line attaches to the next
-//! code line; a trailing waiver attaches to the line it sits on.
+//! `// lint: allow(<rule>) <reason>` suppresses a finding for `<rule>`:
+//!
+//! - **trailing** on a code line: applies to that line;
+//! - **standalone** above a plain code line: applies to the next code line;
+//! - **standalone** above an *item header* (fn/mod/impl/struct/use/...):
+//!   applies to the whole item, attributes included — this is the
+//!   scope-aware form that lets one justified waiver cover an item whose
+//!   findings span many lines.
+//!
+//! Waivers without a reason, and waivers that suppress nothing, are
+//! violations themselves (`rules::check_waiver_hygiene`).
 
+use crate::lexer::{self, Tok, TokKind};
+use crate::parse::{self, Item};
 use std::collections::BTreeMap;
 
 /// One `// lint: allow(rule) reason` waiver.
@@ -27,16 +35,6 @@ pub struct Waiver {
     pub declared_on: usize,
 }
 
-/// A single source line in all projections.
-#[derive(Debug, Clone)]
-pub struct Line {
-    pub raw: String,
-    pub code: String,
-    pub masked: String,
-    /// Inside a `#[cfg(test)]` item (module, fn, or the attribute line).
-    pub in_test: bool,
-}
-
 /// A parsed source file ready for rule checks.
 #[derive(Debug)]
 pub struct SourceFile {
@@ -45,294 +43,174 @@ pub struct SourceFile {
     /// Workspace crate directory name (`"quic"`, `"core"`, ...); the
     /// root `voxel` package uses `"."`.
     pub crate_name: String,
-    pub lines: Vec<Line>,
-    /// Waivers keyed by the 1-based line they apply to.
-    pub waivers: BTreeMap<usize, Vec<Waiver>>,
+    /// Full source text.
+    pub text: String,
+    /// Complete token stream (spans tile `text`).
+    pub toks: Vec<Tok>,
+    /// Item tree from the lightweight parser.
+    pub items: Vec<Item>,
+    /// Line-level waivers keyed by the 1-based line they apply to.
+    pub line_waivers: BTreeMap<usize, Vec<Waiver>>,
+    /// Item-level waivers: `(item index, waiver)`.
+    pub item_waivers: Vec<(usize, Waiver)>,
+    /// Byte range of each 1-based line (index 0 unused).
+    line_spans: Vec<(usize, usize)>,
 }
 
 impl SourceFile {
-    /// Parse `content` into the line model.
+    /// Lex + parse `content` and resolve waivers.
     pub fn parse(rel_path: &str, crate_name: &str, content: &str) -> SourceFile {
-        let stripped = strip(content);
-        let in_test = test_regions(&stripped);
-        let mut lines = Vec::with_capacity(stripped.len());
-        let mut waivers: BTreeMap<usize, Vec<Waiver>> = BTreeMap::new();
-        for (i, s) in stripped.iter().enumerate() {
-            let lineno = i + 1;
-            for w in parse_waivers(&s.comment, lineno) {
-                let target = if s.masked.trim().is_empty() {
-                    // Standalone comment line: attach to the next code line.
-                    stripped
-                        .iter()
-                        .enumerate()
-                        .skip(i + 1)
-                        .find(|(_, t)| !t.masked.trim().is_empty())
-                        .map(|(j, _)| j + 1)
-                        .unwrap_or(lineno)
-                } else {
-                    lineno
-                };
-                waivers.entry(target).or_default().push(w);
+        let toks = lexer::lex(content);
+        let items = parse::parse(content, &toks);
+
+        // Line table.
+        let mut line_spans = vec![(0usize, 0usize)];
+        let mut start = 0usize;
+        for (off, ch) in content.char_indices() {
+            if ch == '\n' {
+                line_spans.push((start, off));
+                start = off + ch.len_utf8();
             }
-            lines.push(Line {
-                raw: s.raw.clone(),
-                code: s.code.clone(),
-                masked: s.masked.clone(),
-                in_test: in_test[i],
-            });
         }
-        SourceFile {
+        line_spans.push((start, content.len()));
+
+        let mut f = SourceFile {
             rel_path: rel_path.to_string(),
             crate_name: crate_name.to_string(),
-            lines,
-            waivers,
+            text: content.to_string(),
+            toks,
+            items,
+            line_waivers: BTreeMap::new(),
+            item_waivers: Vec::new(),
+            line_spans,
+        };
+        f.attach_waivers();
+        f
+    }
+
+    /// The source text of a token.
+    pub fn tok_text(&self, t: &Tok) -> &str {
+        self.text.get(t.start..t.end).unwrap_or("")
+    }
+
+    /// The raw text of a 1-based line (empty for out-of-range lines).
+    pub fn line_text(&self, lineno: usize) -> &str {
+        match self.line_spans.get(lineno) {
+            Some(&(s, e)) => self.text.get(s..e).unwrap_or(""),
+            None => "",
         }
     }
 
-    /// Waivers attached to 1-based `lineno` for `rule`.
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> usize {
+        self.line_spans.len().saturating_sub(1)
+    }
+
+    /// Is `lineno` inside a `#[cfg(test)]` item (attribute lines included)?
+    pub fn is_test(&self, lineno: usize) -> bool {
+        self.items.iter().any(|it| it.cfg_test && it.covers(lineno))
+    }
+
+    /// Indices of non-trivia tokens, in order.
+    pub fn sig_indices(&self) -> Vec<usize> {
+        (0..self.toks.len())
+            .filter(|&i| !self.toks[i].kind.is_trivia())
+            .collect()
+    }
+
+    /// Waiver for `rule` covering 1-based `lineno`: a line-level waiver on
+    /// that exact line, else the innermost item-level waiver whose item
+    /// extent contains the line.
     pub fn waiver_for(&self, lineno: usize, rule: &str) -> Option<&Waiver> {
-        self.waivers
-            .get(&lineno)
-            .and_then(|ws| ws.iter().find(|w| w.rule == rule))
-    }
-}
-
-/// Per-line output of the comment/string stripper.
-struct Stripped {
-    raw: String,
-    code: String,
-    masked: String,
-    comment: String,
-}
-
-/// Lexer state carried across lines.
-enum St {
-    Code,
-    /// Nested block comment depth.
-    Block(u32),
-    Str,
-    /// Raw string with `n` hashes (`r#"..."#`).
-    RawStr(u8),
-}
-
-/// Split `content` into lines, removing comments and (for `masked`)
-/// blanking string contents. Handles line/nested-block comments, plain
-/// and raw strings, escapes, char literals, and lifetimes.
-fn strip(content: &str) -> Vec<Stripped> {
-    let mut out = Vec::new();
-    let mut st = St::Code;
-    for raw_line in content.split('\n') {
-        let b: Vec<char> = raw_line.chars().collect();
-        let mut code = String::with_capacity(b.len());
-        let mut masked = String::with_capacity(b.len());
-        let mut comment = String::new();
-        let mut i = 0usize;
-        while i < b.len() {
-            match st {
-                St::Code => {
-                    let c = b[i];
-                    let next = b.get(i + 1).copied();
-                    if c == '/' && next == Some('/') {
-                        comment.push_str(&b[i..].iter().collect::<String>());
-                        break;
-                    } else if c == '/' && next == Some('*') {
-                        st = St::Block(1);
-                        i += 2;
-                    } else if c == '"' {
-                        code.push('"');
-                        masked.push('"');
-                        st = St::Str;
-                        i += 1;
-                    } else if c == 'r' && matches!(next, Some('"') | Some('#')) {
-                        // Possible raw string: r"..." or r#"..."#.
-                        let mut j = i + 1;
-                        let mut hashes = 0u8;
-                        while b.get(j) == Some(&'#') {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        if b.get(j) == Some(&'"') {
-                            code.push_str(&b[i..=j].iter().collect::<String>());
-                            masked.push_str(&b[i..=j].iter().collect::<String>());
-                            st = St::RawStr(hashes);
-                            i = j + 1;
-                        } else {
-                            code.push(c);
-                            masked.push(c);
-                            i += 1;
-                        }
-                    } else if c == '\'' {
-                        // Char literal vs lifetime.
-                        if next == Some('\\') {
-                            // '\n' style: copy until closing quote.
-                            let mut j = i + 2;
-                            while j < b.len() && b[j] != '\'' {
-                                j += 1;
-                            }
-                            let lit: String = b[i..=j.min(b.len() - 1)].iter().collect();
-                            code.push_str(&lit);
-                            masked.push_str(&lit);
-                            i = j + 1;
-                        } else if b.get(i + 2) == Some(&'\'') {
-                            let lit: String = b[i..=i + 2].iter().collect();
-                            code.push_str(&lit);
-                            masked.push_str(&lit);
-                            i += 3;
-                        } else {
-                            // Lifetime tick.
-                            code.push(c);
-                            masked.push(c);
-                            i += 1;
-                        }
-                    } else {
-                        code.push(c);
-                        masked.push(c);
-                        i += 1;
-                    }
-                }
-                St::Block(depth) => {
-                    if b[i] == '*' && b.get(i + 1) == Some(&'/') {
-                        st = if depth == 1 {
-                            St::Code
-                        } else {
-                            St::Block(depth - 1)
-                        };
-                        i += 2;
-                    } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
-                        st = St::Block(depth + 1);
-                        i += 2;
-                    } else {
-                        comment.push(b[i]);
-                        i += 1;
-                    }
-                }
-                St::Str => {
-                    let c = b[i];
-                    if c == '\\' {
-                        code.push(c);
-                        if let Some(&e) = b.get(i + 1) {
-                            code.push(e);
-                        }
-                        masked.push(' ');
-                        masked.push(' ');
-                        i += 2;
-                    } else if c == '"' {
-                        code.push('"');
-                        masked.push('"');
-                        st = St::Code;
-                        i += 1;
-                    } else {
-                        code.push(c);
-                        masked.push(' ');
-                        i += 1;
-                    }
-                }
-                St::RawStr(hashes) => {
-                    let c = b[i];
-                    if c == '"' {
-                        let mut ok = true;
-                        for k in 0..hashes as usize {
-                            if b.get(i + 1 + k) != Some(&'#') {
-                                ok = false;
-                                break;
-                            }
-                        }
-                        if ok {
-                            let close: String = b[i..=i + hashes as usize].iter().collect();
-                            code.push_str(&close);
-                            masked.push_str(&close);
-                            st = St::Code;
-                            i += 1 + hashes as usize;
-                            continue;
-                        }
-                    }
-                    code.push(c);
-                    masked.push(' ');
-                    i += 1;
-                }
+        if let Some(ws) = self.line_waivers.get(&lineno) {
+            if let Some(w) = ws.iter().find(|w| w.rule == rule) {
+                return Some(w);
             }
         }
-        out.push(Stripped {
-            raw: raw_line.to_string(),
-            code,
-            masked,
-            comment,
-        });
+        // Innermost covering item: later items are deeper in the tree, so
+        // scan in reverse.
+        self.item_waivers
+            .iter()
+            .rev()
+            .find(|(idx, w)| {
+                w.rule == rule && self.items.get(*idx).is_some_and(|it| it.covers(lineno))
+            })
+            .map(|(_, w)| w)
     }
-    out
-}
 
-/// Mark lines inside `#[cfg(test)]` items by tracking brace depth on the
-/// masked projection (so braces in strings don't confuse the count).
-fn test_regions(lines: &[Stripped]) -> Vec<bool> {
-    let mut flags = vec![false; lines.len()];
-    let mut in_test = false;
-    let mut depth = 0i64;
-    let mut pending = false;
-    for (i, s) in lines.iter().enumerate() {
-        let m = &s.masked;
-        if in_test {
-            flags[i] = true;
-            depth += brace_delta(m);
-            if depth <= 0 {
-                in_test = false;
+    /// All waivers (line-level and item-level) for hygiene checks.
+    pub fn all_waivers(&self) -> Vec<&Waiver> {
+        let mut out: Vec<&Waiver> = self
+            .line_waivers
+            .values()
+            .flat_map(|ws| ws.iter())
+            .collect();
+        out.extend(self.item_waivers.iter().map(|(_, w)| w));
+        out.sort_by_key(|w| (w.declared_on, w.rule.clone()));
+        out
+    }
+
+    /// Resolve every waiver comment to a line or an item.
+    fn attach_waivers(&mut self) {
+        let mut line_waivers: BTreeMap<usize, Vec<Waiver>> = BTreeMap::new();
+        let mut item_waivers: Vec<(usize, Waiver)> = Vec::new();
+        for (i, t) in self.toks.iter().enumerate() {
+            if t.kind != TokKind::LineComment {
+                continue;
             }
-            continue;
-        }
-        if m.contains("#[cfg(test)]") {
-            pending = true;
-        }
-        if pending {
-            flags[i] = true;
-            let opens = m.chars().filter(|&c| c == '{').count() as i64;
-            let delta = brace_delta(m);
-            if opens > 0 && delta > 0 {
-                depth = delta;
-                in_test = true;
-                pending = false;
-            } else if opens > 0 && delta <= 0 {
-                // Single-line item: `#[cfg(test)] fn x() {}`.
-                pending = false;
-            } else if !m.contains("#[cfg(test)]") && m.trim_end().ends_with(';') {
-                // `#[cfg(test)] mod tests;` style — ends without a body.
-                pending = false;
+            let Some(w) = parse_waiver(self.tok_text(t), t.line) else {
+                continue;
+            };
+            // Trailing: any non-trivia token earlier on the same line.
+            let trailing = self.toks[..i]
+                .iter()
+                .rev()
+                .take_while(|p| p.line == t.line)
+                .any(|p| !p.kind.is_trivia());
+            if trailing {
+                line_waivers.entry(t.line).or_default().push(w);
+                continue;
+            }
+            // Standalone: find the next non-trivia token.
+            let next = self.toks[i + 1..].iter().find(|p| !p.kind.is_trivia());
+            let Some(next) = next else {
+                // Dangling waiver at EOF: attach to its own line (it will
+                // be reported stale).
+                line_waivers.entry(t.line).or_default().push(w);
+                continue;
+            };
+            // Item whose header starts exactly on the next code line: the
+            // waiver covers the whole item. The first (outermost) match
+            // wins so a waiver above `mod m { ... }` covers the module.
+            let item = self
+                .items
+                .iter()
+                .position(|it| it.header_line == next.line || it.kw_line == next.line);
+            match item {
+                Some(idx) => item_waivers.push((idx, w)),
+                None => line_waivers.entry(next.line).or_default().push(w),
             }
         }
+        self.line_waivers = line_waivers;
+        self.item_waivers = item_waivers;
     }
-    flags
 }
 
-fn brace_delta(s: &str) -> i64 {
-    let mut d = 0i64;
-    for c in s.chars() {
-        match c {
-            '{' => d += 1,
-            '}' => d -= 1,
-            _ => {}
-        }
-    }
-    d
-}
-
-/// Extract a waiver from one comment's text. Only a comment that *is* a
-/// waiver counts: after the `//` marker and whitespace the text must
-/// start with `lint: allow(` — prose that merely mentions the syntax
-/// (like this sentence) is ignored.
-fn parse_waivers(comment: &str, lineno: usize) -> Vec<Waiver> {
+/// Extract a waiver from one line comment's text. Only a comment that *is*
+/// a waiver counts: after the `//`/`//!`/`///` marker and whitespace the
+/// text must start with `lint: allow(` — prose that merely mentions the
+/// syntax (like this sentence) is ignored.
+fn parse_waiver(comment: &str, lineno: usize) -> Option<Waiver> {
     let body = comment.trim_start_matches(['/', '!']).trim_start();
-    let Some(after) = body.strip_prefix("lint: allow(") else {
-        return Vec::new();
-    };
-    let Some(close) = after.find(')') else {
-        return Vec::new();
-    };
+    let after = body.strip_prefix("lint: allow(")?;
+    let close = after.find(')')?;
     let rule = after[..close].trim().to_string();
     let reason = after[close + 1..].trim().trim_start_matches('-').trim();
-    vec![Waiver {
+    Some(Waiver {
         rule,
         reason: reason.to_string(),
         declared_on: lineno,
-    }]
+    })
 }
 
 #[cfg(test)]
@@ -340,48 +218,32 @@ mod tests {
     use super::*;
 
     #[test]
-    fn strings_are_masked_but_kept_in_code() {
-        let f = SourceFile::parse("x.rs", "quic", "let s = \"HashMap inside\";\n");
-        assert!(f.lines[0].code.contains("HashMap inside"));
-        assert!(!f.lines[0].masked.contains("HashMap"));
-        assert!(f.lines[0].masked.contains("let s = \""));
+    fn strings_and_comments_never_produce_ident_tokens() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "quic",
+            "let s = \"HashMap inside\"; // HashMap too\n",
+        );
+        let idents: Vec<&str> = f
+            .sig_indices()
+            .into_iter()
+            .filter(|&i| f.toks[i].kind == TokKind::Ident)
+            .map(|i| f.tok_text(&f.toks[i]))
+            .collect();
+        assert_eq!(idents, vec!["let", "s"]);
     }
 
     #[test]
-    fn comments_are_removed_from_both() {
-        let src = "let x = 1; // HashMap here\n/* HashMap\nblock */ let y = 2;\n";
-        let f = SourceFile::parse("x.rs", "quic", src);
-        assert!(!f.lines[0].code.contains("HashMap"));
-        assert!(!f.lines[1].code.contains("HashMap"));
-        assert!(f.lines[2].code.contains("let y"));
-    }
-
-    #[test]
-    fn nested_block_comments() {
-        let src = "/* a /* b */ still comment */ let z = 3;\n";
-        let f = SourceFile::parse("x.rs", "quic", src);
-        assert!(f.lines[0].code.contains("let z"));
-        assert!(!f.lines[0].code.contains("still"));
-    }
-
-    #[test]
-    fn raw_strings_and_lifetimes() {
-        let src = "fn f<'a>(x: &'a str) { let r = r#\"Instant::now\"#; let c = '\"'; }\n";
-        let f = SourceFile::parse("x.rs", "quic", src);
-        assert!(!f.lines[0].masked.contains("Instant::now"));
-        assert!(f.lines[0].masked.contains("fn f<'a>"));
-        // The '"' char literal must not open a string.
-        assert!(f.lines[0].masked.contains('}'));
-    }
-
-    #[test]
-    fn cfg_test_region_tracked() {
+    fn cfg_test_region_tracked_by_parser() {
         let src =
             "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
         let f = SourceFile::parse("x.rs", "quic", src);
-        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
-        // (the trailing empty line comes from the final newline)
-        assert_eq!(flags, vec![false, true, true, true, true, false, false]);
+        assert!(!f.is_test(1));
+        assert!(f.is_test(2), "attribute line is part of the test item");
+        assert!(f.is_test(3));
+        assert!(f.is_test(4));
+        assert!(f.is_test(5));
+        assert!(!f.is_test(6));
     }
 
     #[test]
@@ -393,5 +255,33 @@ mod tests {
         let w2 = f.waiver_for(3, "panic");
         assert_eq!(w2.map(|w| w.reason.as_str()), Some("checked above"));
         assert!(f.waiver_for(2, "panic").is_none());
+    }
+
+    #[test]
+    fn item_level_waiver_covers_whole_item() {
+        let src = "// lint: allow(shard-unshareable) per-thread telemetry only\nthread_local! {\n    static A: Cell<u64> = const { Cell::new(0) };\n}\nfn after() {}\n";
+        let f = SourceFile::parse("x.rs", "sim", src);
+        // `thread_local! { .. }` is a MacroCall item, so the waiver covers
+        // the whole block, including the `Cell` on line 3.
+        assert!(f.waiver_for(2, "shard-unshareable").is_some());
+        assert!(f.waiver_for(3, "shard-unshareable").is_some());
+        assert!(f.waiver_for(5, "shard-unshareable").is_none());
+    }
+
+    #[test]
+    fn item_level_waiver_on_fn_covers_every_line_of_the_fn() {
+        let src = "// lint: allow(panic) this path is structurally unreachable\n#[inline]\nfn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let f = SourceFile::parse("x.rs", "quic", src);
+        assert!(f.waiver_for(4, "panic").is_some(), "line inside the fn");
+        assert!(f.waiver_for(5, "panic").is_some(), "closing brace line");
+        assert!(f.waiver_for(6, "panic").is_none(), "after the fn");
+    }
+
+    #[test]
+    fn waiver_without_match_is_line_scoped() {
+        let src = "fn f() {\n    // lint: allow(wall-clock) quarantined\n    let t = now();\n}\n";
+        let f = SourceFile::parse("x.rs", "obs", src);
+        assert!(f.waiver_for(3, "wall-clock").is_some());
+        assert!(f.waiver_for(1, "wall-clock").is_none());
     }
 }

@@ -5,8 +5,13 @@
 //! `trace_event!` kind and `tracer.count`/`tracer.observe` metric name
 //! from (non-test) source, and reports drift in both directions: kinds or
 //! metrics emitted but undocumented, and documented but never emitted.
+//!
+//! Extraction walks the token stream, so an emission reformatted across
+//! any number of lines is still one site, and the finding lands on the
+//! line of the call itself — where a waiver comment naturally sits.
 
-use crate::rules::Violation;
+use crate::lexer::TokKind;
+use crate::rules::{report, Violation, WaiverUse};
 use crate::scan::SourceFile;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -111,86 +116,103 @@ pub struct Emission {
     pub metric: Option<String>,
 }
 
+/// Strip the quotes off a plain string-literal token (`"x"` → `x`);
+/// raw/byte strings are not used for taxonomy names.
+fn str_content(text: &str) -> Option<&str> {
+    text.strip_prefix('"')?.strip_suffix('"')
+}
+
 /// Extract event kinds and metric names from the non-test code of `f`.
 pub fn extract(f: &SourceFile) -> Vec<Emission> {
-    // Concatenate non-test code lines (string literals intact) with a
-    // byte-offset → line map so multi-line macro calls scan cleanly.
-    let mut text = String::new();
-    let mut line_starts = Vec::new();
-    for (i, l) in f.lines.iter().enumerate() {
-        if l.in_test {
-            continue;
+    let sig = f.sig_indices();
+    let text = |s: usize| -> &str {
+        match sig.get(s) {
+            Some(&i) => f.tok_text(&f.toks[i]),
+            None => "",
         }
-        line_starts.push((text.len(), i + 1));
-        text.push_str(&l.code);
-        text.push('\n');
-    }
-    let line_of = |off: usize| match line_starts.binary_search_by_key(&off, |&(o, _)| o) {
-        Ok(idx) => line_starts[idx].1,
-        Err(0) => 1,
-        Err(idx) => line_starts[idx - 1].1,
     };
+    let kind_of = |s: usize| -> Option<TokKind> { sig.get(s).map(|&i| f.toks[i].kind) };
 
     let mut out = Vec::new();
-    // trace_event!(tracer, t, Layer::X, "kind", ...)
-    let mut start = 0;
-    while let Some(pos) = text[start..].find("trace_event!(") {
-        let abs = start + pos;
-        let window = &text[abs..text.len().min(abs + 400)];
-        if let Some(lpos) = window.find("Layer::") {
-            let after_layer = &window[lpos + "Layer::".len()..];
-            let layer: String = after_layer
-                .chars()
-                .take_while(|c| c.is_alphanumeric())
-                .collect();
-            if let Some(q) = after_layer.find('"') {
-                let lit = &after_layer[q + 1..];
-                if let Some(endq) = lit.find('"') {
-                    out.push(Emission {
-                        path: f.rel_path.clone(),
-                        line: line_of(abs),
-                        kind: Some((layer.to_ascii_lowercase(), lit[..endq].to_string())),
-                        metric: None,
-                    });
-                }
-            }
+    for s in 0..sig.len() {
+        let anchor = &f.toks[sig[s]];
+        if anchor.kind != TokKind::Ident || f.is_test(anchor.line) {
+            continue;
         }
-        start = abs + "trace_event!(".len();
-    }
-    // tracer.count("name", ...) / tracer.observe("name", ...) — rustfmt
-    // may break the line after the paren, so skip whitespace to the quote.
-    // `::observe(` catches the profiler's free-function gauges
-    // (`voxel_obs::observe("obs.queue_depth", ..)`) and `.set_counter(`
-    // the snapshot-time injections (`snap.set_counter("trace.dropped", ..)`).
-    for pat in [".count(", ".observe(", "::observe(", ".set_counter("] {
-        let mut start = 0;
-        while let Some(pos) = text[start..].find(pat) {
-            let abs = start + pos;
-            let after = &text[abs + pat.len()..];
-            let lead = after.len() - after.trim_start().len();
-            if let Some(lit) = after.trim_start().strip_prefix('"') {
-                if let Some(endq) = lit.find('"') {
-                    out.push(Emission {
-                        path: f.rel_path.clone(),
-                        line: line_of(abs + pat.len() + lead + 1),
-                        kind: None,
-                        metric: Some(lit[..endq].to_string()),
-                    });
+        let t = text(s);
+
+        // trace_event!(tracer, t, Layer::X, "kind", ...) — however many
+        // lines rustfmt spreads it over. The finding anchors to the line
+        // of `trace_event` itself.
+        if t == "trace_event" && text(s + 1) == "!" && text(s + 2) == "(" {
+            let mut depth = 1i32;
+            let mut j = s + 3;
+            let mut layer: Option<String> = None;
+            let mut kind: Option<String> = None;
+            while j < sig.len() && depth > 0 && kind.is_none() {
+                match text(j) {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    "Layer" if text(j + 1) == ":" && text(j + 2) == ":" => {
+                        layer = Some(text(j + 3).to_ascii_lowercase());
+                        j += 3;
+                    }
+                    lit if layer.is_some() && kind_of(j) == Some(TokKind::Str) => {
+                        kind = str_content(lit).map(str::to_string);
+                    }
+                    _ => {}
                 }
+                j += 1;
             }
-            start = abs + pat.len();
+            if let (Some(layer), Some(kind)) = (layer, kind) {
+                out.push(Emission {
+                    path: f.rel_path.clone(),
+                    line: anchor.line,
+                    kind: Some((layer, kind)),
+                    metric: None,
+                });
+            }
+            continue;
+        }
+
+        // tracer.count("name", ..) / .observe( / .set_counter( — plus the
+        // profiler's free-function form `voxel_obs::observe("name", ..)`.
+        let is_metric_call = matches!(t, "count" | "observe" | "set_counter")
+            && text(s + 1) == "("
+            && kind_of(s + 2) == Some(TokKind::Str)
+            && (text(s.wrapping_sub(1)) == "."
+                || (t == "observe" && s >= 2 && text(s - 1) == ":" && text(s - 2) == ":"));
+        if is_metric_call {
+            if let Some(name) = str_content(text(s + 2)) {
+                out.push(Emission {
+                    path: f.rel_path.clone(),
+                    line: anchor.line,
+                    kind: None,
+                    metric: Some(name.to_string()),
+                });
+            }
         }
     }
     out
 }
 
 /// Cross-check emissions against the documented taxonomy (both ways).
+/// Undocumented-emission findings are waivable at the emission site
+/// (`trace-taxonomy`); documented-but-never-emitted drift has no code
+/// line to waive on and stays hard.
 pub fn cross_check(
     tax: &Taxonomy,
     emissions: &[Emission],
     design_path: &str,
+    files: &BTreeMap<&str, &SourceFile>,
+    uses: &mut WaiverUse,
     out: &mut Vec<Violation>,
 ) {
+    let mut at_site =
+        |path: &str, line: usize, msg: String, out: &mut Vec<Violation>| match files.get(path) {
+            Some(f) => report(f, line, "trace-taxonomy", msg, uses, out),
+            None => out.push(Violation::new(path, line, "trace-taxonomy", msg)),
+        };
     let mut seen_kinds: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
     let mut seen_metrics: BTreeSet<String> = BTreeSet::new();
     for e in emissions {
@@ -201,25 +223,25 @@ pub fn cross_check(
                 .insert(kind.clone());
             let documented = tax.kinds.get(layer).is_some_and(|set| set.contains(kind));
             if !documented {
-                out.push(Violation {
-                    path: e.path.clone(),
-                    line: e.line,
-                    rule: "trace-taxonomy",
-                    msg: format!(
+                at_site(
+                    &e.path,
+                    e.line,
+                    format!(
                         "event kind `{kind}` (layer `{layer}`) is not in the DESIGN.md §9 table"
                     ),
-                });
+                    out,
+                );
             }
         }
         if let Some(m) = &e.metric {
             seen_metrics.insert(m.clone());
             if !tax.metrics.contains(m) {
-                out.push(Violation {
-                    path: e.path.clone(),
-                    line: e.line,
-                    rule: "trace-taxonomy",
-                    msg: format!("metric `{m}` is not in the DESIGN.md §9 table"),
-                });
+                at_site(
+                    &e.path,
+                    e.line,
+                    format!("metric `{m}` is not in the DESIGN.md §9 table"),
+                    out,
+                );
             }
         }
     }
@@ -227,25 +249,23 @@ pub fn cross_check(
         for kind in kinds {
             let emitted = seen_kinds.get(layer).is_some_and(|s| s.contains(kind));
             if !emitted {
-                out.push(Violation {
-                    path: design_path.to_string(),
-                    line: 0,
-                    rule: "trace-taxonomy",
-                    msg: format!(
-                        "documented event kind `{kind}` (layer `{layer}`) is never emitted"
-                    ),
-                });
+                out.push(Violation::new(
+                    design_path,
+                    0,
+                    "trace-taxonomy",
+                    format!("documented event kind `{kind}` (layer `{layer}`) is never emitted"),
+                ));
             }
         }
     }
     for m in &tax.metrics {
         if !seen_metrics.contains(m) {
-            out.push(Violation {
-                path: design_path.to_string(),
-                line: 0,
-                rule: "trace-taxonomy",
-                msg: format!("documented metric `{m}` is never emitted"),
-            });
+            out.push(Violation::new(
+                design_path,
+                0,
+                "trace-taxonomy",
+                format!("documented metric `{m}` is never emitted"),
+            ));
         }
     }
 }
@@ -262,6 +282,20 @@ mod tests {
 | `quic` | `pkt_sent`, `loss` | counters `quic.packets_sent`, `.loss_events` | `quic.cwnd_bytes` |
 | `session` | `trial_start`, `progress` (debug) | — | — |
 ";
+
+    fn check(tax: &Taxonomy, fs: &[&SourceFile]) -> Vec<Violation> {
+        let mut emissions = Vec::new();
+        let mut map = BTreeMap::new();
+        for f in fs {
+            emissions.extend(extract(f));
+            map.insert(f.rel_path.as_str(), *f);
+        }
+        let mut uses = WaiverUse::default();
+        let mut out = Vec::new();
+        cross_check(tax, &emissions, "DESIGN.md", &map, &mut uses, &mut out);
+        out.retain(|v| !v.waived);
+        out
+    }
 
     #[test]
     fn parses_table_with_prefix_expansion() {
@@ -288,13 +322,13 @@ mod tests {
         let f = SourceFile::parse("crates/quic/src/x.rs", "quic", src);
         let em = extract(&f);
         assert_eq!(em.len(), 2);
+        assert_eq!(em[0].metric, Some("quic.packets_sent".to_string()));
+        assert_eq!(em[0].line, 2);
         assert_eq!(
-            em[0].kind,
+            em[1].kind,
             Some(("quic".to_string(), "pkt_sent".to_string()))
         );
-        assert_eq!(em[0].line, 3);
-        assert_eq!(em[1].metric, Some("quic.packets_sent".to_string()));
-        assert_eq!(em[1].line, 2);
+        assert_eq!(em[1].line, 3, "finding anchors to the trace_event! line");
     }
 
     #[test]
@@ -302,8 +336,7 @@ mod tests {
         let tax = parse_design(TABLE).expect("table parses");
         let src = "fn f() {\n    trace_event!(tracer, t, Layer::Quic, \"mystery\", \"a\" = 1);\n    tracer.count(\"quic.packets_sent\", 1);\n    tracer.count(\"quic.loss_events\", 1);\n    tracer.observe(\"quic.cwnd_bytes\", 1);\n}\n";
         let f = SourceFile::parse("crates/quic/src/x.rs", "quic", src);
-        let mut out = Vec::new();
-        cross_check(&tax, &extract(&f), "DESIGN.md", &mut out);
+        let out = check(&tax, &[&f]);
         let msgs: Vec<_> = out.iter().map(|v| v.msg.as_str()).collect();
         assert!(msgs.iter().any(|m| m.contains("`mystery`")), "{msgs:?}");
         // Documented kinds never emitted: pkt_sent, loss, trial_start, progress.
@@ -322,7 +355,7 @@ mod tests {
         let em = extract(&f);
         assert_eq!(em.len(), 1);
         assert_eq!(em[0].metric, Some("fleet.session_stall_ms".to_string()));
-        assert_eq!(em[0].line, 3);
+        assert_eq!(em[0].line, 2, "anchored to the call, where a waiver sits");
     }
 
     #[test]
@@ -341,9 +374,23 @@ mod tests {
     }
 
     #[test]
-    fn extract_skips_test_modules() {
+    fn extract_skips_test_modules_and_string_mentions() {
         let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t(tracer: &Tracer) { tracer.count(\"fake.metric\", 1); }\n}\n";
         let f = SourceFile::parse("crates/quic/src/x.rs", "quic", src);
         assert!(extract(&f).is_empty());
+        // A string mentioning the pattern is not an emission.
+        let s2 = "fn f() { let doc = \"call tracer.count(\\\"x\\\", 1)\"; }\n";
+        let f2 = SourceFile::parse("crates/quic/src/y.rs", "quic", s2);
+        assert!(extract(&f2).is_empty());
+    }
+
+    #[test]
+    fn undocumented_emission_is_waivable_at_the_call_line() {
+        let tax = parse_design(TABLE).expect("table parses");
+        // Emit everything documented so only the waiver behaviour is under test.
+        let base = "fn f() {\n    trace_event!(t, n, Layer::Quic, \"pkt_sent\");\n    trace_event!(t, n, Layer::Quic, \"loss\");\n    trace_event!(t, n, Layer::Session, \"trial_start\");\n    trace_event!(t, n, Layer::Session, \"progress\");\n    tracer.count(\"quic.packets_sent\", 1);\n    tracer.count(\"quic.loss_events\", 1);\n    tracer.observe(\"quic.cwnd_bytes\", 1);\n    // lint: allow(trace-taxonomy) experimental kind, graduates with the shard work\n    trace_event!(\n        t,\n        n,\n        Layer::Quic,\n        \"experimental\",\n    );\n}\n";
+        let f = SourceFile::parse("crates/quic/src/x.rs", "quic", base);
+        let out = check(&tax, &[&f]);
+        assert!(out.is_empty(), "{out:?}");
     }
 }

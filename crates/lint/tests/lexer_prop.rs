@@ -1,0 +1,65 @@
+//! Property tests for the lexer: total on arbitrary input, and token
+//! spans exactly tile the source.
+
+use proptest::prelude::*;
+use voxel_lint::lexer::lex;
+use voxel_lint::parse;
+use voxel_lint::scan::SourceFile;
+
+/// Spans start at 0, are contiguous and non-empty, end at `len`, and
+/// line numbers never decrease.
+fn assert_tiles(src: &str) -> Result<(), String> {
+    let toks = lex(src);
+    let mut pos = 0usize;
+    let mut line = 1usize;
+    for t in &toks {
+        if t.start != pos {
+            return Err(format!(
+                "gap: token starts at {} expected {pos} in {src:?}",
+                t.start
+            ));
+        }
+        if t.end <= t.start {
+            return Err(format!("empty token at {} in {src:?}", t.start));
+        }
+        if t.line < line {
+            return Err(format!("line went backwards at {} in {src:?}", t.start));
+        }
+        line = t.line;
+        pos = t.end;
+    }
+    if pos != src.len() {
+        return Err(format!(
+            "coverage ends at {pos}, source is {} bytes: {src:?}",
+            src.len()
+        ));
+    }
+    // The downstream layers must be total too.
+    let _ = parse::parse(src, &toks);
+    let _ = SourceFile::parse("soup.rs", "quic", src);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes (lossily decoded) never panic the lexer and
+    /// always tile.
+    #[test]
+    fn lexer_total_on_byte_soup(bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..160)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let r = assert_tiles(&src);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+
+    /// Soup biased toward Rust's hard cases: quotes, raw-string hashes,
+    /// comment openers, lifetimes, braces.
+    #[test]
+    fn lexer_total_on_rusty_soup(
+        parts in proptest::collection::vec("[\"'a-z0-9/* #\\\\{}()!br=._\n-]{0,8}", 0..24),
+    ) {
+        let src = parts.concat();
+        let r = assert_tiles(&src);
+        prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+    }
+}

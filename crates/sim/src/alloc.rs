@@ -12,8 +12,9 @@
 //! identical seeds produce identical timelines whether or not anyone is
 //! watching the counter.
 
-use std::cell::Cell;
+use std::cell::Cell; // lint: allow(shard-unshareable) telemetry-only counter; each shard keeps its own, nothing reads across threads
 
+// lint: allow(shard-unshareable) per-thread allocation tally: shard-local by design, diffed on the owning thread only
 thread_local! {
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
 }
