@@ -29,6 +29,9 @@ VOXEL_SEEDS="${VOXEL_SEEDS:-3}" cargo run -q --release -p voxel-bench --bin conf
 echo "==> tier-2: testkit canary (armed stall-skew must be caught and minimized)"
 VOXEL_TESTKIT_FAULT=stall_off_by_one cargo run -q --release -p voxel-bench --bin conformance
 
+echo "==> tier-2: sharded parity (golden fleets at VOXEL_SHARD_WORKERS=max must match workers=1 byte-for-byte)"
+VOXEL_SHARD_WORKERS=max cargo run -q --release -p voxel-bench --bin conformance -- --fleets-only
+
 echo "==> perf: criterion smoke (fleet scaling / rangeset / session loop)"
 VOXEL_BENCH_FAST=1 cargo bench -q -p voxel-bench --bench fleet
 

@@ -2,11 +2,16 @@
 //!
 //! Runs the deterministic-simulation conformance suite: a scenario matrix
 //! plus fault-injection scenarios, each across K seeds with every oracle
-//! armed, plus the golden timeline digests. Failures are minimized to a
+//! armed, plus the golden timeline digests. Every golden fleet runs as a
+//! sharded-parity sweep — workers 1, 2, and the machine's maximum — and
+//! must produce byte-identical timelines and identical metrics at every
+//! count before its digest is even checked. Failures are minimized to a
 //! `(seed, trials, trace-prefix)` triple with a ready-to-paste `#[test]`.
 //!
 //! ```text
-//! cargo run --release -p voxel-bench --bin conformance
+//! cargo run --release -p voxel-bench --bin conformance [-- --fleets-only]
+//! --fleets-only           # only the golden-fleet parity sweep (the
+//!     # ci.sh sharded-parity step; skips the scenario sweep and bench)
 //! VOXEL_SEEDS=8           # sweep seed count (default 5)
 //! VOXEL_BLESS=1           # re-bless the golden digests
 //! VOXEL_TESTKIT_FAULT=stall_off_by_one   # canary self-test: arm the
@@ -63,6 +68,67 @@ fn print_failures(report: &SweepReport) {
     }
 }
 
+/// Worker counts for the golden-fleet parity sweep: the single-threaded
+/// reference, the smallest real shard split, and everything this machine
+/// has. Deduplicated so single-core machines still sweep {1, 2}.
+fn parity_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut counts = vec![1, 2];
+    if !counts.contains(&max) {
+        counts.push(max);
+    }
+    counts
+}
+
+/// Run every golden fleet as a sharded-parity sweep, then check (or
+/// bless) its digest against the workers=1 reference timeline.
+fn run_fleet_goldens(content: &Content, golden_dir: &std::path::Path) -> Result<bool, String> {
+    let counts = parity_counts();
+    let mut fleets_ok = true;
+    for g in voxel_testkit::canonical_fleets() {
+        let started = Instant::now();
+        let (reference, violations) = voxel_testkit::shard_parity_failures(&g, content, &counts)?;
+        if !violations.is_empty() {
+            println!("FAIL fleet {} parity sweep (w {counts:?}):", g.name);
+            for v in &violations {
+                println!("  - {v}");
+            }
+            if let Some(p) = &reference.postmortem {
+                println!("{p}");
+            }
+            fleets_ok = false;
+            continue;
+        }
+        match check_or_bless(golden_dir, &g, &reference.timeline) {
+            Ok(GoldenStatus::Matched) => println!(
+                "# fleet {}: ok, parity holds at w {counts:?} ({:.1}s)",
+                g.name,
+                started.elapsed().as_secs_f64()
+            ),
+            Ok(GoldenStatus::Blessed) => {
+                println!("# fleet {}: blessed, parity holds at w {counts:?}", g.name)
+            }
+            Err(e) => {
+                println!("FAIL fleet {}: {e}", g.name);
+                fleets_ok = false;
+            }
+        }
+    }
+    Ok(fleets_ok)
+}
+
+/// The `--fleets-only` mode: just the golden-fleet parity sweep + digest
+/// check. This is ci.sh's sharded-parity step.
+fn run_fleets_only() -> Result<bool, String> {
+    let counts = parity_counts();
+    println!("# conformance --fleets-only: golden-fleet parity sweep at w {counts:?}");
+    let content = Content::new();
+    let golden_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden");
+    run_fleet_goldens(&content, &golden_dir)
+}
+
 fn run_conformance() -> Result<bool, String> {
     let seeds = seeds();
     let all = scenarios()?;
@@ -107,31 +173,7 @@ fn run_conformance() -> Result<bool, String> {
             }
         }
     }
-    let mut fleets_ok = true;
-    for g in voxel_testkit::canonical_fleets() {
-        let started = Instant::now();
-        let run = voxel_testkit::run_fleet_golden(&g, &content)?;
-        if !run.failures.is_empty() {
-            println!("FAIL fleet {}: {:?}", g.name, run.failures);
-            if let Some(p) = &run.postmortem {
-                println!("{p}");
-            }
-            fleets_ok = false;
-            continue;
-        }
-        match check_or_bless(&golden_dir, &g, &run.timeline) {
-            Ok(GoldenStatus::Matched) => println!(
-                "# fleet {}: ok ({:.1}s)",
-                g.name,
-                started.elapsed().as_secs_f64()
-            ),
-            Ok(GoldenStatus::Blessed) => println!("# fleet {}: blessed", g.name),
-            Err(e) => {
-                println!("FAIL fleet {}: {e}", g.name);
-                fleets_ok = false;
-            }
-        }
-    }
+    let fleets_ok = run_fleet_goldens(&content, &golden_dir)?;
 
     // Snapshot the perf baseline alongside the goldens so every green
     // conformance run leaves a fresh, checkable BENCH_5.json behind.
@@ -152,9 +194,9 @@ fn run_conformance() -> Result<bool, String> {
         .and_then(|mut f| writeln!(f, "{}", bench5.history_line()))
         .map_err(|e| format!("appending {}: {e}", history_path.display()))?;
     println!("# perf history appended to {}", history_path.display());
-    for p in &bench5.fleet_scaling {
+    for p in bench5.fleet_scaling.iter().chain([&bench5.fleet_bulk]) {
         println!(
-            "#   {:>2} sessions: {:>8.0} steps/s ({:.0} ms wall, jain {:.3})",
+            "#   {:>4} sessions: {:>8.0} steps/s ({:.0} ms wall, jain {:.3})",
             p.sessions, p.steps_per_sec, p.wall_ms, p.jain
         );
     }
@@ -194,11 +236,22 @@ fn run_canary() -> Result<bool, String> {
 }
 
 fn main() -> ExitCode {
+    let mut fleets_only = false;
+    for a in std::env::args().skip(1) {
+        if a == "--fleets-only" {
+            fleets_only = true;
+        } else {
+            eprintln!("conformance: unexpected argument {a:?}");
+            eprintln!("usage: conformance [--fleets-only]");
+            return ExitCode::FAILURE;
+        }
+    }
     let outcome = match std::env::var("VOXEL_TESTKIT_FAULT").ok().as_deref() {
         Some("stall_off_by_one") | Some("stall_skew") => run_canary(),
         Some(other) => Err(format!(
             "unknown VOXEL_TESTKIT_FAULT {other:?} (expected stall_off_by_one)"
         )),
+        None if fleets_only => run_fleets_only(),
         None => run_conformance(),
     };
     match outcome {

@@ -6,10 +6,20 @@
 //! - **fleet_scaling** — wall time and event-loop rate of a homogeneous
 //!   VOXEL fleet at 1/2/4/8/16 sessions on one shared 6 Mbit/s link
 //!   (capped at 60 simulated seconds so the full series stays cheap);
+//! - **fleet_bulk** — a 1000-session homogeneous fleet on one 600 Mbit/s
+//!   link, capped at 10 simulated seconds: the sharded runtime's scale
+//!   workload. Its per-session rate must stay within
+//!   [`FLEET_FLATNESS_RATIO`] of the 16-session point (the flatness
+//!   gate), or per-event cost has regressed to growing with fleet size;
 //! - **rangeset** — `voxel_quic::range::RangeSet` ACK-tracking ops/sec
 //!   (scattered inserts + membership/gap queries);
 //! - **session_loop** — single-session fleet event-loop steps/sec over a
 //!   full (uncapped) 120 s trial.
+//!
+//! `loop_iters` counts *summed per-session* advance-loop iterations (the
+//! sharded runtime's invariant across worker counts), so `steps_per_sec`
+//! denominators scale linearly with fleet size and the flatness gate has
+//! a sane basis.
 //!
 //! The same workloads back the Criterion suite in `benches/fleet.rs`;
 //! this module exists so conformance can snapshot them without the bench
@@ -25,6 +35,16 @@ use voxel_trace::Tracer;
 /// Session counts of the fleet-scaling series, in order.
 pub const FLEET_SCALING_SESSIONS: [usize; 5] = [1, 2, 4, 8, 16];
 
+/// Sessions in the bulk fleet workload (`fleet1k`).
+pub const FLEET_BULK_SESSIONS: usize = 1000;
+
+/// Flatness gate: the bulk fleet's per-iteration rate must be at least
+/// this fraction of the 16-session point's. Coordination cost per round
+/// grows with fleet size (routing, merge sort, link pump), so some
+/// decay is expected — but a collapse below this floor means per-event
+/// cost is growing with the session count again.
+pub const FLEET_FLATNESS_RATIO: f64 = 0.2;
+
 /// Membership/gap queries + inserts per [`rangeset_workload`] call.
 pub const RANGESET_OPS_PER_CALL: u64 = 2048;
 
@@ -36,6 +56,14 @@ pub fn fleet_scaling_spec(sessions: usize) -> String {
 /// The uncapped single-session workload behind `session_loop`.
 pub fn session_loop_spec() -> String {
     "BBB:1xVOXEL:const8:buf3:q64:d120:drr:stg0".into()
+}
+
+/// The 1000-session bulk workload (`fleet1k`): everything starts at
+/// once, the queue is sized for the fleet, and a 10 s cap bounds the
+/// wall cost while still covering startup, steady state, and the
+/// cap-freeze path at scale.
+pub fn fleet_bulk_spec() -> String {
+    format!("BBB:{FLEET_BULK_SESSIONS}xVOXEL:const600:buf3:q4096:d30:drr:stg0:cap10")
 }
 
 /// One measured point of the fleet-scaling series.
@@ -86,6 +114,8 @@ impl OpsPoint {
 pub struct Bench5 {
     /// Fleet-scaling series, one point per [`FLEET_SCALING_SESSIONS`].
     pub fleet_scaling: Vec<FleetPoint>,
+    /// The [`FLEET_BULK_SESSIONS`]-session bulk point (`fleet1k`).
+    pub fleet_bulk: FleetPoint,
     /// RangeSet ACK-tracking throughput.
     pub rangeset: OpsPoint,
     /// Single-session event-loop rate (ops = loop iterations).
@@ -99,9 +129,8 @@ fn timed_fleet(spec: &str, cache: &ContentCache) -> Result<(FleetResult, f64), S
     Ok((r, started.elapsed().as_secs_f64() * 1000.0))
 }
 
-/// Run one fleet-scaling point.
-pub fn run_fleet_point(sessions: usize, cache: &ContentCache) -> Result<FleetPoint, String> {
-    let (r, wall_ms) = timed_fleet(&fleet_scaling_spec(sessions), cache)?;
+fn fleet_point(spec: &str, sessions: usize, cache: &ContentCache) -> Result<FleetPoint, String> {
+    let (r, wall_ms) = timed_fleet(spec, cache)?;
     Ok(FleetPoint {
         sessions,
         wall_ms,
@@ -114,6 +143,16 @@ pub fn run_fleet_point(sessions: usize, cache: &ContentCache) -> Result<FleetPoi
         sim_end_s: r.end_s,
         jain: r.jain,
     })
+}
+
+/// Run one fleet-scaling point.
+pub fn run_fleet_point(sessions: usize, cache: &ContentCache) -> Result<FleetPoint, String> {
+    fleet_point(&fleet_scaling_spec(sessions), sessions, cache)
+}
+
+/// Run the bulk (`fleet1k`) point.
+pub fn run_fleet_bulk_point(cache: &ContentCache) -> Result<FleetPoint, String> {
+    fleet_point(&fleet_bulk_spec(), FLEET_BULK_SESSIONS, cache)
 }
 
 /// The RangeSet ACK-tracking workload: scattered inserts (coalescing and
@@ -156,11 +195,13 @@ pub fn collect(cache: &ContentCache) -> Result<Bench5, String> {
     for sessions in FLEET_SCALING_SESSIONS {
         fleet_scaling.push(run_fleet_point(sessions, cache)?);
     }
+    let fleet_bulk = run_fleet_bulk_point(cache)?;
     let rangeset = measure_rangeset();
     let (r, wall_ms) = timed_fleet(&session_loop_spec(), cache)?;
     let session_loop = OpsPoint::new(r.loop_iters, wall_ms);
     Ok(Bench5 {
         fleet_scaling,
+        fleet_bulk,
         rangeset,
         session_loop,
     })
@@ -175,6 +216,7 @@ impl Bench5 {
             .iter()
             .map(|p| (format!("fleet{}", p.sessions), p.steps_per_sec))
             .collect();
+        w.push(("fleet1k".into(), self.fleet_bulk.steps_per_sec));
         w.push(("rangeset".into(), self.rangeset.ops_per_sec));
         w.push(("session_loop".into(), self.session_loop.ops_per_sec));
         w
@@ -214,6 +256,13 @@ impl Bench5 {
             );
         }
         s.push_str("  ],\n");
+        let p = &self.fleet_bulk;
+        let _ = writeln!(
+            s,
+            "  \"fleet_bulk\": {{\"sessions\": {}, \"wall_ms\": {:.3}, \"loop_iters\": {}, \
+             \"steps_per_sec\": {:.1}, \"sim_end_s\": {:.3}, \"jain\": {:.6}}},",
+            p.sessions, p.wall_ms, p.loop_iters, p.steps_per_sec, p.sim_end_s, p.jain,
+        );
         for (key, p) in [
             ("rangeset", &self.rangeset),
             ("session_loop", &self.session_loop),
@@ -247,6 +296,13 @@ mod tests {
         let s = FleetSpec::parse(&session_loop_spec()).expect("spec");
         assert_eq!(s.total_sessions(), 1);
         assert_eq!(s.cap_s, None);
+        // The bulk workload: 1000 capped sessions, no worker pin (so the
+        // conformance environment's VOXEL_SHARD_WORKERS applies).
+        let b = FleetSpec::parse(&fleet_bulk_spec()).expect("spec");
+        assert_eq!(b.total_sessions(), FLEET_BULK_SESSIONS);
+        assert_eq!(b.cap_s, Some(10));
+        assert_eq!(b.workers, None);
+        assert!(b.homogeneous());
     }
 
     #[test]
@@ -256,45 +312,46 @@ mod tests {
         assert!(a > 0);
     }
 
+    fn point(sessions: usize) -> FleetPoint {
+        FleetPoint {
+            sessions,
+            wall_ms: 10.0,
+            loop_iters: 100,
+            steps_per_sec: 10_000.0,
+            sim_end_s: 60.0,
+            jain: 1.0,
+        }
+    }
+
     #[test]
     fn json_shape_is_parseable_by_the_checker() {
         let b = Bench5 {
-            fleet_scaling: vec![FleetPoint {
-                sessions: 1,
-                wall_ms: 10.0,
-                loop_iters: 100,
-                steps_per_sec: 10_000.0,
-                sim_end_s: 60.0,
-                jain: 1.0,
-            }],
+            fleet_scaling: vec![point(1)],
+            fleet_bulk: point(FLEET_BULK_SESSIONS),
             rangeset: OpsPoint::new(2048, 1.0),
             session_loop: OpsPoint::new(100, 10.0),
         };
         let j = b.to_json();
         assert!(j.contains("\"schema\": \"voxel-bench5-v1\""));
         assert!(j.contains("\"sessions\": 1"));
+        assert!(j.contains("\"fleet_bulk\": {\"sessions\": 1000"));
         assert!(j.contains("\"ops_per_sec\": 2048000.0"));
     }
 
     #[test]
     fn history_line_names_every_workload() {
         let b = Bench5 {
-            fleet_scaling: vec![FleetPoint {
-                sessions: 8,
-                wall_ms: 10.0,
-                loop_iters: 100,
-                steps_per_sec: 10_000.0,
-                sim_end_s: 60.0,
-                jain: 1.0,
-            }],
+            fleet_scaling: vec![point(8)],
+            fleet_bulk: point(FLEET_BULK_SESSIONS),
             rangeset: OpsPoint::new(2048, 1.0),
             session_loop: OpsPoint::new(100, 10.0),
         };
         let line = b.history_line();
         assert!(!line.contains('\n'), "one JSONL record per snapshot");
         assert!(line.contains("\"fleet8\": 10000.0"), "{line}");
+        assert!(line.contains("\"fleet1k\": 10000.0"), "{line}");
         assert!(line.contains("\"rangeset\": 2048000.0"), "{line}");
         assert!(line.contains("\"session_loop\": 10000.0"), "{line}");
-        assert_eq!(b.workloads().len(), 3);
+        assert_eq!(b.workloads().len(), 4);
     }
 }

@@ -22,7 +22,7 @@ use voxel_abr::{Abr, AbrStar, Beta, Bola, BolaSsim, Mpc, MpcStar, ThroughputAbr}
 use voxel_media::content::VideoId;
 use voxel_media::qoe::{QoeMetric, QoeModel};
 use voxel_media::video::Video;
-use voxel_netem::{BandwidthTrace, FaultPlane, PathConfig};
+use voxel_netem::{BandwidthTrace, Discipline, FaultPlane, PathConfig};
 use voxel_prep::manifest::Manifest;
 use voxel_quic::CcKind;
 use voxel_sim::SimDuration;
@@ -229,6 +229,14 @@ pub struct Config {
     /// stall accounting so the conformance sweep's drift oracle has a
     /// known-bad target. Never enable in real experiments.
     pub debug_stall_skew: bool,
+    /// Scheduling discipline of the shared bottleneck queue, effective
+    /// only for fleet runs (`.fleet(n)` with `n > 1`); single-session
+    /// paths own the whole bottleneck. DRR by default.
+    pub discipline: Discipline,
+    /// Shard worker threads for fleet runs. `None` defers to the
+    /// `VOXEL_SHARD_WORKERS` environment knob (default 1). A performance
+    /// knob only: results are byte-identical at every worker count.
+    pub workers: Option<usize>,
 }
 
 impl Config {
@@ -252,6 +260,8 @@ impl Config {
             cc: CcKind::Cubic,
             tracing: Tracing::default(),
             debug_stall_skew: false,
+            discipline: Discipline::drr(),
+            workers: None,
         }
     }
 
@@ -322,6 +332,8 @@ pub struct ExperimentBuilder {
     cc: CcKind,
     tracing: Tracing,
     debug_stall_skew: bool,
+    discipline: Discipline,
+    workers: Option<usize>,
     fleet: usize,
 }
 
@@ -339,6 +351,8 @@ impl Default for ExperimentBuilder {
             cc: CcKind::Cubic,
             tracing: Tracing::Off,
             debug_stall_skew: false,
+            discipline: Discipline::drr(),
+            workers: None,
             fleet: 1,
         }
     }
@@ -414,6 +428,22 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Scheduling discipline of the shared bottleneck queue (fleet runs
+    /// only; DRR by default, matching the paper's router model).
+    pub fn discipline(mut self, discipline: Discipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Shard worker threads for fleet runs. Purely a performance knob:
+    /// the fleet runtime's timelines and metrics are byte-identical at
+    /// every worker count. `None` (the default) defers to the
+    /// `VOXEL_SHARD_WORKERS` environment variable.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
     /// Number of concurrent sessions sharing one bottleneck link.
     /// `1` (the default) is the classic single-session experiment; larger
     /// fleets are executed by the `voxel-fleet` runtime, which consumes
@@ -441,6 +471,8 @@ impl ExperimentBuilder {
                 cc: self.cc,
                 tracing: self.tracing,
                 debug_stall_skew: self.debug_stall_skew,
+                discipline: self.discipline,
+                workers: self.workers,
             },
             fleet: self.fleet,
         }
@@ -641,6 +673,8 @@ mod tests {
             .trials(5)
             .selective_retx(false)
             .cc(CcKind::Delay)
+            .discipline(Discipline::Fifo)
+            .workers(2)
             .fleet(4)
             .build();
         let c = e.config();
@@ -650,7 +684,16 @@ mod tests {
         assert_eq!(c.queue_packets, 750);
         assert!(!c.selective_retx);
         assert_eq!(c.cc, CcKind::Delay);
+        assert_eq!(c.discipline, Discipline::Fifo);
+        assert_eq!(c.workers, Some(2));
         assert_eq!(e.fleet_size(), 4);
+    }
+
+    #[test]
+    fn discipline_and_workers_default_conservatively() {
+        let c = Experiment::builder().build().into_config();
+        assert_eq!(c.discipline, Discipline::drr());
+        assert_eq!(c.workers, None);
     }
 
     #[test]

@@ -15,22 +15,28 @@
 //!   (`BBB:4xVOXEL+2xBOLA+2xBETA:const6:buf3:q64:d300:drr:stg2`) with
 //!   exact `parse`/`spec` round-tripping, plus the canonical
 //!   system/video name tables shared with `voxel-testkit`.
-//! - [`run`]: the fleet event loop — per-session QUIC\* endpoint pairs
-//!   multiplexed over a [`voxel_netem::SharedLink`] (FIFO or deficit
-//!   round robin with per-flow accounting), pumped exactly like the
-//!   single-session loop in `voxel-core`.
+//! - [`run`]: the sharded fleet runtime — per-session QUIC\* endpoint
+//!   pairs, each with its **own** event queue, multiplexed over a
+//!   [`voxel_netem::SharedLink`] (FIFO or deficit round robin with
+//!   per-flow accounting). Sessions advance in conservative-parallel
+//!   barrier rounds (lookahead = the link's propagation delay) and can
+//!   shard across worker threads (the `:w<N>` spec token /
+//!   `VOXEL_SHARD_WORKERS`); the link itself is pumped single-threaded
+//!   between rounds. See DESIGN.md §14.
 //! - [`metrics`]: cross-session metrics — per-flow throughput shares,
 //!   the Jain fairness index, aggregate QoE — emitted through
 //!   `voxel-trace` under the `fleet` layer.
 //!
 //! Determinism contract: a fleet run is a pure function of its
-//! [`FleetSpec`] — same spec, byte-identical timeline — which is what
-//! lets `voxel-testkit` hold fleet runs to golden digests.
+//! [`FleetSpec`] — same spec, byte-identical timeline, **at every worker
+//! count** — which is what lets `voxel-testkit` hold fleet runs to
+//! golden digests and to the sharded-parity suite.
 
 pub mod metrics;
 pub mod run;
+mod shard;
 pub mod spec;
 
 pub use metrics::{jain_index, FleetResult};
 pub use run::{run_experiment_fleet, run_fleet, run_specs};
-pub use spec::{system_by_name, video_by_name, FleetMember, FleetSpec};
+pub use spec::{resolve_workers, system_by_name, video_by_name, FleetMember, FleetSpec};

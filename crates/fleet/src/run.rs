@@ -1,13 +1,22 @@
-//! The fleet event loop: N sessions, one link, one virtual clock.
+//! The sharded fleet runtime: N sessions, one link, barrier rounds.
 //!
-//! Structure mirrors the single-session loop in `voxel-core`'s `session`
-//! module — pump applications, drain transmissions, keep one player tick
-//! armed per session, advance to the earliest pending event — except the
-//! downlink goes through a [`SharedLink`]: server packets are *enqueued*
-//! (byte-level) on the shared bottleneck and their payloads held in
-//! per-flow FIFO queues until the link's scheduler completes their
-//! service, at which point delivery is scheduled after the propagation
-//! delay. Uplink packets are delay-only, as in the single-flow path.
+//! Pre-shard, the fleet was one global discrete-event loop that pumped
+//! every session at every event — O(fleet) work per event. Now each
+//! session owns a private event queue (see [`crate::shard`]) and sessions
+//! interact **only** through the [`SharedLink`]: the run proceeds in
+//! conservative-parallel rounds, each bounded by a barrier the coordinator
+//! derives from the link's downlink propagation delay (the lookahead).
+//! Within a round every session advances independently — across worker
+//! threads when `workers > 1` — and the packets they offered to the link
+//! are merged in the partition-invariant order `(time, flow, seq)` and
+//! pumped through the link single-threaded between rounds. DESIGN.md §14
+//! documents the protocol and why the barrier is a valid lookahead.
+//!
+//! Determinism contract, strengthened: a fleet run is a pure function of
+//! its [`FleetSpec`] **and is byte-identical for every worker count** —
+//! `workers` is a performance knob, never a semantic one. The tier-1
+//! parity tests and the conformance harness hold every golden fleet
+//! digest to that across `w ∈ {1, 2, max}`.
 //!
 //! Tracing: a fleet run drives one fleet-level tracer (layer `fleet`) —
 //! membership, per-session summaries, the fairness digest — rather than
@@ -15,51 +24,19 @@
 //! small and stable.
 
 use crate::metrics::{jain_index, FleetResult};
-use crate::spec::{system_by_name, FleetSpec};
+use crate::shard::{worker_loop, Cmd, Delivery, FinishNote, Lane, Outgoing, Reply, RoundCmd};
+use crate::shard::{SessionCell, SessionSeed};
+use crate::spec::{resolve_workers, system_by_name, FleetSpec};
 use bytes::Bytes;
 use std::collections::VecDeque;
-use voxel_core::client::{ClientApp, PlayerConfig, TransportMode};
-use voxel_core::server::ServerApp;
-use voxel_core::{AbrKind, ContentCache, Experiment, TransportStats, TrialResult};
+use voxel_core::client::{PlayerConfig, TransportMode};
+use voxel_core::{AbrKind, ContentCache, Experiment, TrialResult};
 use voxel_media::content::VideoId;
-use voxel_netem::{Discipline, SharedLink, SharedLinkConfig};
-use voxel_quic::{CcKind, Connection, ConnectionConfig, Role};
-use voxel_sim::{EventQueue, SimDuration, SimTime};
+use voxel_netem::{BandwidthTrace, Departure, Discipline, SharedLink, SharedLinkConfig};
+use voxel_quic::{CcKind, ConnectionConfig};
+use voxel_sim::pool::VecPool;
+use voxel_sim::SimTime;
 use voxel_trace::{trace_event, Layer, Tracer};
-
-/// Events of the fleet loop.
-enum Ev {
-    /// Datagram arriving at session `flow`'s client.
-    ToClient(usize, Bytes),
-    /// Datagram arriving at session `flow`'s server.
-    ToServer(usize, Bytes),
-    /// Player tick (also the no-op clock bump).
-    Tick,
-    /// The shared link completes the service of its head packet.
-    Service,
-}
-
-/// One session's endpoints inside the fleet.
-struct Endpoint {
-    label: String,
-    start: SimTime,
-    client_conn: Connection,
-    server_conn: Connection,
-    server: ServerApp,
-    /// Taken on finalization.
-    client: Option<ClientApp>,
-    last_tick: SimTime,
-    result: Option<TrialResult>,
-    /// Payloads enqueued on the shared link, awaiting service completion
-    /// (aligned with the link's byte-level per-flow queue).
-    pending_down: VecDeque<Bytes>,
-}
-
-impl Endpoint {
-    fn live(&self, now: SimTime) -> bool {
-        self.start <= now && self.result.is_none()
-    }
-}
 
 /// Everything a fleet run needs, resolved from a spec or an experiment.
 struct Plan {
@@ -71,10 +48,46 @@ struct Plan {
     cc: CcKind,
     cap: SimTime,
     stagger_s: usize,
+    workers: Option<usize>,
+    systems: Vec<(String, AbrKind, TransportMode)>,
+}
+
+/// The one assembly point both construction paths go through, so spec
+/// runs and builder (`Experiment`) runs cannot drift on how a knob — the
+/// scheduling discipline in particular — reaches the link.
+#[allow(clippy::too_many_arguments)]
+struct PlanParams {
+    spec: String,
+    video: VideoId,
+    trace: BandwidthTrace,
+    queue_packets: usize,
+    discipline: Discipline,
+    buffer_segments: usize,
+    selective_retx: bool,
+    cc: CcKind,
+    cap_s: Option<usize>,
+    duration_s: usize,
+    stagger_s: usize,
+    workers: Option<usize>,
     systems: Vec<(String, AbrKind, TransportMode)>,
 }
 
 impl Plan {
+    fn assemble(p: PlanParams) -> Plan {
+        Plan {
+            spec: p.spec,
+            video: p.video,
+            link: SharedLinkConfig::new(p.trace, p.queue_packets, p.discipline),
+            buffer_segments: p.buffer_segments,
+            selective_retx: p.selective_retx,
+            cc: p.cc,
+            cap: cap_for(p.cap_s, p.duration_s),
+            stagger_s: p.stagger_s,
+            workers: p.workers,
+            systems: p.systems,
+        }
+    }
+
     fn from_spec(spec: &FleetSpec) -> Result<Plan, String> {
         let mut systems = Vec::with_capacity(spec.total_sessions());
         for name in spec.session_systems() {
@@ -85,33 +98,46 @@ impl Plan {
         if systems.is_empty() {
             return Err("fleet has no sessions".to_string());
         }
-        Ok(Plan {
+        Ok(Plan::assemble(PlanParams {
             spec: spec.spec(),
             video: spec.video,
-            link: SharedLinkConfig::new(spec.trace(), spec.queue_packets, spec.discipline),
+            trace: spec.trace(),
+            queue_packets: spec.queue_packets,
+            discipline: spec.discipline,
             buffer_segments: spec.buffer_segments,
             selective_retx: true,
             cc: CcKind::Cubic,
-            cap: cap_for(spec.cap_s, spec.duration_s),
+            cap_s: spec.cap_s,
+            duration_s: spec.duration_s,
             stagger_s: spec.stagger_s,
+            workers: spec.workers,
             systems,
-        })
+        }))
     }
 
     fn from_experiment(e: &Experiment) -> Plan {
         let c = e.config();
         let label = c.abr.label();
-        Plan {
-            spec: format!("experiment:{}x{}", e.fleet_size(), label),
+        Plan::assemble(PlanParams {
+            spec: format!(
+                "experiment:{}x{}:{}",
+                e.fleet_size(),
+                label,
+                c.discipline.as_str()
+            ),
             video: c.video,
-            link: SharedLinkConfig::new(c.trace.clone(), c.queue_packets, Discipline::drr()),
+            trace: c.trace.clone(),
+            queue_packets: c.queue_packets,
+            discipline: c.discipline,
             buffer_segments: c.buffer_segments,
             selective_retx: c.selective_retx,
             cc: c.cc,
-            cap: cap_for(None, c.trace.duration_s()),
+            cap_s: None,
+            duration_s: c.trace.duration_s(),
             stagger_s: 0,
+            workers: c.workers,
             systems: vec![(label, c.abr, c.transport); e.fleet_size()],
-        }
+        })
     }
 }
 
@@ -125,7 +151,7 @@ fn cap_for(cap_s: Option<usize>, duration_s: usize) -> SimTime {
 }
 
 /// Run a fleet described by a parsed [`FleetSpec`]. Deterministic: the
-/// spec alone fixes the timeline byte-for-byte.
+/// spec alone fixes the timeline byte-for-byte, at any worker count.
 pub fn run_fleet(
     spec: &FleetSpec,
     cache: &ContentCache,
@@ -136,7 +162,8 @@ pub fn run_fleet(
 
 /// Run a homogeneous fleet built from an [`Experiment`] (the builder's
 /// `.fleet(n)` knob): `n` copies of the experiment's session share one
-/// DRR-scheduled link carrying the experiment's trace.
+/// link, scheduled by the experiment's discipline, carrying the
+/// experiment's trace.
 pub fn run_experiment_fleet(e: &Experiment, cache: &ContentCache, tracer: Tracer) -> FleetResult {
     run_plan(Plan::from_experiment(e), cache, tracer)
 }
@@ -150,41 +177,42 @@ pub fn run_specs(specs: &[FleetSpec], cache: &ContentCache) -> Vec<Result<FleetR
     })
 }
 
+/// Contiguous shard sizes for `n` sessions over `workers` lanes: the
+/// first `n % workers` lanes take one extra session.
+fn chunk_sizes(n: usize, workers: usize) -> Vec<usize> {
+    let base = n / workers;
+    (0..workers)
+        .map(|j| base + usize::from(j < n % workers))
+        .filter(|&s| s > 0)
+        .collect()
+}
+
 fn run_plan(plan: Plan, cache: &ContentCache, tracer: Tracer) -> FleetResult {
     let (manifest, video) = cache.get(plan.video);
     let qoe = cache.qoe();
     let n = plan.systems.len();
-    let mut link = SharedLink::new(plan.link.clone(), n);
-    let mut queue: EventQueue<Ev> = EventQueue::new();
-    let conn_config = |cc: CcKind| ConnectionConfig {
-        cc,
+    let workers = resolve_workers(plan.workers, n);
+    let conn_config = ConnectionConfig {
+        cc: plan.cc,
         ..ConnectionConfig::default()
     };
 
-    let mut endpoints: Vec<Endpoint> = Vec::with_capacity(n);
+    let mut seeds: Vec<SessionSeed> = Vec::with_capacity(n);
     for (i, (label, abr, transport)) in plan.systems.iter().enumerate() {
         let mut player = PlayerConfig::new(plan.buffer_segments, *transport);
         player.selective_retx = plan.selective_retx && *transport == TransportMode::Split;
-        let client = ClientApp::new(
-            player,
-            manifest.clone(),
-            video.clone(),
-            qoe.clone(),
-            abr.make(),
-        );
-        let start = SimTime::from_secs((plan.stagger_s * i) as u64);
-        endpoints.push(Endpoint {
+        seeds.push(SessionSeed {
+            flow: i,
             label: label.clone(),
-            start,
-            client_conn: Connection::new(Role::Client, conn_config(plan.cc)),
-            server_conn: Connection::new(Role::Server, conn_config(plan.cc)),
-            server: ServerApp::new(manifest.clone(), true),
-            client: Some(client),
-            last_tick: start,
-            result: None,
-            pending_down: VecDeque::new(),
+            start: SimTime::from_secs((plan.stagger_s * i) as u64),
+            delay_up: plan.link.delay_up,
+            player,
+            conn_config: conn_config.clone(),
+            manifest: manifest.clone(),
+            video: video.clone(),
+            qoe: qoe.clone(),
+            abr: *abr,
         });
-        queue.schedule(start, Ev::Tick);
     }
 
     trace_event!(
@@ -197,194 +225,278 @@ fn run_plan(plan: Plan, cache: &ContentCache, tracer: Tracer) -> FleetResult {
         "discipline" = plan.link.discipline.as_str(),
         "mean_mbps" = plan.link.trace.mean_mbps(),
     );
-    for (i, ep) in endpoints.iter().enumerate() {
+    for seed in &seeds {
         trace_event!(
             tracer,
-            ep.start,
+            seed.start,
             Layer::Fleet,
             "fleet_session_start",
-            "flow" = i,
-            "system" = ep.label.as_str(),
-            "start_s" = ep.start.as_secs_f64(),
+            "flow" = seed.flow,
+            "system" = seed.label.as_str(),
+            "start_s" = seed.start.as_secs_f64(),
         );
     }
 
-    let mut armed: Option<SimTime> = None;
+    let link = SharedLink::new(plan.link.clone(), n);
+    if workers <= 1 {
+        // Single lane on the calling thread: no threads are spawned at
+        // all, and the coordinator + shard code is exactly the code the
+        // threaded path runs.
+        let sessions: Vec<SessionCell> = seeds.into_iter().map(SessionCell::new).collect();
+        let sizes = [n];
+        let mut lanes = vec![Lane::Inline {
+            sessions,
+            pending: None,
+        }];
+        coordinate(&plan, link, &mut lanes, &sizes, &tracer)
+    } else {
+        // Workers construct and own their sessions (live session state
+        // never crosses a thread); the coordinator's flight recorder, if
+        // one is installed, is cloned onto every worker so paranoid
+        // audits inside a shard reach the same ring.
+        let recorder = voxel_obs::current_recorder();
+        let sizes = chunk_sizes(n, workers);
+        std::thread::scope(|scope| {
+            let mut lanes: Vec<Lane> = Vec::with_capacity(sizes.len());
+            let mut rest = seeds;
+            for &size in &sizes {
+                let tail = rest.split_off(size);
+                let chunk = std::mem::replace(&mut rest, tail);
+                let (cmd_tx, cmd_rx) = std::sync::mpsc::channel();
+                let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+                let rec = recorder.clone();
+                scope.spawn(move || worker_loop(chunk, cmd_rx, reply_tx, rec));
+                lanes.push(Lane::Thread {
+                    tx: cmd_tx,
+                    rx: reply_rx,
+                });
+            }
+            coordinate(&plan, link, &mut lanes, &sizes, &tracer)
+        })
+    }
+}
+
+/// The barrier-round loop: compute the next barrier, fan the round out to
+/// every lane, merge the outboxes in `(time, flow, seq)` order, pump the
+/// shared link, and route its deliveries back out. Single-threaded; all
+/// cross-session state (the link, payload FIFOs, delivery routing) lives
+/// here and only here.
+fn coordinate(
+    plan: &Plan,
+    mut link: SharedLink,
+    lanes: &mut [Lane],
+    sizes: &[usize],
+    tracer: &Tracer,
+) -> FleetResult {
+    let n: usize = sizes.iter().sum();
+    let delay_down = link.delay_down();
+    let cap = plan.cap;
+    // Lane j owns the contiguous flow range [lane_lo[j], lane_lo[j] + sizes[j]).
+    let lane_lo: Vec<usize> = sizes
+        .iter()
+        .scan(0, |lo, s| {
+            let here = *lo;
+            *lo += s;
+            Some(here)
+        })
+        .collect();
+    let lane_of = |flow: usize| match lane_lo.binary_search(&flow) {
+        Ok(j) => j,
+        Err(j) => j - 1,
+    };
+
+    // Earliest pending work per live session (None = finished). Seeded
+    // with the start times; refreshed from every round's blocked reports.
+    let mut next_by_flow: Vec<Option<SimTime>> = (0..n)
+        .map(|i| Some(SimTime::from_secs((plan.stagger_s * i) as u64)))
+        .collect();
+    // Payloads enqueued on the shared link, awaiting service completion
+    // (aligned with the link's byte-level per-flow queues).
+    let mut pending_down: Vec<VecDeque<Bytes>> = vec![VecDeque::new(); n];
+    // Link deliveries produced by the previous round's pump, routed to
+    // their owners at the top of the next round.
+    let mut deliveries: Vec<Delivery> = Vec::new();
+    let mut has_delivery: Vec<bool> = vec![false; n];
+    let mut per_lane: Vec<Vec<Delivery>> = (0..lanes.len()).map(|_| Vec::new()).collect();
+    // Round-scratch buffers, reused across the (many) rounds.
+    let mut merged: Vec<Outgoing> = Vec::new();
+    let mut finished: Vec<FinishNote> = Vec::new();
+    let mut dep_pool: VecPool<Departure> = VecPool::new();
+
+    let mut live = n;
     let mut iters: u64 = 0;
-    let end = loop {
-        let now = queue.now();
-        iters += 1;
+    let mut rounds: u64 = 0;
+    let mut prev = SimTime::ZERO;
+    let mut end = SimTime::ZERO;
+
+    while live > 0 {
+        rounds += 1;
         // Profiler sampling gate: free unless a voxel-obs profiler is
         // installed on this thread; clock readings stay quarantined in the
         // profile and never reach sim state.
-        voxel_obs::arm(iters);
+        voxel_obs::arm(rounds);
         let _step = voxel_obs::span!("fleet.step");
-        voxel_obs::observe("obs.queue_depth", queue.len() as u64);
+        voxel_obs::observe("obs.shard_live", live as u64);
         voxel_obs::observe("obs.link_queue", link.queue_len() as u64);
 
-        // Application pumps, in flow order.
-        let _pump = voxel_obs::span!("fleet.pump");
-        for (i, ep) in endpoints.iter_mut().enumerate() {
-            if !ep.live(now) {
-                continue;
-            }
-            let _session = voxel_obs::span!("fleet.session", i);
-            ep.server.handle(now, &mut ep.server_conn);
-            let Some(client) = ep.client.as_mut() else {
-                continue;
-            };
-            client.on_wake(now, &mut ep.client_conn);
-            #[cfg(feature = "paranoid")]
-            if let Err(e) = client.check_invariants(now) {
-                if let Some(dump) = voxel_obs::dump_current(&format!(
-                    "fleet member {i} invariant violated at {now:?}: {e}"
-                )) {
-                    eprintln!("{dump}");
-                }
-                // lint: allow(panic) the paranoid layer is intentionally fatal on corruption
-                panic!("fleet member {i} invariant violated at {now:?}: {e}");
-            }
-            if client.is_done() {
-                finalize(ep, i, now, &tracer);
-            }
-        }
-        drop(_pump);
-        if endpoints.iter().all(|ep| ep.result.is_some()) {
-            break now;
-        }
-
-        // Drain transmissions until no endpoint has anything to send.
-        let _transmit = voxel_obs::span!("fleet.transmit");
-        loop {
-            let mut progressed = false;
-            for (i, ep) in endpoints.iter_mut().enumerate() {
-                if !ep.live(now) {
-                    continue;
-                }
-                while let Some(p) = ep.server_conn.poll_transmit(now) {
-                    let size = p.wire_size();
-                    if link.enqueue(now, i, size) {
-                        ep.pending_down.push_back(p.encode());
-                    }
-                    progressed = true;
-                }
-                while let Some(p) = ep.client_conn.poll_transmit(now) {
-                    queue.schedule(link.uplink(now), Ev::ToServer(i, p.encode()));
-                    progressed = true;
-                }
-            }
-            if !progressed {
-                break;
-            }
-        }
-        drop(_transmit);
-
-        // Arm the link's next service completion.
-        if let Some(done) = link.next_departure() {
-            if armed != Some(done) {
-                queue.schedule(done, Ev::Service);
-                armed = Some(done);
-            }
-        }
-
-        // Keep exactly one player tick armed per live session.
-        for ep in endpoints.iter_mut() {
-            if !ep.live(now) || ep.last_tick > now {
-                continue;
-            }
-            if let Some(client) = ep.client.as_ref() {
-                if let Some(wake) = client.next_wake(now) {
-                    ep.last_tick = wake;
-                    queue.schedule(wake, Ev::Tick);
-                }
-            }
-        }
-
-        // Next event: queue, or any live transport timer.
-        let mut next = queue.peek_time();
-        for ep in &endpoints {
-            if ep.result.is_some() {
-                continue;
-            }
-            for t in [ep.client_conn.next_timeout(), ep.server_conn.next_timeout()] {
-                next = match (next, t) {
-                    (Some(a), Some(b)) => Some(a.min(b)),
-                    (a, b) => a.or(b),
-                };
-            }
-        }
-        let Some(next) = next else {
-            // Nothing pending at all: force a tick so the players can
-            // re-evaluate.
-            if endpoints.iter().any(|ep| ep.result.is_none()) {
-                let t = queue.now() + SimDuration::from_millis(100);
-                queue.schedule(t, Ev::Tick);
-            }
-            continue;
+        // Earliest actionable instant anywhere: a session's reported next
+        // event, an un-routed delivery, or the link's next completion
+        // (plus propagation). Everything here is partition-invariant.
+        let mut global_next: Option<SimTime> = None;
+        let mut fold = |t: SimTime| {
+            global_next = Some(global_next.map_or(t, |g: SimTime| g.min(t)));
         };
-        if next > plan.cap {
-            // Safety cap (or an explicit benchmark cap): freeze the
-            // stragglers where they are.
-            let cap = plan.cap;
-            for (i, ep) in endpoints.iter_mut().enumerate() {
-                if ep.result.is_none() {
-                    finalize(ep, i, cap, &tracer);
+        for t in next_by_flow.iter().flatten() {
+            fold(*t);
+        }
+        for d in &deliveries {
+            fold(d.at);
+        }
+        if let Some(dep) = link.next_departure() {
+            fold(dep + delay_down);
+        }
+        let Some(global_next) = global_next else {
+            // Unreachable while sessions are live (a live session always
+            // reports a next time), but harmless: nothing can ever happen.
+            break;
+        };
+
+        if global_next > cap {
+            // Safety cap (or an explicit benchmark cap): nothing left in
+            // (prev, cap], so freeze the stragglers where they are. A
+            // global decision — only the coordinator can know no earlier
+            // event exists on any shard.
+            for lane in lanes.iter_mut() {
+                lane.dispatch(Cmd::Freeze(cap));
+            }
+            finished.clear();
+            for lane in lanes.iter_mut() {
+                if let Reply::Round(mut r) = lane.collect() {
+                    finished.append(&mut r.finished);
                 }
             }
-            break cap;
+            finished.sort_by_key(|f| f.flow);
+            for f in &finished {
+                emit_session_end(tracer, f);
+            }
+            end = cap;
+            break;
         }
 
-        // Fire transport timers due at (or before) `next`.
-        let _deliver = voxel_obs::span!("fleet.deliver");
-        for ep in endpoints.iter_mut() {
-            if ep.result.is_some() {
-                continue;
-            }
-            if ep.client_conn.next_timeout().is_some_and(|t| t <= next) {
-                ep.client_conn.on_timeout(next);
-            }
-            if ep.server_conn.next_timeout().is_some_and(|t| t <= next) {
-                ep.server_conn.on_timeout(next);
+        // The barrier: at least one lookahead quantum past the previous
+        // barrier, fast-forwarded over globally-idle gaps, clamped to the
+        // cap so no session simulates time the run will never keep.
+        let barrier = (prev + delay_down).max(global_next).min(cap);
+
+        // Route the previous round's link deliveries to their owners,
+        // in link-departure order (partition-invariant).
+        {
+            let _deliver = voxel_obs::span!("fleet.deliver");
+            for d in deliveries.drain(..) {
+                has_delivery[d.flow] = true;
+                per_lane[lane_of(d.flow)].push(d);
             }
         }
-        // Deliver everything due at `next`.
-        while queue.peek_time() == Some(next) {
-            let Some(ev) = queue.pop() else {
-                break;
-            };
-            match ev.event {
-                Ev::ToClient(i, d) => {
-                    if endpoints[i].result.is_none() {
-                        endpoints[i].client_conn.on_datagram(next, d);
-                    }
-                }
-                Ev::ToServer(i, d) => {
-                    if endpoints[i].result.is_none() {
-                        endpoints[i].server_conn.on_datagram(next, d);
-                    }
-                }
-                Ev::Tick => {}
-                Ev::Service => {
-                    armed = None;
-                    for dep in link.pop_due(next) {
-                        let ep = &mut endpoints[dep.flow];
-                        if let Some(payload) = ep.pending_down.pop_front() {
-                            queue.schedule(
-                                dep.at + link.delay_down(),
-                                Ev::ToClient(dep.flow, payload),
-                            );
+
+        // Fan the round out. A session is skipped — no wake-up at all —
+        // when it has no deliveries and its next event is past the
+        // barrier; the skip predicate reads only partition-invariant
+        // state, so every worker count skips identically.
+        {
+            let _pump = voxel_obs::span!("fleet.pump");
+            for (j, lane) in lanes.iter_mut().enumerate() {
+                let lo = lane_lo[j];
+                let skip: Vec<bool> = (lo..lo + sizes[j])
+                    .map(|f| !has_delivery[f] && next_by_flow[f].is_none_or(|t| t > barrier))
+                    .collect();
+                lane.dispatch(Cmd::Round(RoundCmd {
+                    barrier,
+                    deliveries: std::mem::take(&mut per_lane[j]),
+                    skip,
+                }));
+            }
+            for flag in has_delivery.iter_mut() {
+                *flag = false;
+            }
+
+            // Collect in lane order (the inline lane executes here; thread
+            // lanes have been working since dispatch).
+            merged.clear();
+            finished.clear();
+            for lane in lanes.iter_mut() {
+                match lane.collect() {
+                    Reply::Round(mut r) => {
+                        iters += r.iters;
+                        merged.append(&mut r.outbox);
+                        for (flow, t) in r.blocked {
+                            next_by_flow[flow] = Some(t);
+                        }
+                        for note in r.finished.drain(..) {
+                            next_by_flow[note.flow] = None;
+                            finished.push(note);
                         }
                     }
+                    Reply::Outcomes(_) => unreachable!("harvest reply during a round"),
                 }
             }
         }
-        // If only timers fired (queue still in the past), bump the
-        // queue's clock with a no-op event.
-        if queue.now() < next {
-            queue.schedule(next, Ev::Tick);
-            queue.pop();
+
+        live -= finished.len();
+        finished.sort_by_key(|f| (f.at, f.flow));
+        for f in &finished {
+            end = end.max(f.at);
+            emit_session_end(tracer, f);
         }
-    };
+
+        // Merge the round's packets in partition-invariant order and pump
+        // the link: pop completions due before each arrival (occupancy at
+        // enqueue time is exact), then drain through the barrier.
+        {
+            let _transmit = voxel_obs::span!("fleet.transmit");
+            voxel_obs::observe("obs.shard_outbox", merged.len() as u64);
+            merged.sort_by_key(|o| (o.at, o.flow, o.seq));
+            let mut departures = dep_pool.acquire();
+            for o in merged.drain(..) {
+                link.pop_due_into(o.at, &mut departures);
+                if link.enqueue(o.at, o.flow, o.bytes) {
+                    pending_down[o.flow].push_back(o.payload);
+                }
+            }
+            link.pop_due_into(barrier, &mut departures);
+            for dep in departures.drain(..) {
+                if let Some(payload) = pending_down[dep.flow].pop_front() {
+                    deliveries.push(Delivery {
+                        flow: dep.flow,
+                        at: dep.at + delay_down,
+                        payload,
+                    });
+                }
+            }
+            dep_pool.release(departures);
+        }
+        prev = barrier;
+    }
+
+    // Harvest per-session results, reassembled in flow order.
+    for lane in lanes.iter_mut() {
+        lane.dispatch(Cmd::Harvest);
+    }
+    let mut slots: Vec<Option<TrialResult>> = (0..n).map(|_| None).collect();
+    for lane in lanes.iter_mut() {
+        match lane.collect() {
+            Reply::Outcomes(outs) => {
+                for (flow, r) in outs {
+                    slots[flow] = Some(r);
+                }
+            }
+            Reply::Round(_) => unreachable!("round reply during harvest"),
+        }
+    }
+    let sessions: Vec<TrialResult> = slots
+        .into_iter()
+        // lint: allow(panic) every flow was frozen or finished above
+        .map(|s| s.expect("session produced a result"))
+        .collect();
 
     // Cross-session accounting and the fairness digest.
     let flows = link.stats().to_vec();
@@ -395,9 +507,8 @@ fn run_plan(plan: Plan, cache: &ContentCache, tracer: Tracer) -> FleetResult {
         .map(|&b| if total > 0.0 { 100.0 * b / total } else { 0.0 })
         .collect();
     let jain = jain_index(&delivered);
-    let sessions: Vec<TrialResult> = endpoints.into_iter().filter_map(|ep| ep.result).collect();
     let result = FleetResult {
-        spec: plan.spec,
+        spec: plan.spec.clone(),
         sessions,
         flows,
         shares_pct,
@@ -428,42 +539,77 @@ fn run_plan(plan: Plan, cache: &ContentCache, tracer: Tracer) -> FleetResult {
     result
 }
 
-/// Close out one member: convert its player state into a [`TrialResult`]
-/// with transport stats read straight off the connections (fleet runs
-/// have no per-session metrics registry).
-fn finalize(ep: &mut Endpoint, flow: usize, now: SimTime, tracer: &Tracer) {
-    let Some(client) = ep.client.take() else {
-        return;
-    };
-    let stats = ep.server_conn.stats();
-    let client_stats = ep.client_conn.stats();
-    let mut r = client.into_result(now);
-    r.abr = ep.label.clone();
-    r.transport = TransportStats {
-        packets_sent: stats.packets_sent,
-        packets_lost: stats.packets_lost,
-        loss_events: stats.loss_events,
-        ptos: stats.ptos,
-        bytes_sent: stats.bytes_sent,
-        bytes_retransmitted: stats.bytes_retransmitted,
-        mean_cwnd_bytes: ep.server_conn.cwnd() as f64,
-        mean_srtt_ms: ep.server_conn.srtt().as_secs_f64() * 1e3,
-        client_packets_received: client_stats.packets_received,
-        client_packets_duplicate: client_stats.packets_duplicate,
-        client_packets_reordered: client_stats.packets_reordered,
-    };
+/// Emit the `fleet_session_end` trace record for one finished member.
+fn emit_session_end(tracer: &Tracer, f: &FinishNote) {
     trace_event!(
         tracer,
-        now,
+        f.at,
         Layer::Fleet,
         "fleet_session_end",
-        "flow" = flow,
-        "system" = ep.label.as_str(),
-        "completed" = r.completed,
-        "stall_s" = r.stall_s,
-        "ssim" = r.avg_ssim(),
-        "bytes_downloaded" = r.bytes_downloaded,
+        "flow" = f.flow,
+        "system" = f.system.as_str(),
+        "completed" = f.completed,
+        "stall_s" = f.stall_s,
+        "ssim" = f.ssim,
+        "bytes_downloaded" = f.bytes_downloaded,
     );
     tracer.count("fleet.sessions_completed", 1);
-    ep.result = Some(r);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use voxel_core::Experiment;
+    use voxel_netem::Discipline;
+
+    #[test]
+    fn chunk_sizes_cover_everything_contiguously() {
+        for n in 1..20 {
+            for w in 1..=n {
+                let sizes = chunk_sizes(n, w);
+                assert_eq!(sizes.iter().sum::<usize>(), n, "n={n} w={w}");
+                assert_eq!(sizes.len(), w.min(n));
+                assert!(sizes.iter().all(|&s| s > 0));
+                // Balanced within one session.
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    /// Regression (discipline alignment): both plan construction paths
+    /// flow through `Plan::assemble`, so the experiment path honours the
+    /// configured discipline instead of hard-coding DRR.
+    #[test]
+    fn experiment_plan_honours_configured_discipline() {
+        let fifo = Experiment::builder()
+            .fleet(2)
+            .discipline(Discipline::Fifo)
+            .build();
+        let plan = Plan::from_experiment(&fifo);
+        assert_eq!(plan.link.discipline, Discipline::Fifo);
+        assert!(plan.spec.ends_with(":fifo"), "spec = {}", plan.spec);
+
+        let default = Experiment::builder().fleet(2).build();
+        let plan = Plan::from_experiment(&default);
+        assert_eq!(plan.link.discipline, Discipline::drr());
+        assert!(plan.spec.ends_with(":drr"), "spec = {}", plan.spec);
+    }
+
+    /// Regression: the spec path likewise takes its discipline from the
+    /// parsed spec, through the same constructor.
+    #[test]
+    fn spec_plan_honours_parsed_discipline() {
+        let spec = FleetSpec::parse("BBB:2xVOXEL:const6:buf3:q64:d60:fifo").unwrap();
+        let plan = Plan::from_spec(&spec).unwrap();
+        assert_eq!(plan.link.discipline, Discipline::Fifo);
+    }
+
+    #[test]
+    fn experiment_plan_carries_workers_knob() {
+        let e = Experiment::builder().fleet(4).workers(2).build();
+        let plan = Plan::from_experiment(&e);
+        assert_eq!(plan.workers, Some(2));
+        assert_eq!(resolve_workers(plan.workers, 4), 2);
+    }
 }

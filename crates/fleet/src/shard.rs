@@ -1,0 +1,487 @@
+//! Sharded session execution for the conservative-parallel fleet runtime.
+//!
+//! The fleet loop in [`crate::run`] is round-based: every session owns a
+//! private event queue and advances independently up to a global barrier,
+//! interacting with the rest of the fleet **only** through the shared
+//! link, which the coordinator pumps single-threaded between rounds (see
+//! DESIGN.md §14 for the protocol and its lookahead argument). This
+//! module holds the pieces that live on the session side of that split:
+//!
+//! - [`SessionCell`]: one session (client + server + their private event
+//!   queue) and its `advance`-to-barrier loop, ported from the global
+//!   fleet loop but touching nothing outside the session.
+//! - [`shard_round`] / [`shard_freeze`]: the per-shard round step shared
+//!   verbatim by the inline (workers = 1) and threaded paths, so every
+//!   worker count runs the *same algorithm* — only the thread dispatch
+//!   differs, which is what makes timelines byte-identical at any `w`.
+//! - [`Lane`]: a shard handle — either the coordinator's own slice of
+//!   sessions or a channel pair to a worker thread.
+//!
+//! Determinism: everything a session exports (outgoing packets, finish
+//! notes, blocked times) is keyed by partition-invariant values — event
+//! time, flow id, per-flow sequence — never by shard id or thread
+//! interleaving, so the coordinator's merge order cannot observe how
+//! sessions were distributed across workers.
+
+use bytes::Bytes;
+use std::sync::mpsc::{Receiver, Sender};
+use voxel_core::client::{ClientApp, PlayerConfig};
+use voxel_core::server::ServerApp;
+use voxel_core::{TransportStats, TrialResult};
+use voxel_quic::{Connection, ConnectionConfig, Role};
+use voxel_sim::{EventQueue, SimDuration, SimTime};
+
+/// Session-local events: datagram arrivals and player ticks. Link service
+/// completions are not events here — the coordinator owns the link.
+enum Ev {
+    /// Datagram arriving at the client (delivered by the shared link).
+    ToClient(Bytes),
+    /// Datagram arriving at the server (uplink is delay-only, in-session).
+    ToServer(Bytes),
+    /// Player tick (also the no-op clock bump).
+    Tick,
+}
+
+/// One packet a session offered to the shared link during a round.
+///
+/// `(at, flow, seq)` is the coordinator's merge key: all three are
+/// computed by the session alone, so the merged arrival order is
+/// independent of how sessions shard across workers.
+pub(crate) struct Outgoing {
+    /// Send time (the session-local event time of the transmission).
+    pub at: SimTime,
+    /// Flow id of the sending session.
+    pub flow: usize,
+    /// Per-flow emission sequence (monotone within the flow).
+    pub seq: u64,
+    /// Wire size offered to the link's byte-level queue.
+    pub bytes: usize,
+    /// Encoded datagram, held until the link completes its service.
+    pub payload: Bytes,
+}
+
+/// A link delivery routed back to a session for the next round.
+pub(crate) struct Delivery {
+    /// Destination flow.
+    pub flow: usize,
+    /// Client-side arrival time (service completion + downlink delay).
+    pub at: SimTime,
+    /// The datagram.
+    pub payload: Bytes,
+}
+
+/// A session that finished during a round, with the fields the
+/// coordinator needs to emit its `fleet_session_end` trace event.
+pub(crate) struct FinishNote {
+    pub flow: usize,
+    pub system: String,
+    pub at: SimTime,
+    pub completed: bool,
+    pub stall_s: f64,
+    pub ssim: f64,
+    pub bytes_downloaded: u64,
+}
+
+/// One barrier round's instructions to a shard.
+pub(crate) struct RoundCmd {
+    /// Advance every live session up to (and including) this time.
+    pub barrier: SimTime,
+    /// Link deliveries to inject before advancing, in coordinator order.
+    pub deliveries: Vec<Delivery>,
+    /// Flows the coordinator knows cannot act this round (blocked past
+    /// the barrier with no deliveries): skipped without a wake-up.
+    pub skip: Vec<bool>,
+}
+
+/// What a shard reports back after a round.
+#[derive(Default)]
+pub(crate) struct RoundReply {
+    /// Packets offered to the link, in session emission order.
+    pub outbox: Vec<Outgoing>,
+    /// `(flow, earliest pending time)` for every still-live session.
+    pub blocked: Vec<(usize, SimTime)>,
+    /// Sessions that finished this round.
+    pub finished: Vec<FinishNote>,
+    /// Event-loop iterations spent by this shard this round.
+    pub iters: u64,
+}
+
+/// Coordinator → shard commands.
+pub(crate) enum Cmd {
+    Round(RoundCmd),
+    /// Freeze every unfinished session at the cap.
+    Freeze(SimTime),
+    /// Return the per-session results; the worker exits afterwards.
+    Harvest,
+}
+
+/// Shard → coordinator replies.
+pub(crate) enum Reply {
+    Round(RoundReply),
+    Outcomes(Vec<(usize, TrialResult)>),
+}
+
+/// How a session left its `advance` call.
+enum Advanced {
+    /// Live, earliest pending work strictly after the barrier.
+    Blocked(SimTime),
+    /// Finished during this round.
+    Done(Box<FinishNote>),
+}
+
+/// One fleet member: both endpoints, their private event queue, and the
+/// bookkeeping the barrier protocol needs.
+pub(crate) struct SessionCell {
+    pub flow: usize,
+    label: String,
+    start: SimTime,
+    delay_up: SimDuration,
+    client_conn: Connection,
+    server_conn: Connection,
+    server: ServerApp,
+    /// Taken on finalization.
+    client: Option<ClientApp>,
+    last_tick: SimTime,
+    queue: EventQueue<Ev>,
+    out_seq: u64,
+    iters: u64,
+    result: Option<TrialResult>,
+}
+
+/// Everything needed to construct one session. Plain `Send + Sync` data,
+/// so worker threads build (and therefore own) their sessions — the live
+/// session state, with its `Box<dyn Abr>`, never crosses a thread.
+pub(crate) struct SessionSeed {
+    pub flow: usize,
+    pub label: String,
+    pub start: SimTime,
+    pub delay_up: SimDuration,
+    pub player: PlayerConfig,
+    pub conn_config: ConnectionConfig,
+    pub manifest: std::sync::Arc<voxel_prep::manifest::Manifest>,
+    pub video: std::sync::Arc<voxel_media::video::Video>,
+    pub qoe: voxel_media::qoe::QoeModel,
+    pub abr: voxel_core::AbrKind,
+}
+
+impl SessionCell {
+    pub fn new(seed: SessionSeed) -> SessionCell {
+        let client = ClientApp::new(
+            seed.player,
+            seed.manifest.clone(),
+            seed.video,
+            seed.qoe,
+            seed.abr.make(),
+        );
+        let mut queue = EventQueue::with_capacity(32);
+        queue.schedule(seed.start, Ev::Tick);
+        SessionCell {
+            flow: seed.flow,
+            label: seed.label,
+            start: seed.start,
+            delay_up: seed.delay_up,
+            client_conn: Connection::new(Role::Client, seed.conn_config.clone()),
+            server_conn: Connection::new(Role::Server, seed.conn_config),
+            server: ServerApp::new(seed.manifest, true),
+            client: Some(client),
+            last_tick: seed.start,
+            queue,
+            out_seq: 0,
+            iters: 0,
+            result: None,
+        }
+    }
+
+    fn live(&self) -> bool {
+        self.result.is_none()
+    }
+
+    /// Inject a link delivery. Deliveries always land at or after the
+    /// session's clock: the lookahead argument (DESIGN.md §14) guarantees
+    /// a packet entering the link in round *k* cannot arrive before the
+    /// round-*k* barrier, and the session never advances past it.
+    fn inject(&mut self, at: SimTime, payload: Bytes) {
+        self.queue.schedule(at, Ev::ToClient(payload));
+    }
+
+    /// Advance this session up to (and including) `barrier`: the fleet
+    /// loop of `run.rs` pre-shard, restricted to one session. Outgoing
+    /// downlink packets land in `out`; uplink packets are delay-only and
+    /// stay in the private queue.
+    fn advance(&mut self, barrier: SimTime, out: &mut Vec<Outgoing>) -> Advanced {
+        loop {
+            let now = self.queue.now();
+            self.iters += 1;
+            // Profiler sampling gate: free unless a voxel-obs profiler is
+            // installed on this thread; clock readings stay quarantined in
+            // the profile and never reach sim state.
+            voxel_obs::arm(self.iters);
+            let _step = voxel_obs::span!("fleet.step");
+
+            if now >= self.start {
+                let _session = voxel_obs::span!("fleet.session", self.flow);
+                self.server.handle(now, &mut self.server_conn);
+                let done = match self.client.as_mut() {
+                    Some(client) => {
+                        client.on_wake(now, &mut self.client_conn);
+                        #[cfg(feature = "paranoid")]
+                        if let Err(e) = client.check_invariants(now) {
+                            if let Some(dump) = voxel_obs::dump_current(&format!(
+                                "fleet member {} invariant violated at {now:?}: {e}",
+                                self.flow
+                            )) {
+                                eprintln!("{dump}");
+                            }
+                            // lint: allow(panic) the paranoid layer is intentionally fatal on corruption
+                            panic!(
+                                "fleet member {} invariant violated at {now:?}: {e}",
+                                self.flow
+                            );
+                        }
+                        client.is_done()
+                    }
+                    None => false,
+                };
+                if done {
+                    // lint: allow(panic) the client was just observed present
+                    let note = self.finish(now).expect("client present at finish");
+                    return Advanced::Done(Box::new(note));
+                }
+
+                // Drain transmissions: downlink to the shared link (via
+                // the coordinator), uplink delay-only in-session.
+                while let Some(p) = self.server_conn.poll_transmit(now) {
+                    self.out_seq += 1;
+                    out.push(Outgoing {
+                        at: now,
+                        flow: self.flow,
+                        seq: self.out_seq,
+                        bytes: p.wire_size(),
+                        payload: p.encode(),
+                    });
+                }
+                while let Some(p) = self.client_conn.poll_transmit(now) {
+                    self.queue
+                        .schedule(now + self.delay_up, Ev::ToServer(p.encode()));
+                }
+
+                // Keep exactly one player tick armed.
+                if self.last_tick <= now {
+                    if let Some(client) = self.client.as_ref() {
+                        if let Some(wake) = client.next_wake(now) {
+                            self.last_tick = wake;
+                            self.queue.schedule(wake, Ev::Tick);
+                        }
+                    }
+                }
+            }
+
+            // Next event: private queue, or a transport timer.
+            let mut next = self.queue.peek_time();
+            for t in [
+                self.client_conn.next_timeout(),
+                self.server_conn.next_timeout(),
+            ] {
+                next = match (next, t) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            let Some(next) = next else {
+                // Nothing pending: force a tick so the player re-evaluates
+                // (mirrors the single-session loop's idle poke).
+                self.queue
+                    .schedule(now + SimDuration::from_millis(100), Ev::Tick);
+                continue;
+            };
+            if next > barrier {
+                return Advanced::Blocked(next);
+            }
+
+            // Fire transport timers due at (or before) `next`.
+            if self.client_conn.next_timeout().is_some_and(|t| t <= next) {
+                self.client_conn.on_timeout(next);
+            }
+            if self.server_conn.next_timeout().is_some_and(|t| t <= next) {
+                self.server_conn.on_timeout(next);
+            }
+            // Deliver everything due at `next`.
+            while self.queue.peek_time() == Some(next) {
+                let Some(ev) = self.queue.pop() else {
+                    break;
+                };
+                match ev.event {
+                    Ev::ToClient(d) => self.client_conn.on_datagram(next, d),
+                    Ev::ToServer(d) => self.server_conn.on_datagram(next, d),
+                    Ev::Tick => {}
+                }
+            }
+            // If only timers fired (queue still in the past), bump the
+            // private clock with a no-op event.
+            if self.queue.now() < next {
+                self.queue.schedule(next, Ev::Tick);
+                self.queue.pop();
+            }
+        }
+    }
+
+    /// Close out the session at `now`: convert player state into a
+    /// [`TrialResult`] with transport stats read off the connections.
+    fn finish(&mut self, now: SimTime) -> Option<FinishNote> {
+        let client = self.client.take()?;
+        let stats = self.server_conn.stats();
+        let client_stats = self.client_conn.stats();
+        let mut r = client.into_result(now);
+        r.abr = self.label.clone();
+        r.transport = TransportStats {
+            packets_sent: stats.packets_sent,
+            packets_lost: stats.packets_lost,
+            loss_events: stats.loss_events,
+            ptos: stats.ptos,
+            bytes_sent: stats.bytes_sent,
+            bytes_retransmitted: stats.bytes_retransmitted,
+            mean_cwnd_bytes: self.server_conn.cwnd() as f64,
+            mean_srtt_ms: self.server_conn.srtt().as_secs_f64() * 1e3,
+            client_packets_received: client_stats.packets_received,
+            client_packets_duplicate: client_stats.packets_duplicate,
+            client_packets_reordered: client_stats.packets_reordered,
+        };
+        let note = FinishNote {
+            flow: self.flow,
+            system: self.label.clone(),
+            at: now,
+            completed: r.completed,
+            stall_s: r.stall_s,
+            ssim: r.avg_ssim(),
+            bytes_downloaded: r.bytes_downloaded,
+        };
+        self.result = Some(r);
+        Some(note)
+    }
+}
+
+/// Run one barrier round over a shard's sessions. Shared by the inline
+/// and threaded lanes — this function *is* the algorithm; worker count
+/// only changes who calls it.
+pub(crate) fn shard_round(sessions: &mut [SessionCell], mut cmd: RoundCmd) -> RoundReply {
+    let mut reply = RoundReply::default();
+    let iters_before: u64 = sessions.iter().map(|s| s.iters).sum();
+    for d in cmd.deliveries.drain(..) {
+        let cell = sessions
+            .iter_mut()
+            .find(|s| s.flow == d.flow)
+            // lint: allow(panic) the coordinator routes by flow ownership; a miss is a harness bug
+            .expect("delivery routed to the owning shard");
+        cell.inject(d.at, d.payload);
+    }
+    for (i, cell) in sessions.iter_mut().enumerate() {
+        if !cell.live() {
+            continue;
+        }
+        if cmd.skip.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        match cell.advance(cmd.barrier, &mut reply.outbox) {
+            Advanced::Blocked(next) => reply.blocked.push((cell.flow, next)),
+            Advanced::Done(note) => reply.finished.push(*note),
+        }
+    }
+    reply.iters = sessions.iter().map(|s| s.iters).sum::<u64>() - iters_before;
+    reply
+}
+
+/// Freeze every unfinished session at the cap (the coordinator decided
+/// globally that nothing happens before it).
+pub(crate) fn shard_freeze(sessions: &mut [SessionCell], at: SimTime) -> RoundReply {
+    let mut reply = RoundReply::default();
+    for cell in sessions.iter_mut() {
+        if let Some(note) = cell.finish(at) {
+            reply.finished.push(note);
+        }
+    }
+    reply
+}
+
+fn harvest(sessions: Vec<SessionCell>) -> Vec<(usize, TrialResult)> {
+    sessions
+        .into_iter()
+        .map(|s| {
+            let flow = s.flow;
+            // lint: allow(panic) the coordinator freezes stragglers before harvesting
+            (flow, s.result.expect("session finished before harvest"))
+        })
+        .collect()
+}
+
+/// Worker-thread body: build the shard's sessions locally (session state
+/// never crosses threads), then serve rounds until harvested.
+pub(crate) fn worker_loop(
+    seeds: Vec<SessionSeed>,
+    rx: Receiver<Cmd>,
+    tx: Sender<Reply>,
+    recorder: Option<voxel_obs::FlightRecorder>,
+) {
+    let _bound = recorder.as_ref().map(voxel_obs::install_recorder);
+    let mut sessions: Vec<SessionCell> = seeds.into_iter().map(SessionCell::new).collect();
+    while let Ok(cmd) = rx.recv() {
+        let reply = match cmd {
+            Cmd::Round(round) => Reply::Round(shard_round(&mut sessions, round)),
+            Cmd::Freeze(at) => Reply::Round(shard_freeze(&mut sessions, at)),
+            Cmd::Harvest => {
+                let _ = tx.send(Reply::Outcomes(harvest(sessions)));
+                return;
+            }
+        };
+        if tx.send(reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// A shard handle as the coordinator sees it: the inline lane runs the
+/// shard's sessions on the coordinator thread (workers = 1 keeps the
+/// whole run single-threaded); a thread lane speaks the same `Cmd`/`Reply`
+/// protocol over channels.
+pub(crate) enum Lane {
+    Inline {
+        sessions: Vec<SessionCell>,
+        pending: Option<Cmd>,
+    },
+    Thread {
+        tx: Sender<Cmd>,
+        rx: Receiver<Reply>,
+    },
+}
+
+impl Lane {
+    /// Queue a command. Thread lanes start working immediately; the
+    /// inline lane defers to `collect` so dispatch stays non-blocking in
+    /// both cases and rounds overlap across threaded shards.
+    pub fn dispatch(&mut self, cmd: Cmd) {
+        match self {
+            Lane::Inline { pending, .. } => *pending = Some(cmd),
+            Lane::Thread { tx, .. } => {
+                // lint: allow(panic) a worker death already panicked the run
+                tx.send(cmd).expect("shard worker alive");
+            }
+        }
+    }
+
+    /// Execute (inline) or await (threaded) the dispatched command.
+    pub fn collect(&mut self) -> Reply {
+        match self {
+            Lane::Inline { sessions, pending } => {
+                // lint: allow(panic) collect without dispatch is a harness bug
+                match pending.take().expect("round dispatched") {
+                    Cmd::Round(round) => Reply::Round(shard_round(sessions, round)),
+                    Cmd::Freeze(at) => Reply::Round(shard_freeze(sessions, at)),
+                    Cmd::Harvest => Reply::Outcomes(harvest(std::mem::take(sessions))),
+                }
+            }
+            Lane::Thread { rx, .. } => {
+                // lint: allow(panic) a worker death already panicked the run
+                rx.recv().expect("shard worker reply")
+            }
+        }
+    }
+}

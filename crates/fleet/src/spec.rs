@@ -4,7 +4,7 @@
 //! Canonical form:
 //!
 //! ```text
-//! <video>:<count>x<system>[+<count>x<system>…]:const<mbps>:buf<N>:q<N>:d<N>:<fifo|drr>:stg<N>[:cap<N>]
+//! <video>:<count>x<system>[+<count>x<system>…]:const<mbps>:buf<N>:q<N>:d<N>:<fifo|drr>:stg<N>[:cap<N>][:w<N>]
 //! ```
 //!
 //! e.g. `BBB:4xVOXEL+2xBOLA+2xBETA:const6:buf3:q64:d300:drr:stg2` — an
@@ -12,6 +12,13 @@
 //! buffers, a 64-packet shared queue, DRR scheduling, session starts
 //! staggered 2 s apart. [`FleetSpec::spec`] is the exact inverse of
 //! [`FleetSpec::parse`].
+//!
+//! The optional `w<N>` token pins the sharded runtime's worker count
+//! (`w1` = the single-threaded coordinator). When absent, the
+//! `VOXEL_SHARD_WORKERS` environment variable decides (`max` = available
+//! parallelism), defaulting to 1 — the timeline is byte-identical at any
+//! worker count either way, so `w` is a performance knob, never a
+//! semantic one.
 //!
 //! This module also owns the canonical system/video name tables
 //! ([`system_by_name`], [`video_by_name`]) that `voxel-testkit` re-exports,
@@ -98,6 +105,9 @@ pub struct FleetSpec {
     /// Optional hard cap on simulated seconds (benchmark slices); `None`
     /// uses the session safety cap.
     pub cap_s: Option<usize>,
+    /// Explicit shard worker count (`w<N>`); `None` defers to the
+    /// `VOXEL_SHARD_WORKERS` environment variable via [`resolve_workers`].
+    pub workers: Option<usize>,
 }
 
 impl Default for FleetSpec {
@@ -115,8 +125,27 @@ impl Default for FleetSpec {
             discipline: Discipline::drr(),
             stagger_s: 0,
             cap_s: None,
+            workers: None,
         }
     }
+}
+
+/// Resolve a fleet's shard worker count: the spec's explicit `w<N>` token
+/// when present, otherwise the `VOXEL_SHARD_WORKERS` environment variable
+/// (`max` = available parallelism, or a number), otherwise 1. Always
+/// clamped to `[1, sessions]`.
+pub fn resolve_workers(explicit: Option<usize>, sessions: usize) -> usize {
+    let requested =
+        explicit.unwrap_or_else(
+            || match std::env::var("VOXEL_SHARD_WORKERS").ok().as_deref() {
+                Some("max") => std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1),
+                Some(v) => v.parse().unwrap_or(1),
+                None => 1,
+            },
+        );
+    requested.clamp(1, sessions.max(1))
 }
 
 impl FleetSpec {
@@ -176,6 +205,12 @@ impl FleetSpec {
                 out.stagger_s = v.parse().map_err(|_| format!("bad stagger in {tok:?}"))?;
             } else if let Some(v) = tok.strip_prefix("cap") {
                 out.cap_s = Some(v.parse().map_err(|_| format!("bad cap in {tok:?}"))?);
+            } else if let Some(v) = tok.strip_prefix("w") {
+                let w: usize = v.parse().map_err(|_| format!("bad workers in {tok:?}"))?;
+                if w == 0 {
+                    return Err(format!("workers must be at least 1 in {tok:?}"));
+                }
+                out.workers = Some(w);
             } else {
                 return Err(format!("unknown fleet spec token {tok:?}"));
             }
@@ -203,6 +238,9 @@ impl FleetSpec {
         );
         if let Some(cap) = self.cap_s {
             s.push_str(&format!(":cap{cap}"));
+        }
+        if let Some(w) = self.workers {
+            s.push_str(&format!(":w{w}"));
         }
         s
     }
@@ -255,6 +293,27 @@ mod tests {
         assert_eq!(c.cap_s, Some(60));
         assert_eq!(c.discipline, Discipline::Fifo);
         assert!(c.homogeneous());
+
+        let sharded = "BBB:8xVOXEL:const6:buf3:q64:d300:drr:stg2:cap60:w4";
+        let w = FleetSpec::parse(sharded).expect("parses");
+        assert_eq!(w.spec(), sharded);
+        assert_eq!(w.workers, Some(4));
+    }
+
+    #[test]
+    fn workers_token_parses_and_resolves() {
+        // Canonical specs without a `w` token stay canonical (no `:w`).
+        let s = FleetSpec::parse("BBB:2xVOXEL:const6").expect("parses");
+        assert_eq!(s.workers, None);
+        assert!(!s.spec().contains(":w"));
+        // An explicit token wins over the environment and clamps to the
+        // session count.
+        assert_eq!(resolve_workers(Some(4), 8), 4);
+        assert_eq!(resolve_workers(Some(64), 8), 8);
+        assert_eq!(resolve_workers(Some(1), 8), 1);
+        for bad in ["BBB:2xVOXEL:const6:w0", "BBB:2xVOXEL:const6:wx"] {
+            assert!(FleetSpec::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

@@ -191,8 +191,16 @@ impl SharedLink {
     /// packet's service back-to-back at each completion instant
     /// (work-conserving).
     pub fn pop_due(&mut self, now: SimTime) -> Vec<Departure> {
-        let _obs = voxel_obs::span!("netem.pop_due");
         let mut out = Vec::new();
+        self.pop_due_into(now, &mut out);
+        out
+    }
+
+    /// [`SharedLink::pop_due`] into a caller-provided buffer (appended, not
+    /// cleared), so a driver pumping the link once per barrier round can
+    /// recycle one departure buffer instead of allocating per call.
+    pub fn pop_due_into(&mut self, now: SimTime, out: &mut Vec<Departure>) {
+        let _obs = voxel_obs::span!("netem.pop_due");
         while let Some(dep) = self.in_service {
             if dep.at > now {
                 break;
@@ -203,7 +211,6 @@ impl SharedLink {
             out.push(dep);
             self.start_service(dep.at);
         }
-        out
     }
 
     /// Uplink (client → server) arrival time for a packet sent at `now`;

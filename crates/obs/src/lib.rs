@@ -30,7 +30,7 @@ pub use profile::{
 pub use recorder::{FlightRecorder, RecorderGuard, RecorderSink, DEFAULT_CAPACITY};
 
 pub use profile::{arm, armed, observe};
-pub use recorder::{dump_current, install as install_recorder};
+pub use recorder::{current as current_recorder, dump_current, install as install_recorder};
 
 /// Open a profiling span for the enclosing scope.
 ///

@@ -182,6 +182,15 @@ pub fn dump_current(reason: &str) -> Option<String> {
     CURRENT.with_borrow(|stack| stack.last().map(|r| r.postmortem(reason)))
 }
 
+/// The innermost recorder bound to this thread, if any.
+///
+/// A coordinator that fans work out to shard threads clones the recorder
+/// it found here and [`install`]s the clone on each worker, so paranoid
+/// audits deep inside a shard still reach the same ring.
+pub fn current() -> Option<FlightRecorder> {
+    CURRENT.with_borrow(|stack| stack.last().cloned())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

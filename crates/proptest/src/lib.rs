@@ -4,8 +4,9 @@
 //! the subset of proptest the test suites use: the `proptest!` macro with
 //! `ident in strategy` bindings, `prop_assert!`/`prop_assert_eq!`/
 //! `prop_assume!`, integer/float range strategies, tuples, `collection::vec`,
-//! `bool::ANY`, `num::u8::ANY`, and string-from-regex strategies (the small
-//! character-class/quantifier subset actually used).
+//! `bool::ANY`, `num::u8::ANY`, string-from-regex strategies (the small
+//! character-class/quantifier subset actually used), plus the combinators
+//! `Strategy::prop_map`, `Just`, and `prop_oneof!` (unweighted arms).
 //!
 //! Unlike upstream there is no shrinking: a failing case panics with the
 //! case number and generated values left to the assertion message. Cases are
@@ -37,9 +38,11 @@ pub mod num {
 
 /// The traits and macros most tests import with `use proptest::prelude::*`.
 pub mod prelude {
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Run property-based tests.
@@ -157,6 +160,16 @@ macro_rules! prop_assert_ne {
     }};
 }
 
+/// Uniform choice between strategies producing one value type
+/// (upstream's `prop_oneof!`, unweighted arms only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {
+        $crate::strategy::OneOf::new(::std::boxed::Box::new($first))
+            $(.or(::std::boxed::Box::new($rest)))*
+    };
+}
+
 /// Discard the current case (counts as neither pass nor fail).
 #[macro_export]
 macro_rules! prop_assume {
@@ -202,6 +215,31 @@ mod tests {
             prop_assert_ne!(x, 3);
             prop_assert_eq!(x, x, "x = {}", x);
         }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_map_and_just_compose(
+            v in crate::collection::vec(
+                prop_oneof![(1u32..5).prop_map(|x| x * 10), Just(7u32)],
+                1..30,
+            ),
+        ) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| x == 7 || (x % 10 == 0 && (10..50).contains(&x))));
+        }
+    }
+
+    #[test]
+    fn oneof_draws_every_arm() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = prop_oneof![Just(0u8), Just(1u8)];
+        let mut seen = [false; 2];
+        for case in 0..64 {
+            seen[strat.generate(&mut TestRng::for_case(17, case)) as usize] = true;
+        }
+        assert_eq!(seen, [true, true], "one arm was never selected");
     }
 
     #[test]

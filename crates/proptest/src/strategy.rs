@@ -12,6 +12,68 @@ pub trait Strategy {
     type Value;
     /// Produce one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f` (upstream `Strategy::prop_map`).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+}
+
+/// Always yields a clone of the wrapped value (upstream `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Uniform choice between heterogeneous strategies sharing one value
+/// type — what the [`prop_oneof!`](crate::prop_oneof) macro builds.
+pub struct OneOf<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> OneOf<V> {
+    /// Start from the first alternative (arms are never empty).
+    pub fn new(first: Box<dyn Strategy<Value = V>>) -> OneOf<V> {
+        OneOf {
+            options: vec![first],
+        }
+    }
+
+    /// Add one more alternative.
+    pub fn or(mut self, next: Box<dyn Strategy<Value = V>>) -> OneOf<V> {
+        self.options.push(next);
+        self
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len() as u128) as usize;
+        self.options[i].generate(rng)
+    }
 }
 
 macro_rules! impl_int_range_strategy {

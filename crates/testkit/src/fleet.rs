@@ -19,8 +19,11 @@ pub const HOMOGENEOUS_JAIN_FLOOR: f64 = 0.8;
 
 /// The canonical fleet specs whose digests are committed. One mixed
 /// 8-session fleet (the acceptance scenario: 4 VOXEL, 2 BOLA, 2 BETA on
-/// a shared 6 Mbit/s DRR link) and one homogeneous VOXEL fleet pinning
-/// the fairness floor.
+/// a shared 6 Mbit/s DRR link), one homogeneous VOXEL fleet pinning the
+/// fairness floor, and one capped 64-session mixed fleet exercising the
+/// sharded runtime at scale (staggered starts, droptail pressure, the
+/// cap-freeze path — everything the parity suite must hold byte-stable
+/// across worker counts).
 pub fn canonical_fleets() -> Vec<GoldenScenario> {
     vec![
         GoldenScenario {
@@ -33,7 +36,21 @@ pub fn canonical_fleets() -> Vec<GoldenScenario> {
             spec: "BBB:8xVOXEL:const6:buf3:q64:d300:drr:stg2",
             seed: 0,
         },
+        GoldenScenario {
+            name: "fleet-mixed64",
+            spec: "BBB:28xVOXEL+20xBOLA+16xBETA:const48:buf3:q256:d120:drr:stg1:cap90",
+            seed: 0,
+        },
     ]
+}
+
+/// Expected session count per canonical fleet (keeps the spec strings
+/// honest in tests and sizes parity sweeps).
+pub fn canonical_fleet_sessions(name: &str) -> usize {
+    match name {
+        "fleet-mixed64" => 64,
+        _ => 8,
+    }
 }
 
 /// Cross-session invariants every fleet run must satisfy. Returns
@@ -55,7 +72,9 @@ pub fn fleet_invariants(spec: &FleetSpec, r: &FleetResult) -> Vec<String> {
             n
         ));
     }
-    if !r.all_completed() {
+    // An explicit cap (`:cap<N>`) deliberately freezes stragglers, so
+    // completion is only an invariant for uncapped fleets.
+    if spec.cap_s.is_none() && !r.all_completed() {
         let stuck: Vec<usize> = r
             .sessions
             .iter()
@@ -96,8 +115,9 @@ pub fn fleet_invariants(spec: &FleetSpec, r: &FleetResult) -> Vec<String> {
     v
 }
 
-/// One executed golden fleet: its timeline, oracle verdict, and — when
-/// an oracle fired — the flight-recorder postmortem of the run's tail.
+/// One executed golden fleet: its timeline, oracle verdict, the full
+/// [`FleetResult`], and — when an oracle fired — the flight-recorder
+/// postmortem of the run's tail.
 pub struct FleetGoldenRun {
     /// The raw JSONL timeline (what the digest is taken over).
     pub timeline: Vec<u8>,
@@ -105,11 +125,27 @@ pub struct FleetGoldenRun {
     pub failures: Vec<String>,
     /// Last-events dump, present exactly when `failures` is non-empty.
     pub postmortem: Option<String>,
+    /// The run's metrics, for cross-worker-count parity comparison.
+    pub result: FleetResult,
 }
 
 /// Run one golden fleet, its sink teed through a flight recorder.
 pub fn run_fleet_golden(g: &GoldenScenario, content: &Content) -> Result<FleetGoldenRun, String> {
-    let spec = FleetSpec::parse(g.spec)?;
+    run_fleet_golden_with_workers(g, content, None)
+}
+
+/// [`run_fleet_golden`] at an explicit shard worker count (`None` defers
+/// to the spec / `VOXEL_SHARD_WORKERS`). The parity harness runs the same
+/// golden at several counts and demands byte-identical timelines.
+pub fn run_fleet_golden_with_workers(
+    g: &GoldenScenario,
+    content: &Content,
+    workers: Option<usize>,
+) -> Result<FleetGoldenRun, String> {
+    let mut spec = FleetSpec::parse(g.spec)?;
+    if workers.is_some() {
+        spec.workers = workers;
+    }
     let buf = SharedBuf::new();
     let recorder = FlightRecorder::new(
         format!("fleet={} spec={}", g.name, g.spec),
@@ -129,7 +165,92 @@ pub fn run_fleet_golden(g: &GoldenScenario, content: &Content) -> Result<FleetGo
         timeline: buf.contents(),
         failures,
         postmortem,
+        result,
     })
+}
+
+/// Deterministic-parity oracle: run `g` at every worker count in
+/// `counts` and compare each run against the first, byte-for-byte on the
+/// timeline and field-by-field on the [`FleetResult`]. Returns the first
+/// count's run (whose timeline is the digest candidate) and the
+/// violations (empty = sharding is unobservable, as the determinism
+/// contract demands).
+pub fn shard_parity_failures(
+    g: &GoldenScenario,
+    content: &Content,
+    counts: &[usize],
+) -> Result<(FleetGoldenRun, Vec<String>), String> {
+    let mut v = Vec::new();
+    let mut reference: Option<(usize, FleetGoldenRun)> = None;
+    for &w in counts {
+        let run = run_fleet_golden_with_workers(g, content, Some(w))?;
+        for f in &run.failures {
+            v.push(format!("{} w={w}: oracle: {f}", g.name));
+        }
+        let Some((w0, base)) = &reference else {
+            reference = Some((w, run));
+            continue;
+        };
+        if run.timeline != base.timeline {
+            let byte = run
+                .timeline
+                .iter()
+                .zip(base.timeline.iter())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| run.timeline.len().min(base.timeline.len()));
+            v.push(format!(
+                "{} w={w}: timeline diverges from w={w0} at byte {byte} \
+                 ({} vs {} bytes total)",
+                g.name,
+                run.timeline.len(),
+                base.timeline.len()
+            ));
+        }
+        let (a, b) = (&run.result, &base.result);
+        if a.loop_iters != b.loop_iters {
+            v.push(format!(
+                "{} w={w}: loop_iters {} != {} at w={w0}",
+                g.name, a.loop_iters, b.loop_iters
+            ));
+        }
+        if a.end_s != b.end_s {
+            v.push(format!(
+                "{} w={w}: end_s {} != {} at w={w0}",
+                g.name, a.end_s, b.end_s
+            ));
+        }
+        if a.jain != b.jain {
+            v.push(format!(
+                "{} w={w}: jain {} != {} at w={w0}",
+                g.name, a.jain, b.jain
+            ));
+        }
+        if a.shares_pct != b.shares_pct {
+            v.push(format!("{} w={w}: flow shares differ from w={w0}", g.name));
+        }
+        if a.flows != b.flows {
+            v.push(format!(
+                "{} w={w}: per-flow link stats differ from w={w0}",
+                g.name
+            ));
+        }
+        for (i, (sa, sb)) in a.sessions.iter().zip(b.sessions.iter()).enumerate() {
+            let same = sa.completed == sb.completed
+                && sa.stall_s == sb.stall_s
+                && sa.bytes_downloaded == sb.bytes_downloaded
+                && sa.avg_ssim() == sb.avg_ssim()
+                && sa.transport.packets_sent == sb.transport.packets_sent
+                && sa.transport.packets_lost == sb.transport.packets_lost;
+            if !same {
+                v.push(format!(
+                    "{} w={w}: session {i} result differs from w={w0}",
+                    g.name
+                ));
+            }
+        }
+    }
+    let (_, base) = reference.ok_or("parity sweep needs at least one worker count")?;
+    Ok((base, v))
 }
 
 #[cfg(test)]
@@ -178,7 +299,7 @@ mod tests {
         for g in &all {
             let s = FleetSpec::parse(g.spec).expect(g.spec);
             assert_eq!(s.spec(), g.spec, "{} must be canonical", g.name);
-            assert_eq!(s.total_sessions(), 8);
+            assert_eq!(s.total_sessions(), canonical_fleet_sessions(g.name));
         }
     }
 

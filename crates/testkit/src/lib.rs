@@ -40,7 +40,10 @@ pub mod sweep;
 pub use digest::{
     check_or_bless, fnv64, run_golden, timeline_digest, GoldenScenario, GoldenStatus,
 };
-pub use fleet::{canonical_fleets, fleet_invariants, run_fleet_golden, FleetGoldenRun};
+pub use fleet::{
+    canonical_fleet_sessions, canonical_fleets, fleet_invariants, run_fleet_golden,
+    run_fleet_golden_with_workers, shard_parity_failures, FleetGoldenRun,
+};
 pub use oracle::Bounds;
 pub use runner::{run_scenario, Content, ScenarioRun, TrialRun};
 pub use scenario::{

@@ -1,0 +1,93 @@
+//! Tier-1 sharded-parity slice: `workers` is a performance knob, never a
+//! semantic one. The same fleet spec must produce a byte-identical
+//! timeline and identical metrics at every worker count — including
+//! counts that exceed the session count (clamped) and partitions that
+//! split heterogeneous systems across shards. The full golden-fleet
+//! parity sweep (every committed digest at w ∈ {1, 2, max}) runs in
+//! tier-2 (`cargo run -p voxel-bench --bin conformance`).
+
+use voxel::prelude::*;
+use voxel::trace::{JsonlSink, SharedBuf};
+
+fn run_with_workers(
+    spec_str: &str,
+    workers: usize,
+    cache: &ContentCache,
+) -> (FleetResult, Vec<u8>) {
+    let mut spec = FleetSpec::parse(spec_str).expect("spec");
+    // Explicit per-run override: the environment knob is never consulted,
+    // so this test is immune to VOXEL_SHARD_WORKERS in the ambient CI env.
+    spec.workers = Some(workers);
+    let buf = SharedBuf::new();
+    let tracer = Tracer::new(0, Box::new(JsonlSink::to_writer(Box::new(buf.clone()))));
+    let r = run_fleet(&spec, cache, tracer).expect("spec runs");
+    (r, buf.contents())
+}
+
+fn assert_parity(spec: &str, counts: &[usize], cache: &ContentCache) -> FleetResult {
+    let (r1, t1) = run_with_workers(spec, 1, cache);
+    assert!(!t1.is_empty());
+    for &w in counts {
+        let (rw, tw) = run_with_workers(spec, w, cache);
+        assert_eq!(tw, t1, "timeline diverges at workers={w} for {spec}");
+        assert_eq!(rw.loop_iters, r1.loop_iters, "loop_iters at workers={w}");
+        assert_eq!(rw.end_s, r1.end_s, "end_s at workers={w}");
+        assert_eq!(rw.jain, r1.jain, "jain at workers={w}");
+        assert_eq!(rw.shares_pct, r1.shares_pct, "shares at workers={w}");
+        assert_eq!(rw.flows, r1.flows, "link stats at workers={w}");
+        assert_eq!(rw.sessions.len(), r1.sessions.len());
+        for (i, (a, b)) in rw.sessions.iter().zip(r1.sessions.iter()).enumerate() {
+            assert_eq!(a.completed, b.completed, "session {i} at workers={w}");
+            assert_eq!(a.stall_s, b.stall_s, "session {i} at workers={w}");
+            assert_eq!(
+                a.bytes_downloaded, b.bytes_downloaded,
+                "session {i} at workers={w}"
+            );
+            assert_eq!(a.avg_ssim(), b.avg_ssim(), "session {i} at workers={w}");
+        }
+    }
+    r1
+}
+
+#[test]
+fn mixed_fleet_is_byte_identical_across_worker_counts() {
+    let cache = ContentCache::top_level_only();
+    // Heterogeneous systems, staggered starts, sessions running to
+    // natural completion. Worker counts cover: even split, uneven split,
+    // one-session shards, and a count past the fleet size (clamped).
+    let r = assert_parity(
+        "BBB:2xVOXEL+1xBOLA:const6:buf3:q64:d60:drr:stg1",
+        &[2, 3, 5],
+        &cache,
+    );
+    assert!(r.sessions.iter().all(|s| s.completed));
+}
+
+#[test]
+fn cap_freeze_is_byte_identical_across_worker_counts() {
+    let cache = ContentCache::top_level_only();
+    // A cap far below the time the fleet needs forces the coordinator's
+    // global freeze — the one round where every shard acts at once.
+    let r = assert_parity(
+        "BBB:2xVOXEL+2xBOLA:const6:buf3:q64:d60:drr:stg1:cap10",
+        &[2, 4],
+        &cache,
+    );
+    assert!(
+        r.sessions.iter().any(|s| !s.completed),
+        "cap did not bite; freeze path untested"
+    );
+    assert_eq!(r.end_s, 10.0, "frozen runs end exactly at the cap");
+}
+
+#[test]
+fn fifo_discipline_parity_holds_too() {
+    let cache = ContentCache::top_level_only();
+    // FIFO couples flows through one global arrival order — the most
+    // merge-order-sensitive configuration the link supports.
+    assert_parity(
+        "BBB:2xVOXEL+1xBETA:const6:buf3:q32:d60:fifo:stg1:cap30",
+        &[2, 3],
+        &cache,
+    );
+}
