@@ -32,6 +32,9 @@ VOXEL_TESTKIT_FAULT=stall_off_by_one cargo run -q --release -p voxel-bench --bin
 echo "==> tier-2: sharded parity (golden fleets at VOXEL_SHARD_WORKERS=max must match workers=1 byte-for-byte)"
 VOXEL_SHARD_WORKERS=max cargo run -q --release -p voxel-bench --bin conformance -- --fleets-only
 
+echo "==> tier-2: cc shootout smoke (cc-mix fairness bands + per-cc-group starvation oracles, DESIGN.md §15)"
+cargo run -q --release -p voxel-bench --bin cc_shootout -- --smoke
+
 echo "==> perf: criterion smoke (fleet scaling / rangeset / session loop)"
 VOXEL_BENCH_FAST=1 cargo bench -q -p voxel-bench --bench fleet
 

@@ -1,0 +1,169 @@
+//! cc_shootout: the congestion-control contention report (DESIGN.md §15).
+//!
+//! Same ABR, same video, one shared FIFO droptail bottleneck — only the
+//! congestion-controller mix varies. For each mix the report prints the
+//! Jain fairness index, link utilization, aggregate QoE (mean SSIM and
+//! total stall time), and the mean link share of every cc group, then
+//! runs the testkit's cc-mix oracles — the fairness band (per-cc
+//! homogeneous floors, mixed-cc floor) and the per-cc-group starvation
+//! check — over every row.
+//!
+//! ```sh
+//! cargo run --release -p voxel-bench --bin cc_shootout [-- --smoke]
+//! ```
+//!
+//! `--smoke` is the gated ci.sh lane: half the fleet, a 30-simulated-
+//! second horizon, and any oracle violation fails the exit code. The
+//! full report doubles the fleet and horizon into regimes where real
+//! controller pathologies emerge (delay-based late-comer collapse at 8
+//! flows, CUBIC demand-pinned to the bottom rung under BBR); there the
+//! oracle verdicts print as findings without failing the run — that
+//! table is the methodology's output, not a regression gate.
+
+use std::process::ExitCode;
+use voxel_core::ContentCache;
+use voxel_fleet::{run_fleet, FleetResult, FleetSpec};
+use voxel_testkit::fleet_invariants;
+use voxel_trace::Tracer;
+
+/// Bottleneck rate per session, Mbit/s. The link scales with the fleet
+/// (4 sessions on 6 Mbit/s smoke, 8 on 12 full) so both modes probe the
+/// same per-flow operating point and differ only in statistical mass.
+const PER_SESSION_MBPS: f64 = 1.5;
+
+/// The shootout matrix: homogeneous fleets of each controller to anchor
+/// the fair baselines, then the contention mixes the report exists for.
+/// Returns the mix rows plus the bottleneck rate they share.
+fn mixes(smoke: bool) -> (Vec<(&'static str, String)>, f64) {
+    let (whole, half, cap) = if smoke { (4, 2, 30) } else { (8, 4, 120) };
+    let triple = if smoke {
+        "2xVOXEL@cubic+1xVOXEL@delay+1xVOXEL@bbr".to_string()
+    } else {
+        "3xVOXEL@cubic+3xVOXEL@delay+2xVOXEL@bbr".to_string()
+    };
+    let mbps = PER_SESSION_MBPS * whole as f64;
+    // The droptail queue scales with the fleet (16 packets per session)
+    // for the same reason the link does: a buffer that halves per-flow
+    // when the fleet doubles would change the contention regime, and a
+    // sub-BDP buffer at 300 ms RTT lets BBR's inflight cap starve
+    // loss-based flows outright. Simultaneous starts: a stagger hands
+    // early sessions a head start that reads as unfairness over a capped
+    // horizon, which is exactly the signal this report must keep clean.
+    let tail = format!(
+        "const{}:buf3:q{}:d300:fifo:stg0:cap{cap}",
+        mbps as usize,
+        16 * whole
+    );
+    (
+        vec![
+            ("all-cubic", format!("BBB:{whole}xVOXEL@cubic:{tail}")),
+            ("all-delay", format!("BBB:{whole}xVOXEL@delay:{tail}")),
+            ("all-bbr", format!("BBB:{whole}xVOXEL@bbr:{tail}")),
+            (
+                "cubic+bbr",
+                format!("BBB:{half}xVOXEL@bbr+{half}xVOXEL@cubic:{tail}"),
+            ),
+            ("cubic+delay+bbr", format!("BBB:{triple}:{tail}")),
+        ],
+        mbps,
+    )
+}
+
+/// Mean link share (%) per cc group, in first-appearance member order.
+fn group_shares(spec: &FleetSpec, r: &FleetResult) -> Vec<(String, f64)> {
+    let members = spec.session_members();
+    spec.cc_mix()
+        .iter()
+        .map(|kind| {
+            let shares: Vec<f64> = members
+                .iter()
+                .zip(&r.shares_pct)
+                .filter(|(m, _)| m.cc_kind() == *kind)
+                .map(|(_, s)| *s)
+                .collect();
+            (
+                kind.name().to_string(),
+                shares.iter().sum::<f64>() / shares.len() as f64,
+            )
+        })
+        .collect()
+}
+
+/// Fraction of the bottleneck's capacity the fleet actually delivered.
+fn utilization_pct(r: &FleetResult, link_mbps: f64) -> f64 {
+    if r.end_s <= 0.0 {
+        return 0.0;
+    }
+    let delivered_bits: f64 = r.flows.iter().map(|f| f.bytes_delivered as f64 * 8.0).sum();
+    100.0 * delivered_bits / (link_mbps * 1e6 * r.end_s)
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    for a in std::env::args().skip(1) {
+        if a == "--smoke" {
+            smoke = true;
+        } else {
+            eprintln!("cc_shootout: unexpected argument {a:?}");
+            eprintln!("usage: cc_shootout [--smoke]");
+            return ExitCode::FAILURE;
+        }
+    }
+    let cache = ContentCache::top_level_only();
+    let (rows, link_mbps) = mixes(smoke);
+    println!(
+        "# cc shootout{}: VOXEL ABR, {link_mbps} Mbit/s FIFO droptail bottleneck \
+         ({PER_SESSION_MBPS} Mbit/s per session)",
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:18} {:>3} {:>7} {:>7} {:>7} {:>9}   mean share by cc group",
+        "mix", "n", "jain", "util%", "ssim", "stall_s"
+    );
+    let mut ok = true;
+    for (name, spec_str) in rows {
+        let spec = match FleetSpec::parse(&spec_str) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cc_shootout: bad spec {spec_str:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let r = match run_fleet(&spec, &cache, Tracer::disabled()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cc_shootout: {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let shares: Vec<String> = group_shares(&spec, &r)
+            .iter()
+            .map(|(cc, pct)| format!("{cc}:{pct:.1}%"))
+            .collect();
+        println!(
+            "{:18} {:>3} {:>7.3} {:>7.1} {:>7.3} {:>9.1}   {}",
+            name,
+            spec.total_sessions(),
+            r.jain,
+            utilization_pct(&r, link_mbps),
+            r.mean_ssim(),
+            r.total_stall_s(),
+            shares.join(" "),
+        );
+        for v in fleet_invariants(&spec, &r) {
+            if smoke {
+                println!("FAIL {name}: {v}");
+                ok = false;
+            } else {
+                println!("finding {name}: {v}");
+            }
+        }
+    }
+    if ok {
+        println!("# cc_shootout: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("# cc_shootout: FAIL");
+        ExitCode::FAILURE
+    }
+}

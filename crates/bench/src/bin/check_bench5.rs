@@ -22,7 +22,9 @@
 //! ```
 
 use std::process::ExitCode;
-use voxel_bench::perf::{FLEET_BULK_SESSIONS, FLEET_FLATNESS_RATIO, FLEET_SCALING_SESSIONS};
+use voxel_bench::perf::{
+    CC_SHOOTOUT_SESSIONS, FLEET_BULK_SESSIONS, FLEET_FLATNESS_RATIO, FLEET_SCALING_SESSIONS,
+};
 
 /// Pull the number after `"key": ` out of a JSON object line. The file
 /// is our own fixed-format emission (see `perf::Bench5::to_json`), so a
@@ -99,6 +101,22 @@ fn check(text: &str) -> Result<(), String> {
         ));
     }
 
+    // The cc-contention point: right scale, positive rate.
+    let cc = text
+        .lines()
+        .find(|l| l.contains("\"cc_shootout\""))
+        .ok_or("missing cc_shootout entry")?;
+    let n = field(cc, "sessions").ok_or("cc_shootout missing sessions")?;
+    if n as usize != CC_SHOOTOUT_SESSIONS {
+        return Err(format!(
+            "cc_shootout ran {n} sessions, expected {CC_SHOOTOUT_SESSIONS}"
+        ));
+    }
+    let cc_steps = field(cc, "steps_per_sec").ok_or("cc_shootout missing steps_per_sec")?;
+    if cc_steps <= 0.0 {
+        return Err(format!("non-positive cc_shootout rate: {cc}"));
+    }
+
     for key in ["rangeset", "session_loop"] {
         let line = text
             .lines()
@@ -151,6 +169,12 @@ fn snapshot_workloads(text: &str) -> Result<Vec<(String, f64)>, String> {
         .ok_or("missing fleet_bulk entry")?;
     let steps = field(bulk, "steps_per_sec").ok_or("fleet_bulk missing steps_per_sec")?;
     out.push(("fleet1k".into(), steps));
+    let cc = text
+        .lines()
+        .find(|l| l.contains("\"cc_shootout\""))
+        .ok_or("missing cc_shootout entry")?;
+    let steps = field(cc, "steps_per_sec").ok_or("cc_shootout missing steps_per_sec")?;
+    out.push(("cc_shootout".into(), steps));
     for key in ["rangeset", "session_loop"] {
         let line = text
             .lines()
@@ -309,6 +333,7 @@ mod tests {
                 .map(|&n| fleet(n, 100_000.0))
                 .collect(),
             fleet_bulk: fleet(FLEET_BULK_SESSIONS, 100_000.0),
+            cc_shootout: fleet(CC_SHOOTOUT_SESSIONS, 100_000.0),
             rangeset: OpsPoint::new(2048, 1.0),
             session_loop: OpsPoint::new(1000, 10.0),
         }

@@ -11,6 +11,10 @@
 //!   workload. Its per-session rate must stay within
 //!   [`FLEET_FLATNESS_RATIO`] of the 16-session point (the flatness
 //!   gate), or per-event cost has regressed to growing with fleet size;
+//! - **cc_shootout** — the BBR-vs-CUBIC contention mix from the
+//!   `cc_shootout` report (4 `VOXEL@bbr` + 4 `VOXEL@cubic` on one FIFO
+//!   droptail link, capped at 60 simulated seconds): the cost of the
+//!   delivery-rate sampler and BBR model under cross-cc contention;
 //! - **rangeset** — `voxel_quic::range::RangeSet` ACK-tracking ops/sec
 //!   (scattered inserts + membership/gap queries);
 //! - **session_loop** — single-session fleet event-loop steps/sec over a
@@ -38,6 +42,9 @@ pub const FLEET_SCALING_SESSIONS: [usize; 5] = [1, 2, 4, 8, 16];
 /// Sessions in the bulk fleet workload (`fleet1k`).
 pub const FLEET_BULK_SESSIONS: usize = 1000;
 
+/// Sessions in the cc-shootout workload (`cc_shootout`).
+pub const CC_SHOOTOUT_SESSIONS: usize = 8;
+
 /// Flatness gate: the bulk fleet's per-iteration rate must be at least
 /// this fraction of the 16-session point's. Coordination cost per round
 /// grows with fleet size (routing, merge sort, link pump), so some
@@ -64,6 +71,16 @@ pub fn session_loop_spec() -> String {
 /// cap-freeze path at scale.
 pub fn fleet_bulk_spec() -> String {
     format!("BBB:{FLEET_BULK_SESSIONS}xVOXEL:const600:buf3:q4096:d30:drr:stg0:cap10")
+}
+
+/// The cc-contention workload (`cc_shootout`): the BBR-vs-CUBIC half of
+/// the shootout matrix on a FIFO droptail bottleneck, capped at 60
+/// simulated seconds. Tracks the cost of the BBR model + delivery-rate
+/// sampler under real cross-cc contention, where ack clocking is
+/// busiest.
+pub fn cc_shootout_spec() -> String {
+    let half = CC_SHOOTOUT_SESSIONS / 2;
+    format!("BBB:{half}xVOXEL@bbr+{half}xVOXEL@cubic:const12:buf3:q128:d300:fifo:stg0:cap60")
 }
 
 /// One measured point of the fleet-scaling series.
@@ -116,6 +133,8 @@ pub struct Bench5 {
     pub fleet_scaling: Vec<FleetPoint>,
     /// The [`FLEET_BULK_SESSIONS`]-session bulk point (`fleet1k`).
     pub fleet_bulk: FleetPoint,
+    /// The BBR-vs-CUBIC contention point (`cc_shootout`).
+    pub cc_shootout: FleetPoint,
     /// RangeSet ACK-tracking throughput.
     pub rangeset: OpsPoint,
     /// Single-session event-loop rate (ops = loop iterations).
@@ -196,12 +215,14 @@ pub fn collect(cache: &ContentCache) -> Result<Bench5, String> {
         fleet_scaling.push(run_fleet_point(sessions, cache)?);
     }
     let fleet_bulk = run_fleet_bulk_point(cache)?;
+    let cc_shootout = fleet_point(&cc_shootout_spec(), CC_SHOOTOUT_SESSIONS, cache)?;
     let rangeset = measure_rangeset();
     let (r, wall_ms) = timed_fleet(&session_loop_spec(), cache)?;
     let session_loop = OpsPoint::new(r.loop_iters, wall_ms);
     Ok(Bench5 {
         fleet_scaling,
         fleet_bulk,
+        cc_shootout,
         rangeset,
         session_loop,
     })
@@ -217,6 +238,7 @@ impl Bench5 {
             .map(|p| (format!("fleet{}", p.sessions), p.steps_per_sec))
             .collect();
         w.push(("fleet1k".into(), self.fleet_bulk.steps_per_sec));
+        w.push(("cc_shootout".into(), self.cc_shootout.steps_per_sec));
         w.push(("rangeset".into(), self.rangeset.ops_per_sec));
         w.push(("session_loop".into(), self.session_loop.ops_per_sec));
         w
@@ -256,13 +278,17 @@ impl Bench5 {
             );
         }
         s.push_str("  ],\n");
-        let p = &self.fleet_bulk;
-        let _ = writeln!(
-            s,
-            "  \"fleet_bulk\": {{\"sessions\": {}, \"wall_ms\": {:.3}, \"loop_iters\": {}, \
-             \"steps_per_sec\": {:.1}, \"sim_end_s\": {:.3}, \"jain\": {:.6}}},",
-            p.sessions, p.wall_ms, p.loop_iters, p.steps_per_sec, p.sim_end_s, p.jain,
-        );
+        for (key, p) in [
+            ("fleet_bulk", &self.fleet_bulk),
+            ("cc_shootout", &self.cc_shootout),
+        ] {
+            let _ = writeln!(
+                s,
+                "  \"{key}\": {{\"sessions\": {}, \"wall_ms\": {:.3}, \"loop_iters\": {}, \
+                 \"steps_per_sec\": {:.1}, \"sim_end_s\": {:.3}, \"jain\": {:.6}}},",
+                p.sessions, p.wall_ms, p.loop_iters, p.steps_per_sec, p.sim_end_s, p.jain,
+            );
+        }
         for (key, p) in [
             ("rangeset", &self.rangeset),
             ("session_loop", &self.session_loop),
@@ -296,6 +322,12 @@ mod tests {
         let s = FleetSpec::parse(&session_loop_spec()).expect("spec");
         assert_eq!(s.total_sessions(), 1);
         assert_eq!(s.cap_s, None);
+        // The contention workload: an even bbr/cubic split, FIFO, capped.
+        let c = FleetSpec::parse(&cc_shootout_spec()).expect("spec");
+        assert_eq!(c.total_sessions(), CC_SHOOTOUT_SESSIONS);
+        assert_eq!(c.cap_s, Some(60));
+        assert!(!c.homogeneous());
+        assert_eq!(c.cc_mix().len(), 2);
         // The bulk workload: 1000 capped sessions, no worker pin (so the
         // conformance environment's VOXEL_SHARD_WORKERS applies).
         let b = FleetSpec::parse(&fleet_bulk_spec()).expect("spec");
@@ -328,6 +360,7 @@ mod tests {
         let b = Bench5 {
             fleet_scaling: vec![point(1)],
             fleet_bulk: point(FLEET_BULK_SESSIONS),
+            cc_shootout: point(CC_SHOOTOUT_SESSIONS),
             rangeset: OpsPoint::new(2048, 1.0),
             session_loop: OpsPoint::new(100, 10.0),
         };
@@ -335,6 +368,7 @@ mod tests {
         assert!(j.contains("\"schema\": \"voxel-bench5-v1\""));
         assert!(j.contains("\"sessions\": 1"));
         assert!(j.contains("\"fleet_bulk\": {\"sessions\": 1000"));
+        assert!(j.contains("\"cc_shootout\": {\"sessions\": 8"));
         assert!(j.contains("\"ops_per_sec\": 2048000.0"));
     }
 
@@ -343,6 +377,7 @@ mod tests {
         let b = Bench5 {
             fleet_scaling: vec![point(8)],
             fleet_bulk: point(FLEET_BULK_SESSIONS),
+            cc_shootout: point(CC_SHOOTOUT_SESSIONS),
             rangeset: OpsPoint::new(2048, 1.0),
             session_loop: OpsPoint::new(100, 10.0),
         };
@@ -350,8 +385,9 @@ mod tests {
         assert!(!line.contains('\n'), "one JSONL record per snapshot");
         assert!(line.contains("\"fleet8\": 10000.0"), "{line}");
         assert!(line.contains("\"fleet1k\": 10000.0"), "{line}");
+        assert!(line.contains("\"cc_shootout\": 10000.0"), "{line}");
         assert!(line.contains("\"rangeset\": 2048000.0"), "{line}");
         assert!(line.contains("\"session_loop\": 10000.0"), "{line}");
-        assert_eq!(b.workloads().len(), 4);
+        assert_eq!(b.workloads().len(), 5);
     }
 }

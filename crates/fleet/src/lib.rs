@@ -40,3 +40,6 @@ pub mod spec;
 pub use metrics::{jain_index, FleetResult};
 pub use run::{run_experiment_fleet, run_fleet, run_specs};
 pub use spec::{resolve_workers, system_by_name, video_by_name, FleetMember, FleetSpec};
+// Re-exported so spec consumers (testkit oracles, the cc_shootout
+// report) can match on `@cc` groups without a direct quic dependency.
+pub use voxel_quic::CcKind;

@@ -45,11 +45,10 @@ struct Plan {
     link: SharedLinkConfig,
     buffer_segments: usize,
     selective_retx: bool,
-    cc: CcKind,
     cap: SimTime,
     stagger_s: usize,
     workers: Option<usize>,
-    systems: Vec<(String, AbrKind, TransportMode)>,
+    systems: Vec<(String, AbrKind, TransportMode, CcKind)>,
 }
 
 /// The one assembly point both construction paths go through, so spec
@@ -64,12 +63,11 @@ struct PlanParams {
     discipline: Discipline,
     buffer_segments: usize,
     selective_retx: bool,
-    cc: CcKind,
     cap_s: Option<usize>,
     duration_s: usize,
     stagger_s: usize,
     workers: Option<usize>,
-    systems: Vec<(String, AbrKind, TransportMode)>,
+    systems: Vec<(String, AbrKind, TransportMode, CcKind)>,
 }
 
 impl Plan {
@@ -80,7 +78,6 @@ impl Plan {
             link: SharedLinkConfig::new(p.trace, p.queue_packets, p.discipline),
             buffer_segments: p.buffer_segments,
             selective_retx: p.selective_retx,
-            cc: p.cc,
             cap: cap_for(p.cap_s, p.duration_s),
             stagger_s: p.stagger_s,
             workers: p.workers,
@@ -90,10 +87,10 @@ impl Plan {
 
     fn from_spec(spec: &FleetSpec) -> Result<Plan, String> {
         let mut systems = Vec::with_capacity(spec.total_sessions());
-        for name in spec.session_systems() {
-            let (abr, transport) =
-                system_by_name(name).ok_or_else(|| format!("unknown system {name:?}"))?;
-            systems.push((name.to_string(), abr, transport));
+        for m in spec.session_members() {
+            let (abr, transport) = system_by_name(&m.system)
+                .ok_or_else(|| format!("unknown system {:?}", m.system))?;
+            systems.push((m.label(), abr, transport, m.cc_kind()));
         }
         if systems.is_empty() {
             return Err("fleet has no sessions".to_string());
@@ -106,7 +103,6 @@ impl Plan {
             discipline: spec.discipline,
             buffer_segments: spec.buffer_segments,
             selective_retx: true,
-            cc: CcKind::Cubic,
             cap_s: spec.cap_s,
             duration_s: spec.duration_s,
             stagger_s: spec.stagger_s,
@@ -131,12 +127,11 @@ impl Plan {
             discipline: c.discipline,
             buffer_segments: c.buffer_segments,
             selective_retx: c.selective_retx,
-            cc: c.cc,
             cap_s: None,
             duration_s: c.trace.duration_s(),
             stagger_s: 0,
             workers: c.workers,
-            systems: vec![(label, c.abr, c.transport); e.fleet_size()],
+            systems: vec![(label, c.abr, c.transport, c.cc); e.fleet_size()],
         })
     }
 }
@@ -192,13 +187,9 @@ fn run_plan(plan: Plan, cache: &ContentCache, tracer: Tracer) -> FleetResult {
     let qoe = cache.qoe();
     let n = plan.systems.len();
     let workers = resolve_workers(plan.workers, n);
-    let conn_config = ConnectionConfig {
-        cc: plan.cc,
-        ..ConnectionConfig::default()
-    };
 
     let mut seeds: Vec<SessionSeed> = Vec::with_capacity(n);
-    for (i, (label, abr, transport)) in plan.systems.iter().enumerate() {
+    for (i, (label, abr, transport, cc)) in plan.systems.iter().enumerate() {
         let mut player = PlayerConfig::new(plan.buffer_segments, *transport);
         player.selective_retx = plan.selective_retx && *transport == TransportMode::Split;
         seeds.push(SessionSeed {
@@ -207,7 +198,10 @@ fn run_plan(plan: Plan, cache: &ContentCache, tracer: Tracer) -> FleetResult {
             start: SimTime::from_secs((plan.stagger_s * i) as u64),
             delay_up: plan.link.delay_up,
             player,
-            conn_config: conn_config.clone(),
+            conn_config: ConnectionConfig {
+                cc: *cc,
+                ..ConnectionConfig::default()
+            },
             manifest: manifest.clone(),
             video: video.clone(),
             qoe: qoe.clone(),
@@ -603,6 +597,26 @@ mod tests {
         let spec = FleetSpec::parse("BBB:2xVOXEL:const6:buf3:q64:d60:fifo").unwrap();
         let plan = Plan::from_spec(&spec).unwrap();
         assert_eq!(plan.link.discipline, Discipline::Fifo);
+    }
+
+    /// The spec's per-member `@cc` reaches the plan per session, in flow
+    /// order, with suffix-free members defaulting to CUBIC.
+    #[test]
+    fn spec_plan_threads_cc_per_session() {
+        let spec = FleetSpec::parse("BBB:2xVOXEL@bbr+1xVOXEL:const6:buf3:q64:d60:fifo").unwrap();
+        let plan = Plan::from_spec(&spec).unwrap();
+        let ccs: Vec<CcKind> = plan.systems.iter().map(|s| s.3).collect();
+        assert_eq!(ccs, [CcKind::Bbr, CcKind::Bbr, CcKind::Cubic]);
+        let labels: Vec<&str> = plan.systems.iter().map(|s| s.0.as_str()).collect();
+        assert_eq!(labels, ["VOXEL@bbr", "VOXEL@bbr", "VOXEL"]);
+    }
+
+    /// The builder path replicates the experiment's cc across the fleet.
+    #[test]
+    fn experiment_plan_carries_cc() {
+        let e = Experiment::builder().fleet(2).cc(CcKind::Delay).build();
+        let plan = Plan::from_experiment(&e);
+        assert!(plan.systems.iter().all(|s| s.3 == CcKind::Delay));
     }
 
     #[test]

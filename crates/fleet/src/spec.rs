@@ -4,7 +4,7 @@
 //! Canonical form:
 //!
 //! ```text
-//! <video>:<count>x<system>[+<count>x<system>…]:const<mbps>:buf<N>:q<N>:d<N>:<fifo|drr>:stg<N>[:cap<N>][:w<N>]
+//! <video>:<count>x<system>[@<cc>][+<count>x<system>[@<cc>]…]:const<mbps>:buf<N>:q<N>:d<N>:<fifo|drr>:stg<N>[:cap<N>][:w<N>]
 //! ```
 //!
 //! e.g. `BBB:4xVOXEL+2xBOLA+2xBETA:const6:buf3:q64:d300:drr:stg2` — an
@@ -12,6 +12,13 @@
 //! buffers, a 64-packet shared queue, DRR scheduling, session starts
 //! staggered 2 s apart. [`FleetSpec::spec`] is the exact inverse of
 //! [`FleetSpec::parse`].
+//!
+//! The optional `@<cc>` member suffix picks the group's congestion
+//! controller (`cubic` | `delay` | `bbr`), so heterogeneous-cc contention
+//! fleets are one spec line: `BBB:4xVOXEL@bbr+4xVOXEL@cubic:const6:...`.
+//! Omitted means CUBIC (the workspace default), and the canonical form
+//! preserves exactly what was written — `VOXEL` and `VOXEL@cubic` run
+//! identically but round-trip as themselves.
 //!
 //! The optional `w<N>` token pins the sharded runtime's worker count
 //! (`w1` = the single-threaded coordinator). When absent, the
@@ -29,6 +36,7 @@ use voxel_core::client::TransportMode;
 use voxel_core::AbrKind;
 use voxel_media::content::VideoId;
 use voxel_netem::{BandwidthTrace, Discipline};
+use voxel_quic::CcKind;
 
 /// Resolve a system legend name to its ABR + transport.
 pub fn system_by_name(system: &str) -> Option<(AbrKind, TransportMode)> {
@@ -78,6 +86,26 @@ pub struct FleetMember {
     pub count: usize,
     /// System legend name (validated against [`system_by_name`]).
     pub system: String,
+    /// Congestion controller from the `@<cc>` suffix; `None` (no suffix)
+    /// runs the workspace default, CUBIC.
+    pub cc: Option<CcKind>,
+}
+
+impl FleetMember {
+    /// The controller this group actually runs.
+    pub fn cc_kind(&self) -> CcKind {
+        self.cc.unwrap_or(CcKind::Cubic)
+    }
+
+    /// The member's display label: the system name, plus the `@<cc>`
+    /// suffix when one was spelled out (`VOXEL@bbr`). Used as the
+    /// per-session system label in fleet traces and reports.
+    pub fn label(&self) -> String {
+        match self.cc {
+            Some(cc) => format!("{}@{}", self.system, cc.name()),
+            None => self.system.clone(),
+        }
+    }
 }
 
 /// A fully-specified fleet experiment. See the module docs for the
@@ -117,6 +145,7 @@ impl Default for FleetSpec {
             members: vec![FleetMember {
                 count: 2,
                 system: "VOXEL".into(),
+                cc: None,
             }],
             link_mbps: 6.0,
             duration_s: 300,
@@ -167,12 +196,22 @@ impl FleetSpec {
             if count == 0 {
                 return Err(format!("member group {group:?} has zero sessions"));
             }
+            let (system, cc) = match system.split_once('@') {
+                Some((sys, cc_tok)) => {
+                    let cc = CcKind::by_name(cc_tok).ok_or_else(|| {
+                        format!("unknown cc {cc_tok:?} in {group:?} (expected cubic|delay|bbr)")
+                    })?;
+                    (sys, Some(cc))
+                }
+                None => (system, None),
+            };
             if system_by_name(system).is_none() {
                 return Err(format!("unknown system {system:?}"));
             }
             members.push(FleetMember {
                 count,
                 system: system.to_string(),
+                cc,
             });
         }
         let trace_tok = parts.next().ok_or("missing trace (const<mbps>)")?;
@@ -223,7 +262,7 @@ impl FleetSpec {
         let members: Vec<String> = self
             .members
             .iter()
-            .map(|m| format!("{}x{}", m.count, m.system))
+            .map(|m| format!("{}x{}", m.count, m.label()))
             .collect();
         let mut s = format!(
             "{}:{}:const{}:buf{}:q{}:d{}:{}:stg{}",
@@ -261,11 +300,38 @@ impl FleetSpec {
         out
     }
 
-    /// Whether every session runs the same system.
+    /// Expanded per-session member configs (the group each flow belongs
+    /// to), in flow-id order — what the runtime needs to seed a session:
+    /// system name, label, and congestion controller.
+    pub fn session_members(&self) -> Vec<&FleetMember> {
+        let mut out = Vec::with_capacity(self.total_sessions());
+        for m in &self.members {
+            for _ in 0..m.count {
+                out.push(m);
+            }
+        }
+        out
+    }
+
+    /// Whether every session runs the same system *and* the same
+    /// congestion controller: `8xVOXEL@bbr` is homogeneous,
+    /// `4xVOXEL@bbr+4xVOXEL@cubic` is a contention mix (and is held to
+    /// the relaxed mixed-cc fairness band, not the homogeneous one).
     pub fn homogeneous(&self) -> bool {
         self.members
             .iter()
-            .all(|m| m.system == self.members[0].system)
+            .all(|m| m.system == self.members[0].system && m.cc_kind() == self.members[0].cc_kind())
+    }
+
+    /// The distinct congestion controllers in the fleet, in member order.
+    pub fn cc_mix(&self) -> Vec<CcKind> {
+        let mut out: Vec<CcKind> = Vec::new();
+        for m in &self.members {
+            if !out.contains(&m.cc_kind()) {
+                out.push(m.cc_kind());
+            }
+        }
+        out
     }
 
     /// The shared link's bandwidth trace.
@@ -328,9 +394,80 @@ mod tests {
             "BBB:VOXEL:const6",
             "BBB:2xVOXEL:tmobile",
             "BBB:2xVOXEL:const6:wat9",
+            "BBB:2xVOXEL@:const6",
+            "BBB:2xWAT@bbr:const6",
         ] {
             assert!(FleetSpec::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn cc_knob_round_trips_through_parse() {
+        // Explicit suffixes survive verbatim — including a spelled-out
+        // `@cubic`, which runs identically to no suffix but is its own
+        // canonical form.
+        for spec in [
+            "BBB:8xVOXEL@bbr:const6:buf3:q64:d300:drr:stg2",
+            "BBB:4xVOXEL@bbr+4xVOXEL@cubic:const6:buf3:q64:d300:fifo:stg2",
+            "BBB:3xVOXEL@cubic+3xVOXEL@delay+2xVOXEL@bbr:const6:buf3:q64:d300:fifo:stg1",
+            "BBB:2xBOLA@delay+2xVOXEL:const6:buf3:q64:d300:drr:stg0",
+        ] {
+            let s = FleetSpec::parse(spec).expect("parses");
+            assert_eq!(s.spec(), spec, "canonical form drifted");
+            assert_eq!(FleetSpec::parse(&s.spec()).expect("re-parses"), s);
+        }
+        let s = FleetSpec::parse("BBB:4xVOXEL@bbr+4xVOXEL@cubic:const6").expect("parses");
+        assert_eq!(s.members[0].cc, Some(CcKind::Bbr));
+        assert_eq!(s.members[1].cc, Some(CcKind::Cubic));
+        assert_eq!(
+            s.session_members()
+                .iter()
+                .map(|m| m.label())
+                .collect::<Vec<_>>()[3..5],
+            ["VOXEL@bbr".to_string(), "VOXEL@cubic".to_string()]
+        );
+        // No suffix means CUBIC but stays suffix-free in canonical form.
+        let plain = FleetSpec::parse("BBB:2xVOXEL:const6").expect("parses");
+        assert_eq!(plain.members[0].cc, None);
+        assert_eq!(plain.members[0].cc_kind(), CcKind::Cubic);
+        assert!(!plain.spec().contains('@'));
+    }
+
+    #[test]
+    fn cc_knob_mix_and_homogeneity() {
+        let homo = FleetSpec::parse("BBB:8xVOXEL@bbr:const6").expect("parses");
+        assert!(homo.homogeneous());
+        assert_eq!(homo.cc_mix(), [CcKind::Bbr]);
+        // Same ABR, different cc: a contention mix, not homogeneous.
+        let mix = FleetSpec::parse("BBB:4xVOXEL@bbr+4xVOXEL@cubic:const6").expect("parses");
+        assert!(!mix.homogeneous());
+        assert_eq!(mix.cc_mix(), [CcKind::Bbr, CcKind::Cubic]);
+        // An explicit @cubic and no suffix are the same effective cc.
+        let same = FleetSpec::parse("BBB:4xVOXEL@cubic+4xVOXEL:const6").expect("parses");
+        assert!(same.homogeneous());
+        assert_eq!(same.cc_mix(), [CcKind::Cubic]);
+    }
+
+    #[test]
+    fn unknown_cc_error_names_the_token_and_choices() {
+        let err = FleetSpec::parse("BBB:2xVOXEL@reno:const6").expect_err("rejects");
+        assert!(err.contains("\"reno\""), "error was {err:?}");
+        assert!(err.contains("cubic|delay|bbr"), "error was {err:?}");
+    }
+
+    #[test]
+    fn cc_knob_composes_with_workers_token() {
+        let s = FleetSpec::parse("BBB:4xVOXEL@bbr+4xVOXEL@cubic:const6:buf3:q64:d300:fifo:stg2:w4")
+            .expect("parses");
+        assert_eq!(s.workers, Some(4));
+        assert_eq!(s.members[0].cc, Some(CcKind::Bbr));
+        assert_eq!(
+            s.spec(),
+            "BBB:4xVOXEL@bbr+4xVOXEL@cubic:const6:buf3:q64:d300:fifo:stg2:w4"
+        );
+        assert_eq!(resolve_workers(s.workers, s.total_sessions()), 4);
+        // And the `w` clamp still applies with cc groups in play.
+        assert_eq!(resolve_workers(Some(64), s.total_sessions()), 8);
     }
 
     #[test]

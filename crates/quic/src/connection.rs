@@ -145,6 +145,8 @@ impl Connection {
     /// Create an endpoint.
     pub fn new(role: Role, config: ConnectionConfig) -> Connection {
         let max_data_local = config.max_data;
+        let mut loss = LossDetector::new();
+        loss.set_rate_sampling(config.cc.wants_rate_samples());
         Connection {
             role,
             cc: CongestionControl::new(config.cc, config.mss),
@@ -154,7 +156,7 @@ impl Connection {
             send_streams: BTreeMap::new(),
             recv_streams: BTreeMap::new(),
             ack: AckTracker::new(),
-            loss: LossDetector::new(),
+            loss,
             rtt: RttEstimator::new(),
             events: VecDeque::new(),
             max_data_remote: max_data_local,
@@ -407,6 +409,11 @@ impl Connection {
                 if let Some((sample, delay)) = outcome.rtt_sample {
                     self.rtt.update(sample, delay);
                 }
+                // Model controllers (BBR) consume the delivery-rate
+                // samples before the per-packet window bookkeeping.
+                for s in &outcome.rate_samples {
+                    self.cc.on_rate_sample(now, *s);
+                }
                 for pkt in &outcome.acked {
                     self.cc
                         .on_ack(now, pkt.wire_bytes, self.rtt.srtt(), self.rtt.latest());
@@ -425,6 +432,9 @@ impl Connection {
                         .observe("quic.srtt_us", self.rtt.srtt().as_micros());
                     self.tracer
                         .observe("quic.cwnd_bytes", self.cc.cwnd() as u64);
+                    if let Some(bw) = self.cc.btl_bw_estimate() {
+                        self.tracer.observe("quic.btlbw_bps", bw as u64);
+                    }
                     trace_event!(
                         self.tracer,
                         now,
@@ -661,9 +671,12 @@ impl Connection {
             );
         }
         if !chunks.is_empty() {
-            // Pacing rate: 1.25 x cwnd per SRTT, floored at 1 Mbps.
-            let rate_bps =
-                (self.cc.cwnd() as f64 * 8.0 / self.rtt.srtt().as_secs_f64().max(1e-3)) * 1.25;
+            // Pacing rate: the controller's model rate when it has one
+            // (BBR: pacing_gain × BtlBw), else 1.25 x cwnd per SRTT;
+            // floored at 1 Mbps either way.
+            let rate_bps = self.cc.pacing_rate_bps().unwrap_or_else(|| {
+                (self.cc.cwnd() as f64 * 8.0 / self.rtt.srtt().as_secs_f64().max(1e-3)) * 1.25
+            });
             let gap = SimDuration::serialization(pkt.wire_size() as u64, rate_bps.max(1e6));
             self.pace_next = self.pace_next.max(now) + gap;
         }
@@ -676,6 +689,7 @@ impl Connection {
                 sent_at: now,
                 wire_bytes: wire,
                 ack_eliciting: true,
+                delivered_at_send: self.loss.delivered_bytes(),
                 chunks,
             });
         }
@@ -1162,10 +1176,17 @@ mod props {
             drop_mod in 2u64..10,
             drop_phase in 0u64..10,
             drop_uplink in proptest::bool::ANY,
+            cc_idx in 0usize..crate::cc::CC_KINDS.len(),
             seed in 0u64..500,
         ) {
-            let mut server = Connection::with_defaults(Role::Server);
-            let mut client = Connection::with_defaults(Role::Client);
+            // The audit must hold under every congestion controller —
+            // CUBIC, delay, and BBR all gate the same transmit path.
+            let config = ConnectionConfig {
+                cc: crate::cc::CC_KINDS[cc_idx],
+                ..ConnectionConfig::default()
+            };
+            let mut server = Connection::new(Role::Server, config.clone());
+            let mut client = Connection::new(Role::Client, config);
             for (i, &(reliable, len)) in streams.iter().enumerate() {
                 let rel = if reliable { Reliability::Reliable } else { Reliability::Unreliable };
                 let id = server.open_stream(rel);

@@ -14,6 +14,10 @@
 //!   congestion- and flow-controlled ("the unreliable streams of QUIC\*,
 //!   unlike UDP, are subject to the congestion (CUBIC) and flow-control
 //!   mechanisms of the QUIC connection").
+//! - [`delay_cc`]/[`bbr`]: the model-based alternatives — Appendix B's
+//!   compact delay controller and the full BBR state machine over the
+//!   transport's delivery-rate sampler (DESIGN.md §15), selected per
+//!   connection via [`CcKind`].
 //! - [`loss`]: packet- and time-threshold loss detection plus PTO probes.
 //! - [`stream`]: reliable send/recv streams (retransmission, in-order
 //!   delivery) and unreliable streams (gap delivery, loss reports surfaced
@@ -23,6 +27,7 @@
 //!   and structured so it could equally be driven by real UDP sockets.
 
 pub mod ack;
+pub mod bbr;
 pub mod cc;
 pub mod connection;
 pub mod cubic;
@@ -35,7 +40,7 @@ pub mod rtt;
 pub mod stream;
 pub mod varint;
 
-pub use cc::{CcKind, CongestionControl};
+pub use cc::{CcKind, CongestionControl, RateSample};
 pub use connection::{Connection, ConnectionConfig, Event, Role};
 pub use frame::Frame;
 pub use packet::Packet;

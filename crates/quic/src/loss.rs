@@ -5,6 +5,7 @@
 //! acknowledged). A probe timeout (PTO) fires when acknowledgements stop
 //! arriving entirely.
 
+use crate::cc::RateSample;
 use crate::rtt::RttEstimator;
 use crate::stream::StreamId;
 use std::collections::BTreeMap;
@@ -40,6 +41,10 @@ pub struct SentPacket {
     pub wire_bytes: usize,
     /// Whether it elicits an ACK.
     pub ack_eliciting: bool,
+    /// Cumulative bytes the connection had delivered (acked) when this
+    /// packet was sent — the send-side snapshot of the delivery-rate
+    /// sampler (DESIGN.md §15).
+    pub delivered_at_send: u64,
     /// Stream chunks carried.
     pub chunks: Vec<SentChunk>,
 }
@@ -53,6 +58,10 @@ pub struct AckOutcome {
     pub lost: Vec<SentPacket>,
     /// RTT sample from the largest newly-acked packet, with peer ack delay.
     pub rtt_sample: Option<(SimDuration, SimDuration)>,
+    /// One delivery-rate sample per newly-acked eliciting packet:
+    /// `(delivered_now − delivered_at_send) / flight_time` — the rate the
+    /// network sustained over that packet's flight. Consumed by BBR.
+    pub rate_samples: Vec<RateSample>,
 }
 
 /// The loss detector.
@@ -61,12 +70,26 @@ pub struct LossDetector {
     sent: BTreeMap<u64, SentPacket>,
     largest_acked: Option<u64>,
     pto_count: u32,
+    /// Cumulative acked bytes — the delivery-rate sampler's clock.
+    delivered: u64,
+    /// Whether to emit [`AckOutcome::rate_samples`]. Off by default:
+    /// only rate-driven controllers (BBR) read them, and the per-ack
+    /// division plus Vec growth is measurable fleet-scaling cost when
+    /// paid by every CUBIC flow for nothing.
+    sample_rates: bool,
 }
 
 impl LossDetector {
     /// Fresh detector.
     pub fn new() -> LossDetector {
         LossDetector::default()
+    }
+
+    /// Turn delivery-rate sampling on or off. The `delivered` byte
+    /// clock always runs; this only gates whether `on_ack` computes and
+    /// buffers [`RateSample`]s for the controller.
+    pub fn set_rate_sampling(&mut self, on: bool) {
+        self.sample_rates = on;
     }
 
     /// Record a sent packet.
@@ -87,6 +110,12 @@ impl LossDetector {
     /// Largest acknowledged packet number.
     pub fn largest_acked(&self) -> Option<u64> {
         self.largest_acked
+    }
+
+    /// Cumulative bytes delivered (acked) on this path. Monotone; new
+    /// packets snapshot it into [`SentPacket::delivered_at_send`].
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered
     }
 
     /// Structural audit: tracked packets agree with their keys and send
@@ -137,6 +166,24 @@ impl LossDetector {
                     largest_newly_acked = Some(largest_newly_acked.map_or(pn, |l: u64| l.max(pn)));
                     out.acked.push(pkt);
                 }
+            }
+        }
+
+        // Credit delivered bytes and — when the controller consumes
+        // them — emit one delivery-rate sample per eliciting packet:
+        // the average rate over the packet's flight.
+        for pkt in &out.acked {
+            self.delivered += pkt.wire_bytes as u64;
+            if !self.sample_rates {
+                continue;
+            }
+            let flight = now.saturating_since(pkt.sent_at);
+            if pkt.ack_eliciting && flight > SimDuration::ZERO {
+                out.rate_samples.push(RateSample {
+                    delivered: self.delivered,
+                    delivered_at_send: pkt.delivered_at_send,
+                    rate: (self.delivered - pkt.delivered_at_send) as f64 / flight.as_secs_f64(),
+                });
             }
         }
 
@@ -255,6 +302,7 @@ mod tests {
             sent_at: SimTime::from_millis(at_ms),
             wire_bytes: 1200,
             ack_eliciting: true,
+            delivered_at_send: 0,
             chunks: vec![],
         }
     }
@@ -387,5 +435,123 @@ mod tests {
         let d = LossDetector::new();
         assert!(d.next_timeout(&rtt60(), SimDuration::ZERO).is_none());
         assert!(!d.has_eliciting_outstanding());
+    }
+
+    #[test]
+    fn acks_produce_delivery_rate_samples() {
+        let mut d = LossDetector::new();
+        d.set_rate_sampling(true);
+        d.on_sent(pkt(0, 0));
+        d.on_sent(pkt(1, 5));
+        let rtt = rtt60();
+        let out = d.on_ack(SimTime::from_millis(65), &[(1, 0)], SimDuration::ZERO, &rtt);
+        assert_eq!(out.rate_samples.len(), 2);
+        assert_eq!(d.delivered_bytes(), 2400);
+        for s in &out.rate_samples {
+            assert!(s.delivered >= s.delivered_at_send);
+            assert!(s.rate > 0.0);
+        }
+        // pkt 0: 1200 B delivered over 65 ms ≈ 18.4 kB/s.
+        let r0 = out.rate_samples[0].rate;
+        assert!((r0 - 1200.0 / 0.065).abs() < 1.0, "rate {r0}");
+        // Losses never credit the delivered counter.
+        d.on_sent(pkt(2, 70));
+        d.on_sent(pkt(5, 71));
+        let out = d.on_ack(
+            SimTime::from_millis(135),
+            &[(5, 5)],
+            SimDuration::ZERO,
+            &rtt,
+        );
+        assert_eq!(out.lost.len(), 1, "pkt 2 is 3 behind");
+        assert_eq!(d.delivered_bytes(), 3600);
+    }
+
+    /// The perf contract behind `set_rate_sampling`: controllers that
+    /// never read samples (CUBIC, delay) must not pay for them, while
+    /// the delivered-byte clock keeps running regardless.
+    #[test]
+    fn rate_sampling_is_off_by_default_but_delivered_still_counts() {
+        let mut d = LossDetector::new();
+        d.on_sent(pkt(0, 0));
+        d.on_sent(pkt(1, 5));
+        let out = d.on_ack(
+            SimTime::from_millis(65),
+            &[(1, 0)],
+            SimDuration::ZERO,
+            &rtt60(),
+        );
+        assert!(
+            out.rate_samples.is_empty(),
+            "samples emitted while sampling is off"
+        );
+        assert_eq!(d.delivered_bytes(), 2400);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// The delivery-rate sampler is monotone in bytes acked: across
+        /// arbitrary interleavings of sends and (possibly duplicate,
+        /// possibly reordered) ack ranges, successive samples carry a
+        /// non-decreasing `delivered`, every sample's `delivered` covers
+        /// its own send-time snapshot, and the cumulative counter equals
+        /// exactly the bytes of packets acked so far.
+        #[test]
+        fn delivery_rate_samples_monotone_in_bytes_acked(
+            steps in proptest::collection::vec(
+                (1u64..5, 0u64..8, 0u64..8, 1u64..100_000, 100usize..1500),
+                1..40,
+            ),
+        ) {
+            let mut d = LossDetector::new();
+            d.set_rate_sampling(true);
+            let mut rtt = RttEstimator::new();
+            rtt.update(SimDuration::from_millis(60), SimDuration::ZERO);
+            let mut now = 0u64;
+            let mut pn = 0u64;
+            let mut acked_bytes = 0u64;
+            let mut last_delivered = 0u64;
+            for (sends, lo_off, hi_off, gap, bytes) in steps {
+                for _ in 0..sends {
+                    now += gap;
+                    d.on_sent(SentPacket {
+                        pkt_num: pn,
+                        sent_at: SimTime::from_micros(now),
+                        wire_bytes: bytes,
+                        ack_eliciting: true,
+                        delivered_at_send: d.delivered_bytes(),
+                        chunks: vec![],
+                    });
+                    pn += 1;
+                }
+                now += gap + 1;
+                let hi = pn - 1 - (hi_off % pn);
+                let lo = hi.saturating_sub(lo_off);
+                let out = d.on_ack(
+                    SimTime::from_micros(now),
+                    &[(hi, lo)],
+                    SimDuration::ZERO,
+                    &rtt,
+                );
+                acked_bytes += out.acked.iter().map(|p| p.wire_bytes as u64).sum::<u64>();
+                for s in &out.rate_samples {
+                    prop_assert!(s.delivered >= s.delivered_at_send,
+                        "sample credits bytes from before its send");
+                    prop_assert!(s.delivered >= last_delivered,
+                        "delivered went backwards: {} < {last_delivered}", s.delivered);
+                    prop_assert!(s.rate >= 0.0 && s.rate.is_finite());
+                    last_delivered = s.delivered;
+                }
+                prop_assert_eq!(d.delivered_bytes(), acked_bytes,
+                    "delivered counter drifted from acked bytes");
+                prop_assert!(d.delivered_bytes() >= last_delivered);
+            }
+        }
     }
 }

@@ -80,6 +80,29 @@ fn cap_freeze_is_byte_identical_across_worker_counts() {
     assert_eq!(r.end_s, 10.0, "frozen runs end exactly at the cap");
 }
 
+/// The two congestion-control goldens (DESIGN.md §15) hold byte-parity
+/// at w ∈ {1, 2, max} in tier-1, not just in the tier-2 sweep: BBR's
+/// delivery-rate sampler and pacing feed off ack timing, the most
+/// tempting place for a shard boundary to leak into the timeline. Runs
+/// through the testkit parity harness so the cc-mix fairness-band and
+/// per-cc-group starvation oracles apply to every run.
+#[test]
+fn cc_goldens_hold_parity_at_one_two_and_max_workers() {
+    let content = voxel::testkit::Content::new();
+    let goldens = voxel::testkit::canonical_fleets();
+    for name in ["fleet-bbr8", "fleet-ccmix8"] {
+        let g = goldens
+            .iter()
+            .find(|g| g.name == name)
+            .expect("cc golden is canonical");
+        let max = FleetSpec::parse(g.spec).expect("spec").total_sessions();
+        let (run, violations) =
+            voxel::testkit::shard_parity_failures(g, &content, &[1, 2, max]).expect("spec runs");
+        assert!(violations.is_empty(), "{name}: {violations:?}");
+        assert!(!run.timeline.is_empty(), "{name} produced no timeline");
+    }
+}
+
 #[test]
 fn fifo_discipline_parity_holds_too() {
     let cache = ContentCache::top_level_only();

@@ -49,6 +49,40 @@ fn goldens_unchanged_with_profiler_armed() {
     }
 }
 
+/// The congestion-control fleet goldens ride the same bless workflow as
+/// every other digest: both are committed under `tests/golden/`, both
+/// stay listed in `canonical_fleets()` (what the conformance runner
+/// iterates — so `VOXEL_BLESS=1 cargo run --release -p voxel-bench --bin
+/// conformance -- --fleets-only` regenerates exactly these files), and
+/// the workflow itself stays documented in DESIGN.md.
+#[test]
+fn cc_fleet_goldens_are_committed_and_regenerable() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    for name in ["fleet-bbr8", "fleet-ccmix8"] {
+        let path = dir.join(format!("{name}.digest"));
+        let digest = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{} unreadable ({e}); regenerate with VOXEL_BLESS=1 \
+                 cargo run --release -p voxel-bench --bin conformance -- --fleets-only",
+                path.display()
+            )
+        });
+        assert!(!digest.trim().is_empty(), "{name} digest is empty");
+        assert!(
+            voxel::testkit::canonical_fleets()
+                .iter()
+                .any(|g| g.name == name),
+            "{name} left canonical_fleets(); its committed digest is now orphaned"
+        );
+    }
+    let design = std::fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("DESIGN.md"))
+        .expect("DESIGN.md");
+    assert!(
+        design.contains("VOXEL_BLESS=1"),
+        "the bless workflow is no longer documented in DESIGN.md"
+    );
+}
+
 #[test]
 fn canonical_timelines_match_their_golden_digests() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
