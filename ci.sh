@@ -35,6 +35,9 @@ VOXEL_SHARD_WORKERS=max cargo run -q --release -p voxel-bench --bin conformance 
 echo "==> tier-2: cc shootout smoke (cc-mix fairness bands + per-cc-group starvation oracles, DESIGN.md §15)"
 cargo run -q --release -p voxel-bench --bin cc_shootout -- --smoke
 
+echo "==> tier-2: edge sweep smoke (hot-cache hit floor + origin fan-in shield, DESIGN.md §16)"
+cargo run -q --release -p voxel-bench --bin edge_sweep -- --smoke
+
 echo "==> perf: criterion smoke (fleet scaling / rangeset / session loop)"
 VOXEL_BENCH_FAST=1 cargo bench -q -p voxel-bench --bench fleet
 

@@ -23,7 +23,8 @@
 
 use std::process::ExitCode;
 use voxel_bench::perf::{
-    CC_SHOOTOUT_SESSIONS, FLEET_BULK_SESSIONS, FLEET_FLATNESS_RATIO, FLEET_SCALING_SESSIONS,
+    CC_SHOOTOUT_SESSIONS, EDGE_SESSIONS, FLEET_BULK_SESSIONS, FLEET_FLATNESS_RATIO,
+    FLEET_SCALING_SESSIONS,
 };
 
 /// Pull the number after `"key": ` out of a JSON object line. The file
@@ -117,6 +118,20 @@ fn check(text: &str) -> Result<(), String> {
         return Err(format!("non-positive cc_shootout rate: {cc}"));
     }
 
+    // The edge-tier point: right scale, positive rate.
+    let edge = text
+        .lines()
+        .find(|l| l.contains("\"edge\""))
+        .ok_or("missing edge entry")?;
+    let n = field(edge, "sessions").ok_or("edge missing sessions")?;
+    if n as usize != EDGE_SESSIONS {
+        return Err(format!("edge ran {n} sessions, expected {EDGE_SESSIONS}"));
+    }
+    let edge_steps = field(edge, "steps_per_sec").ok_or("edge missing steps_per_sec")?;
+    if edge_steps <= 0.0 {
+        return Err(format!("non-positive edge rate: {edge}"));
+    }
+
     for key in ["rangeset", "session_loop"] {
         let line = text
             .lines()
@@ -175,6 +190,12 @@ fn snapshot_workloads(text: &str) -> Result<Vec<(String, f64)>, String> {
         .ok_or("missing cc_shootout entry")?;
     let steps = field(cc, "steps_per_sec").ok_or("cc_shootout missing steps_per_sec")?;
     out.push(("cc_shootout".into(), steps));
+    let edge = text
+        .lines()
+        .find(|l| l.contains("\"edge\""))
+        .ok_or("missing edge entry")?;
+    let steps = field(edge, "steps_per_sec").ok_or("edge missing steps_per_sec")?;
+    out.push(("edge".into(), steps));
     for key in ["rangeset", "session_loop"] {
         let line = text
             .lines()
@@ -334,6 +355,7 @@ mod tests {
                 .collect(),
             fleet_bulk: fleet(FLEET_BULK_SESSIONS, 100_000.0),
             cc_shootout: fleet(CC_SHOOTOUT_SESSIONS, 100_000.0),
+            edge: fleet(EDGE_SESSIONS, 100_000.0),
             rangeset: OpsPoint::new(2048, 1.0),
             session_loop: OpsPoint::new(1000, 10.0),
         }

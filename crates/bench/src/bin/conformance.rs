@@ -89,7 +89,14 @@ fn run_fleet_goldens(content: &Content, golden_dir: &std::path::Path) -> Result<
     let mut fleets_ok = true;
     for g in voxel_testkit::canonical_fleets() {
         let started = Instant::now();
-        let (reference, violations) = voxel_testkit::shard_parity_failures(&g, content, &counts)?;
+        let (reference, mut violations) =
+            voxel_testkit::shard_parity_failures(&g, content, &counts)?;
+        if g.name == "fleet-edge4x16-hot" {
+            // The hot edge golden additionally pins QoE-side cache
+            // efficacy, not just determinism: hit-ratio floor and
+            // origin-load ceiling from the testkit edge oracles.
+            violations.extend(voxel_testkit::edge_hot_invariants(&reference.result));
+        }
         if !violations.is_empty() {
             println!("FAIL fleet {} parity sweep (w {counts:?}):", g.name);
             for v in &violations {

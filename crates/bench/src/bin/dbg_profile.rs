@@ -89,7 +89,7 @@ fn parse_args() -> Result<Args, String> {
 /// profiled run.
 fn profile_run(args: &Args, profiler: &Profiler) -> Result<f64, String> {
     if let Some(spec) = &args.fleet {
-        let spec = FleetSpec::parse(spec)?;
+        let spec = FleetSpec::parse(spec).map_err(|e| e.to_string())?;
         let content = Content::new();
         voxel_fleet::run_fleet(&spec, content.cache(), Tracer::disabled())?;
         let t0 = Instant::now();

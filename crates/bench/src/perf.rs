@@ -15,6 +15,10 @@
 //!   `cc_shootout` report (4 `VOXEL@bbr` + 4 `VOXEL@cubic` on one FIFO
 //!   droptail link, capped at 60 simulated seconds): the cost of the
 //!   delivery-rate sampler and BBR model under cross-cc contention;
+//! - **edge** — the hot `fleet-edge4x16-hot` golden (16 sessions behind
+//!   4 full-admission LRU edges and a 50 Mbit/s origin backhaul): the
+//!   cost of the coordinator-side edge tier — serve-note replay, cache
+//!   lookups, origin FIFO, and per-flow release gates;
 //! - **rangeset** — `voxel_quic::range::RangeSet` ACK-tracking ops/sec
 //!   (scattered inserts + membership/gap queries);
 //! - **session_loop** — single-session fleet event-loop steps/sec over a
@@ -44,6 +48,9 @@ pub const FLEET_BULK_SESSIONS: usize = 1000;
 
 /// Sessions in the cc-shootout workload (`cc_shootout`).
 pub const CC_SHOOTOUT_SESSIONS: usize = 8;
+
+/// Sessions in the edge-tier workload (`edge`).
+pub const EDGE_SESSIONS: usize = 16;
 
 /// Flatness gate: the bulk fleet's per-iteration rate must be at least
 /// this fraction of the 16-session point's. Coordination cost per round
@@ -81,6 +88,17 @@ pub fn fleet_bulk_spec() -> String {
 pub fn cc_shootout_spec() -> String {
     let half = CC_SHOOTOUT_SESSIONS / 2;
     format!("BBB:{half}xVOXEL@bbr+{half}xVOXEL@cubic:const12:buf3:q128:d300:fifo:stg0:cap60")
+}
+
+/// The edge-tier workload (`edge`): the hot `fleet-edge4x16-hot` golden
+/// — 16 sessions, 4 full-admission LRU edges over a 50 Mbit/s origin
+/// backhaul. Tracks the cost of the coordinator-side cache replay, the
+/// origin FIFO, and the per-flow release gates on top of the shared
+/// link pump.
+pub fn edge_spec() -> String {
+    format!(
+        "BBB:{EDGE_SESSIONS}xVOXEL:const24:buf3:q128:d120:drr:stg0:cap90:e4:rhash:afull:plru:o50"
+    )
 }
 
 /// One measured point of the fleet-scaling series.
@@ -135,6 +153,8 @@ pub struct Bench5 {
     pub fleet_bulk: FleetPoint,
     /// The BBR-vs-CUBIC contention point (`cc_shootout`).
     pub cc_shootout: FleetPoint,
+    /// The hot edge-tier point (`edge`).
+    pub edge: FleetPoint,
     /// RangeSet ACK-tracking throughput.
     pub rangeset: OpsPoint,
     /// Single-session event-loop rate (ops = loop iterations).
@@ -142,7 +162,7 @@ pub struct Bench5 {
 }
 
 fn timed_fleet(spec: &str, cache: &ContentCache) -> Result<(FleetResult, f64), String> {
-    let spec = FleetSpec::parse(spec)?;
+    let spec = FleetSpec::parse(spec).map_err(|e| e.to_string())?;
     let started = Instant::now();
     let r = run_fleet(&spec, cache, Tracer::disabled())?;
     Ok((r, started.elapsed().as_secs_f64() * 1000.0))
@@ -216,6 +236,7 @@ pub fn collect(cache: &ContentCache) -> Result<Bench5, String> {
     }
     let fleet_bulk = run_fleet_bulk_point(cache)?;
     let cc_shootout = fleet_point(&cc_shootout_spec(), CC_SHOOTOUT_SESSIONS, cache)?;
+    let edge = fleet_point(&edge_spec(), EDGE_SESSIONS, cache)?;
     let rangeset = measure_rangeset();
     let (r, wall_ms) = timed_fleet(&session_loop_spec(), cache)?;
     let session_loop = OpsPoint::new(r.loop_iters, wall_ms);
@@ -223,6 +244,7 @@ pub fn collect(cache: &ContentCache) -> Result<Bench5, String> {
         fleet_scaling,
         fleet_bulk,
         cc_shootout,
+        edge,
         rangeset,
         session_loop,
     })
@@ -239,6 +261,7 @@ impl Bench5 {
             .collect();
         w.push(("fleet1k".into(), self.fleet_bulk.steps_per_sec));
         w.push(("cc_shootout".into(), self.cc_shootout.steps_per_sec));
+        w.push(("edge".into(), self.edge.steps_per_sec));
         w.push(("rangeset".into(), self.rangeset.ops_per_sec));
         w.push(("session_loop".into(), self.session_loop.ops_per_sec));
         w
@@ -281,6 +304,7 @@ impl Bench5 {
         for (key, p) in [
             ("fleet_bulk", &self.fleet_bulk),
             ("cc_shootout", &self.cc_shootout),
+            ("edge", &self.edge),
         ] {
             let _ = writeln!(
                 s,
@@ -335,6 +359,15 @@ mod tests {
         assert_eq!(b.cap_s, Some(10));
         assert_eq!(b.workers, None);
         assert!(b.homogeneous());
+        // The edge workload mirrors the hot golden exactly: same spec
+        // string, so the perf point measures what conformance pins.
+        let e = FleetSpec::parse(&edge_spec()).expect("spec");
+        assert_eq!(e.total_sessions(), EDGE_SESSIONS);
+        let hot = voxel_testkit::canonical_fleets()
+            .into_iter()
+            .find(|g| g.name == "fleet-edge4x16-hot")
+            .expect("hot edge golden is canonical");
+        assert_eq!(edge_spec(), hot.spec);
     }
 
     #[test]
@@ -361,6 +394,7 @@ mod tests {
             fleet_scaling: vec![point(1)],
             fleet_bulk: point(FLEET_BULK_SESSIONS),
             cc_shootout: point(CC_SHOOTOUT_SESSIONS),
+            edge: point(EDGE_SESSIONS),
             rangeset: OpsPoint::new(2048, 1.0),
             session_loop: OpsPoint::new(100, 10.0),
         };
@@ -369,6 +403,7 @@ mod tests {
         assert!(j.contains("\"sessions\": 1"));
         assert!(j.contains("\"fleet_bulk\": {\"sessions\": 1000"));
         assert!(j.contains("\"cc_shootout\": {\"sessions\": 8"));
+        assert!(j.contains("\"edge\": {\"sessions\": 16"));
         assert!(j.contains("\"ops_per_sec\": 2048000.0"));
     }
 
@@ -378,6 +413,7 @@ mod tests {
             fleet_scaling: vec![point(8)],
             fleet_bulk: point(FLEET_BULK_SESSIONS),
             cc_shootout: point(CC_SHOOTOUT_SESSIONS),
+            edge: point(EDGE_SESSIONS),
             rangeset: OpsPoint::new(2048, 1.0),
             session_loop: OpsPoint::new(100, 10.0),
         };
@@ -386,8 +422,9 @@ mod tests {
         assert!(line.contains("\"fleet8\": 10000.0"), "{line}");
         assert!(line.contains("\"fleet1k\": 10000.0"), "{line}");
         assert!(line.contains("\"cc_shootout\": 10000.0"), "{line}");
+        assert!(line.contains("\"edge\": 10000.0"), "{line}");
         assert!(line.contains("\"rangeset\": 2048000.0"), "{line}");
         assert!(line.contains("\"session_loop\": 10000.0"), "{line}");
-        assert_eq!(b.workloads().len(), 5);
+        assert_eq!(b.workloads().len(), 6);
     }
 }

@@ -8,9 +8,9 @@
 //!
 //! The entry point is [`Experiment::builder`]: a fluent builder covering
 //! every knob (ABR, transport, buffer, trace, queue, trials, congestion
-//! control, tracing, fleet size) with the paper's defaults. The legacy
-//! [`Config`] constructors and free-function runners remain as thin
-//! deprecated shims over the same internals.
+//! control, tracing, fleet size) with the paper's defaults. It is the
+//! only construction surface — the legacy `Config` constructor chain and
+//! free-function runners were removed after a deprecation cycle.
 
 use crate::client::{PlayerConfig, TransportMode};
 pub use crate::content::ContentCache;
@@ -198,8 +198,8 @@ impl AbrKind {
 
 /// A full experiment configuration.
 ///
-/// Prefer assembling one through [`Experiment::builder`]; the fields stay
-/// public for inspection and for the legacy shims.
+/// Assembled through [`Experiment::builder`]; the fields stay public for
+/// inspection.
 #[derive(Clone)]
 pub struct Config {
     /// The video to stream.
@@ -237,82 +237,6 @@ pub struct Config {
     /// `VOXEL_SHARD_WORKERS` environment knob (default 1). A performance
     /// knob only: results are byte-identical at every worker count.
     pub workers: Option<usize>,
-}
-
-impl Config {
-    /// A §5-style configuration with the paper's defaults.
-    #[deprecated(note = "use Experiment::builder()")]
-    pub fn new(
-        video: VideoId,
-        abr: AbrKind,
-        buffer_segments: usize,
-        trace: BandwidthTrace,
-    ) -> Config {
-        Config {
-            video,
-            transport: abr.default_transport(),
-            abr,
-            buffer_segments,
-            trace,
-            queue_packets: 32,
-            trials: 30,
-            selective_retx: true,
-            cc: CcKind::Cubic,
-            tracing: Tracing::default(),
-            debug_stall_skew: false,
-            discipline: Discipline::drr(),
-            workers: None,
-        }
-    }
-
-    /// Override the transport (e.g. vanilla ABRs over QUIC\*, §5.1).
-    #[deprecated(note = "use Experiment::builder().transport(..)")]
-    pub fn with_transport(mut self, t: TransportMode) -> Config {
-        self.transport = t;
-        self
-    }
-
-    /// Override the trial count (the bench harness's fast mode).
-    #[deprecated(note = "use Experiment::builder().trials(..)")]
-    pub fn with_trials(mut self, n: usize) -> Config {
-        self.trials = n;
-        self
-    }
-
-    /// Override the queue length.
-    #[deprecated(note = "use Experiment::builder().queue(..)")]
-    pub fn with_queue(mut self, packets: usize) -> Config {
-        self.queue_packets = packets;
-        self
-    }
-
-    /// Disable selective retransmission.
-    #[deprecated(note = "use Experiment::builder().selective_retx(false)")]
-    pub fn without_retx(mut self) -> Config {
-        self.selective_retx = false;
-        self
-    }
-
-    /// Use the delay-based congestion controller (Appendix B ablation).
-    #[deprecated(note = "use Experiment::builder().cc(CcKind::Delay)")]
-    pub fn with_delay_cc(mut self) -> Config {
-        self.cc = CcKind::Delay;
-        self
-    }
-
-    /// Emit per-trial JSONL timelines and metrics snapshots under `dir`.
-    #[deprecated(note = "use Experiment::builder().tracing(Tracing::jsonl(dir))")]
-    pub fn with_trace_jsonl(mut self, dir: impl Into<std::path::PathBuf>) -> Config {
-        self.tracing = Tracing::Jsonl { dir: dir.into() };
-        self
-    }
-
-    /// Emit human-readable trace lines on stderr.
-    #[deprecated(note = "use Experiment::builder().tracing(Tracing::Stderr)")]
-    pub fn with_trace_stderr(mut self) -> Config {
-        self.tracing = Tracing::Stderr;
-        self
-    }
 }
 
 /// Fluent builder for [`Experiment`]s, with the paper's §5 defaults:
@@ -555,19 +479,6 @@ fn run_config_impl(config: &Config, cache: &ContentCache) -> Aggregate {
     Aggregate::new(results)
 }
 
-/// Run one trial of `config` with the trace shifted by `shift_s`.
-#[deprecated(note = "use Experiment::builder()..build().run_trial(cache, shift_s)")]
-pub fn run_trial(config: &Config, cache: &ContentCache, shift_s: usize) -> TrialResult {
-    run_trial_impl(config, cache, shift_s)
-}
-
-/// The full §5 protocol: `config.trials` repetitions with the trace
-/// linearly shifted by `d/trials` per repetition.
-#[deprecated(note = "use Experiment::builder()..build().run(cache)")]
-pub fn run_config(config: &Config, cache: &ContentCache) -> Aggregate {
-    run_config_impl(config, cache)
-}
-
 /// One trial against already-prepared content.
 fn run_prepared_trial(
     config: &Config,
@@ -711,18 +622,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_config_shims_still_apply() {
-        let c = Config::new(
-            VideoId::Bbb,
-            AbrKind::Bola,
-            3,
-            BandwidthTrace::constant(10.0, 300),
-        )
-        .with_transport(TransportMode::Split)
-        .with_trials(5)
-        .with_queue(750)
-        .without_retx();
+    fn builder_setters_apply() {
+        let built = Experiment::builder()
+            .abr(AbrKind::Bola)
+            .transport(TransportMode::Split)
+            .trace(BandwidthTrace::constant(10.0, 300))
+            .trials(5)
+            .queue(750)
+            .selective_retx(false)
+            .build();
+        let c = built.config();
         assert_eq!(c.transport, TransportMode::Split);
         assert_eq!(c.trials, 5);
         assert_eq!(c.queue_packets, 750);
@@ -730,24 +639,17 @@ mod tests {
     }
 
     #[test]
-    fn legacy_and_builder_configs_agree() {
-        #[allow(deprecated)]
-        let legacy = Config::new(
-            VideoId::Bbb,
-            AbrKind::voxel(),
-            3,
-            BandwidthTrace::constant(8.0, 300),
-        );
+    fn builder_defaults_are_the_papers_section_5() {
         let built = Experiment::builder().build();
         let b = built.config();
-        assert_eq!(legacy.video, b.video);
-        assert_eq!(legacy.abr, b.abr);
-        assert_eq!(legacy.transport, b.transport);
-        assert_eq!(legacy.buffer_segments, b.buffer_segments);
-        assert_eq!(legacy.queue_packets, b.queue_packets);
-        assert_eq!(legacy.trials, b.trials);
-        assert_eq!(legacy.selective_retx, b.selective_retx);
-        assert_eq!(legacy.cc, b.cc);
+        assert_eq!(b.video, VideoId::Bbb);
+        assert_eq!(b.abr, AbrKind::voxel());
+        assert_eq!(b.transport, TransportMode::Split);
+        assert_eq!(b.buffer_segments, 3);
+        assert_eq!(b.queue_packets, 32);
+        assert_eq!(b.trials, 30);
+        assert!(b.selective_retx);
+        assert_eq!(b.cc, CcKind::Cubic);
     }
 
     #[test]

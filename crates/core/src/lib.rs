@@ -29,7 +29,9 @@ pub mod session;
 pub mod survey;
 
 pub use client::{PlayerConfig, TransportMode};
-pub use content::ContentCache;
+pub use content::{Admission, CacheConfig, ContentCache, EdgeCache, EvictionPolicy};
+pub use content::{ObjectKey, ObjectKind};
 pub use experiment::{AbrKind, Config, Experiment, ExperimentBuilder, Tracing};
 pub use metrics::{Aggregate, TransportStats, TrialResult};
+pub use server::{ServeNote, ServerApp};
 pub use session::Session;

@@ -17,6 +17,7 @@
 //! Range request and knows precisely what to expect, so a losable header
 //! would add nothing but a failure mode.
 
+use crate::content::ObjectKind;
 use std::collections::BTreeMap;
 use voxel_http::{Request, Response};
 use voxel_media::ladder::QualityLevel;
@@ -24,6 +25,26 @@ use voxel_prep::manifest::Manifest;
 use voxel_quic::{Connection, Event, Reliability, StreamId};
 use voxel_sim::SimTime;
 use voxel_trace::Tracer;
+
+/// One response the server resolved, recorded for the fleet's edge
+/// serving tier (DESIGN.md §16). Notes identify the object (segment,
+/// level, kind) and how many payload bytes the response carried, so an
+/// edge cache sitting in front of this server can account hits, misses,
+/// and origin fetches without re-parsing requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeNote {
+    /// Segment index (0 for the manifest).
+    pub seg: u32,
+    /// Quality level index (0 for the manifest).
+    pub level: u8,
+    /// Object kind (manifest / reliable head / unreliable-tail body).
+    pub kind: ObjectKind,
+    /// Whether this was a partial (ranged) body response — a selective
+    /// retransmission or prefix fetch, never admitted by an edge cache.
+    pub partial: bool,
+    /// Payload bytes the response carried.
+    pub bytes: u64,
+}
 
 /// Server-side application state.
 pub struct ServerApp {
@@ -38,6 +59,10 @@ pub struct ServerApp {
     pub served_bodies: u64,
     /// Range re-requests served (selective retransmission).
     pub served_retx: u64,
+    /// Serve-note recording (off by default; the fleet's edge tier turns
+    /// it on so plain sessions pay nothing).
+    record_notes: bool,
+    notes: Vec<ServeNote>,
     tracer: Tracer,
 }
 
@@ -51,6 +76,8 @@ impl ServerApp {
             served_heads: 0,
             served_bodies: 0,
             served_retx: 0,
+            record_notes: false,
+            notes: Vec::new(),
             tracer: Tracer::disabled(),
         }
     }
@@ -58,6 +85,16 @@ impl ServerApp {
     /// Install a tracer (shared with the rest of the session).
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Turn serve-note recording on or off (see [`ServeNote`]).
+    pub fn record_serve_notes(&mut self, on: bool) {
+        self.record_notes = on;
+    }
+
+    /// Drain the notes recorded since the last call, in serve order.
+    pub fn take_serve_notes(&mut self) -> Vec<ServeNote> {
+        std::mem::take(&mut self.notes)
     }
 
     /// Pump the server side: consume connection events, parse requests, and
@@ -132,11 +169,26 @@ impl ServerApp {
         conn.finish(id);
     }
 
+    /// Record a serve note, if recording is on.
+    fn note(&mut self, seg: u32, level: u8, kind: ObjectKind, partial: bool, bytes: u64) {
+        if self.record_notes {
+            self.notes.push(ServeNote {
+                seg,
+                level,
+                kind,
+                partial,
+                bytes,
+            });
+        }
+    }
+
     /// Resolve a request path to (body length, deliver-unreliably).
     fn resolve(&mut self, req: &Request) -> Option<(u64, bool)> {
         let unreliable = req.unreliable && self.voxel_aware;
         if req.path == "/manifest" {
-            return Some((self.manifest.size_bytes() as u64, false));
+            let bytes = self.manifest.size_bytes() as u64;
+            self.note(0, 0, ObjectKind::Manifest, false, bytes);
+            return Some((bytes, false));
         }
         let mut parts = req.path.strip_prefix("/seg/")?.split('/');
         let seg: usize = parts.next()?.parse().ok()?;
@@ -151,7 +203,9 @@ impl ServerApp {
             "head" => {
                 self.served_heads += 1;
                 // The head is always reliable, whatever the header says.
-                Some((entry.reliable_size, false))
+                let len = entry.reliable_size;
+                self.note(seg as u32, q as u8, ObjectKind::Head, false, len);
+                Some((len, false))
             }
             "body" => {
                 let body_full = entry.total_bytes() - entry.reliable_size;
@@ -168,6 +222,13 @@ impl ServerApp {
                     req.range_bytes()
                 };
                 self.served_bodies += 1;
+                self.note(
+                    seg as u32,
+                    q as u8,
+                    ObjectKind::Body,
+                    !req.ranges.is_empty(),
+                    len,
+                );
                 Some((len, unreliable))
             }
             _ => None,
@@ -295,6 +356,43 @@ mod tests {
             Request::get("/seg/0/12/body").with_range(0, too_far)
         )
         .is_none());
+    }
+
+    #[test]
+    fn serve_notes_record_objects_when_enabled() {
+        let (mut app, m) = server();
+        // Off by default: no notes accumulate.
+        resolve(&mut app, Request::get("/manifest"));
+        assert!(app.take_serve_notes().is_empty());
+        app.record_serve_notes(true);
+        resolve(&mut app, Request::get("/manifest")).unwrap();
+        resolve(&mut app, Request::get("/seg/3/12/head")).unwrap();
+        resolve(&mut app, Request::get("/seg/3/12/body").with_unreliable()).unwrap();
+        resolve(
+            &mut app,
+            Request::get("/seg/3/12/body").with_range(5000, 5999),
+        )
+        .unwrap();
+        // Failed resolves leave no note.
+        assert!(resolve(&mut app, Request::get("/seg/999/12/head")).is_none());
+        let notes = app.take_serve_notes();
+        assert_eq!(notes.len(), 4);
+        assert_eq!(notes[0].kind, ObjectKind::Manifest);
+        assert_eq!(
+            (
+                notes[1].seg,
+                notes[1].level,
+                notes[1].kind,
+                notes[1].partial
+            ),
+            (3, 12, ObjectKind::Head, false)
+        );
+        let e = m.entry(3, QualityLevel::MAX);
+        assert_eq!(notes[2].bytes, e.total_bytes() - e.reliable_size);
+        assert!(!notes[2].partial, "full body is not a partial response");
+        assert!(notes[3].partial, "ranged body is partial");
+        assert_eq!(notes[3].bytes, 1000);
+        assert!(app.take_serve_notes().is_empty(), "take drains");
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //!   shard across worker threads (the `:w<N>` spec token /
 //!   `VOXEL_SHARD_WORKERS`); the link itself is pumped single-threaded
 //!   between rounds. See DESIGN.md §14.
+//! - [`edge`]: the edge/CDN serving tier — M edge servers with
+//!   byte-budgeted, byte-range-aware caches in front of one shared
+//!   origin backhaul, plus the zipf-popularity / Poisson-arrivals
+//!   workload generator (DESIGN.md §16). Enabled per-spec via
+//!   [`TopologySpec`]; absent, the runtime is byte-identical to the
+//!   classic single-server fleet.
 //! - [`metrics`]: cross-session metrics — per-flow throughput shares,
 //!   the Jain fairness index, aggregate QoE — emitted through
 //!   `voxel-trace` under the `fleet` layer.
@@ -32,14 +38,19 @@
 //! count** — which is what lets `voxel-testkit` hold fleet runs to
 //! golden digests and to the sharded-parity suite.
 
+pub mod edge;
 pub mod metrics;
 pub mod run;
 mod shard;
 pub mod spec;
 
+pub use edge::{zipf_poisson_arrivals, EdgeReport, EdgeStats, Workload};
 pub use metrics::{jain_index, FleetResult};
-pub use run::{run_experiment_fleet, run_fleet, run_specs};
-pub use spec::{resolve_workers, system_by_name, video_by_name, FleetMember, FleetSpec};
+pub use run::{run_experiment_fleet, run_fleet, run_fleet_workload, run_specs};
+pub use spec::{
+    resolve_workers, system_by_name, video_by_name, FleetMember, FleetSpec, Routing, SpecError,
+    TopologySpec,
+};
 // Re-exported so spec consumers (testkit oracles, the cc_shootout
 // report) can match on `@cc` groups without a direct quic dependency.
 pub use voxel_quic::CcKind;

@@ -1,6 +1,7 @@
 //! Cross-session fleet metrics: throughput shares, Jain fairness,
 //! aggregate QoE.
 
+use crate::edge::EdgeReport;
 use voxel_core::TrialResult;
 use voxel_netem::FlowStats;
 
@@ -37,6 +38,9 @@ pub struct FleetResult {
     pub end_s: f64,
     /// Event-loop iterations the run took (the steps/sec perf metric).
     pub loop_iters: u64,
+    /// The edge tier's report (`None` without a topology). Compared
+    /// field-for-field by the sharded-parity suite, like the timeline.
+    pub edge: Option<EdgeReport>,
 }
 
 impl FleetResult {

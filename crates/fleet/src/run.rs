@@ -23,10 +23,11 @@
 //! N full per-layer session timelines, keeping golden fleet digests
 //! small and stable.
 
+use crate::edge::{EdgeTier, Workload};
 use crate::metrics::{jain_index, FleetResult};
-use crate::shard::{worker_loop, Cmd, Delivery, FinishNote, Lane, Outgoing, Reply, RoundCmd};
-use crate::shard::{SessionCell, SessionSeed};
-use crate::spec::{resolve_workers, system_by_name, FleetSpec};
+use crate::shard::{worker_loop, Cmd, Delivery, FinishNote, Lane, NoteOut, Outgoing, Reply};
+use crate::shard::{RoundCmd, SessionCell, SessionSeed};
+use crate::spec::{resolve_workers, system_by_name, FleetSpec, TopologySpec};
 use bytes::Bytes;
 use std::collections::VecDeque;
 use voxel_core::client::{PlayerConfig, TransportMode};
@@ -39,14 +40,19 @@ use voxel_sim::SimTime;
 use voxel_trace::{trace_event, Layer, Tracer};
 
 /// Everything a fleet run needs, resolved from a spec or an experiment.
+/// Videos and start times are per-session (flow order): the spec path
+/// seeds them uniformly (one video, `stagger_s * i` starts) and a
+/// [`Workload`] overrides both — which is how the zipf/Poisson flash
+/// crowd reaches the runtime.
 struct Plan {
     spec: String,
-    video: VideoId,
+    videos: Vec<VideoId>,
+    starts: Vec<SimTime>,
     link: SharedLinkConfig,
     buffer_segments: usize,
     selective_retx: bool,
     cap: SimTime,
-    stagger_s: usize,
+    topology: Option<TopologySpec>,
     workers: Option<usize>,
     systems: Vec<(String, AbrKind, TransportMode, CcKind)>,
 }
@@ -66,20 +72,25 @@ struct PlanParams {
     cap_s: Option<usize>,
     duration_s: usize,
     stagger_s: usize,
+    topology: Option<TopologySpec>,
     workers: Option<usize>,
     systems: Vec<(String, AbrKind, TransportMode, CcKind)>,
 }
 
 impl Plan {
     fn assemble(p: PlanParams) -> Plan {
+        let n = p.systems.len();
         Plan {
             spec: p.spec,
-            video: p.video,
+            videos: vec![p.video; n],
+            starts: (0..n)
+                .map(|i| SimTime::from_secs((p.stagger_s * i) as u64))
+                .collect(),
             link: SharedLinkConfig::new(p.trace, p.queue_packets, p.discipline),
             buffer_segments: p.buffer_segments,
             selective_retx: p.selective_retx,
             cap: cap_for(p.cap_s, p.duration_s),
-            stagger_s: p.stagger_s,
+            topology: p.topology,
             workers: p.workers,
             systems: p.systems,
         }
@@ -106,6 +117,7 @@ impl Plan {
             cap_s: spec.cap_s,
             duration_s: spec.duration_s,
             stagger_s: spec.stagger_s,
+            topology: spec.edge.clone(),
             workers: spec.workers,
             systems,
         }))
@@ -130,6 +142,7 @@ impl Plan {
             cap_s: None,
             duration_s: c.trace.duration_s(),
             stagger_s: 0,
+            topology: None,
             workers: c.workers,
             systems: vec![(label, c.abr, c.transport, c.cc); e.fleet_size()],
         })
@@ -153,6 +166,30 @@ pub fn run_fleet(
     tracer: Tracer,
 ) -> Result<FleetResult, String> {
     Plan::from_spec(spec).map(|plan| run_plan(plan, cache, tracer))
+}
+
+/// Run a fleet under a generated [`Workload`]: the spec fixes the
+/// members, link, and topology; the workload overrides each session's
+/// video and start time (zipf popularity + Poisson arrivals from
+/// [`crate::edge::zipf_poisson_arrivals`], or anything else flow-sized).
+pub fn run_fleet_workload(
+    spec: &FleetSpec,
+    workload: &Workload,
+    cache: &ContentCache,
+    tracer: Tracer,
+) -> Result<FleetResult, String> {
+    let mut plan = Plan::from_spec(spec)?;
+    let n = plan.systems.len();
+    if workload.videos.len() != n || workload.starts.len() != n {
+        return Err(format!(
+            "workload sized {}v/{}s for a fleet of {n}",
+            workload.videos.len(),
+            workload.starts.len(),
+        ));
+    }
+    plan.videos = workload.videos.clone();
+    plan.starts = workload.starts.clone();
+    Ok(run_plan(plan, cache, tracer))
 }
 
 /// Run a homogeneous fleet built from an [`Experiment`] (the builder's
@@ -183,29 +220,30 @@ fn chunk_sizes(n: usize, workers: usize) -> Vec<usize> {
 }
 
 fn run_plan(plan: Plan, cache: &ContentCache, tracer: Tracer) -> FleetResult {
-    let (manifest, video) = cache.get(plan.video);
     let qoe = cache.qoe();
     let n = plan.systems.len();
     let workers = resolve_workers(plan.workers, n);
 
     let mut seeds: Vec<SessionSeed> = Vec::with_capacity(n);
     for (i, (label, abr, transport, cc)) in plan.systems.iter().enumerate() {
+        let (manifest, video) = cache.get(plan.videos[i]);
         let mut player = PlayerConfig::new(plan.buffer_segments, *transport);
         player.selective_retx = plan.selective_retx && *transport == TransportMode::Split;
         seeds.push(SessionSeed {
             flow: i,
             label: label.clone(),
-            start: SimTime::from_secs((plan.stagger_s * i) as u64),
+            start: plan.starts[i],
             delay_up: plan.link.delay_up,
             player,
             conn_config: ConnectionConfig {
                 cc: *cc,
                 ..ConnectionConfig::default()
             },
-            manifest: manifest.clone(),
-            video: video.clone(),
+            manifest,
+            video,
             qoe: qoe.clone(),
             abr: *abr,
+            record_notes: plan.topology.is_some(),
         });
     }
 
@@ -301,9 +339,19 @@ fn coordinate(
 
     // Earliest pending work per live session (None = finished). Seeded
     // with the start times; refreshed from every round's blocked reports.
-    let mut next_by_flow: Vec<Option<SimTime>> = (0..n)
-        .map(|i| Some(SimTime::from_secs((plan.stagger_s * i) as u64)))
-        .collect();
+    let mut next_by_flow: Vec<Option<SimTime>> = plan.starts.iter().map(|s| Some(*s)).collect();
+    // The edge tier, when the plan has one. `None` leaves the packet path
+    // untouched — byte-identical to the classic single-server fleet.
+    let mut edge: Option<EdgeTier> = plan
+        .topology
+        .as_ref()
+        .map(|t| EdgeTier::new(t, &plan.videos));
+    // Round-scratch: serve notes reported by shards, replayed against the
+    // tier in (at, flow, seq) order.
+    let mut notes: Vec<NoteOut> = Vec::new();
+    // Packets gated past the current barrier by a pending origin fetch:
+    // (effective link-entry time, packet), re-staged every round.
+    let mut held: Vec<(SimTime, Outgoing)> = Vec::new();
     // Payloads enqueued on the shared link, awaiting service completion
     // (aligned with the link's byte-level per-flow queues).
     let mut pending_down: Vec<VecDeque<Bytes>> = vec![VecDeque::new(); n];
@@ -345,6 +393,9 @@ fn coordinate(
         }
         for d in &deliveries {
             fold(d.at);
+        }
+        for (eff, _) in &held {
+            fold(*eff);
         }
         if let Some(dep) = link.next_departure() {
             fold(dep + delay_down);
@@ -422,6 +473,7 @@ fn coordinate(
                     Reply::Round(mut r) => {
                         iters += r.iters;
                         merged.append(&mut r.outbox);
+                        notes.append(&mut r.notes);
                         for (flow, t) in r.blocked {
                             next_by_flow[flow] = Some(t);
                         }
@@ -450,10 +502,39 @@ fn coordinate(
             voxel_obs::observe("obs.shard_outbox", merged.len() as u64);
             merged.sort_by_key(|o| (o.at, o.flow, o.seq));
             let mut departures = dep_pool.acquire();
-            for o in merged.drain(..) {
-                link.pop_due_into(o.at, &mut departures);
-                if link.enqueue(o.at, o.flow, o.bytes) {
-                    pending_down[o.flow].push_back(o.payload);
+            if let Some(tier) = edge.as_mut() {
+                // Edge path: replay the round's serve notes in the same
+                // partition-invariant order as packets, stamp every packet
+                // with its effective link-entry time (the flow's origin
+                // gate), and stage. A packet gated past the barrier is
+                // held for a later round — its gate time is already folded
+                // into the next `global_next`.
+                notes.sort_by_key(|no| (no.at, no.flow, no.seq));
+                for no in notes.drain(..) {
+                    tier.process_note(no.at, no.flow, no.note);
+                }
+                let mut staged: Vec<(SimTime, Outgoing)> = std::mem::take(&mut held);
+                for o in merged.drain(..) {
+                    let eff = tier.effective_time(o.flow, o.at);
+                    staged.push((eff, o));
+                }
+                staged.sort_by_key(|(eff, o)| (*eff, o.flow, o.seq));
+                for (eff, o) in staged {
+                    if eff > barrier {
+                        held.push((eff, o));
+                        continue;
+                    }
+                    link.pop_due_into(eff, &mut departures);
+                    if link.enqueue(eff, o.flow, o.bytes) {
+                        pending_down[o.flow].push_back(o.payload);
+                    }
+                }
+            } else {
+                for o in merged.drain(..) {
+                    link.pop_due_into(o.at, &mut departures);
+                    if link.enqueue(o.at, o.flow, o.bytes) {
+                        pending_down[o.flow].push_back(o.payload);
+                    }
                 }
             }
             link.pop_due_into(barrier, &mut departures);
@@ -501,6 +582,35 @@ fn coordinate(
         .map(|&b| if total > 0.0 { 100.0 * b / total } else { 0.0 })
         .collect();
     let jain = jain_index(&delivered);
+    let edge_report = edge.as_ref().map(|t| t.report(end.as_secs_f64()));
+    if let Some(report) = &edge_report {
+        tracer.count("edge.hit", report.hits);
+        tracer.count("edge.miss", report.misses);
+        tracer.count("edge.evict", report.evictions);
+        tracer.count("edge.origin_bytes", report.origin_bytes);
+        tracer.observe("edge.hit_ratio_pct", report.hit_ratio_pct.round() as u64);
+        tracer.observe(
+            "edge.origin_load_pct",
+            report.origin_load_pct.round() as u64,
+        );
+        for (i, e) in report.edges.iter().enumerate() {
+            trace_event!(
+                tracer,
+                end,
+                Layer::Edge,
+                "edge_state",
+                "edge" = i,
+                "sessions" = e.sessions,
+                "hits" = e.hits,
+                "misses" = e.misses,
+                "evictions" = e.evictions,
+                "bytes_served" = e.bytes_served,
+                "origin_bytes" = e.origin_bytes,
+                "used_bytes" = e.used_bytes,
+                "objects" = e.objects,
+            );
+        }
+    }
     let result = FleetResult {
         spec: plan.spec.clone(),
         sessions,
@@ -509,6 +619,7 @@ fn coordinate(
         jain,
         end_s: end.as_secs_f64(),
         loop_iters: iters,
+        edge: edge_report,
     };
     for (i, share) in result.shares_pct.iter().enumerate() {
         tracer.observe("fleet.flow_share_pct", share.round() as u64);

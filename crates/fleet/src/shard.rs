@@ -26,7 +26,7 @@
 use bytes::Bytes;
 use std::sync::mpsc::{Receiver, Sender};
 use voxel_core::client::{ClientApp, PlayerConfig};
-use voxel_core::server::ServerApp;
+use voxel_core::server::{ServeNote, ServerApp};
 use voxel_core::{TransportStats, TrialResult};
 use voxel_quic::{Connection, ConnectionConfig, Role};
 use voxel_sim::{EventQueue, SimDuration, SimTime};
@@ -58,6 +58,21 @@ pub(crate) struct Outgoing {
     pub bytes: usize,
     /// Encoded datagram, held until the link completes its service.
     pub payload: Bytes,
+}
+
+/// One object the session's server resolved during a round, exported for
+/// the coordinator's edge tier. Keyed like [`Outgoing`] — `(at, flow,
+/// seq)` are all session-local, so the coordinator's replay order is
+/// partition-invariant.
+pub(crate) struct NoteOut {
+    /// Resolution time (the session-local event time of the serve).
+    pub at: SimTime,
+    /// Flow id of the serving session.
+    pub flow: usize,
+    /// Per-flow note sequence (monotone within the flow).
+    pub seq: u64,
+    /// The served object.
+    pub note: ServeNote,
 }
 
 /// A link delivery routed back to a session for the next round.
@@ -98,6 +113,9 @@ pub(crate) struct RoundCmd {
 pub(crate) struct RoundReply {
     /// Packets offered to the link, in session emission order.
     pub outbox: Vec<Outgoing>,
+    /// Objects resolved by session servers, in resolution order; empty
+    /// unless the fleet runs an edge tier.
+    pub notes: Vec<NoteOut>,
     /// `(flow, earliest pending time)` for every still-live session.
     pub blocked: Vec<(usize, SimTime)>,
     /// Sessions that finished this round.
@@ -144,6 +162,7 @@ pub(crate) struct SessionCell {
     last_tick: SimTime,
     queue: EventQueue<Ev>,
     out_seq: u64,
+    note_seq: u64,
     iters: u64,
     result: Option<TrialResult>,
 }
@@ -162,6 +181,9 @@ pub(crate) struct SessionSeed {
     pub video: std::sync::Arc<voxel_media::video::Video>,
     pub qoe: voxel_media::qoe::QoeModel,
     pub abr: voxel_core::AbrKind,
+    /// Record per-object serve notes (only when an edge tier consumes
+    /// them — recording is dead weight otherwise).
+    pub record_notes: bool,
 }
 
 impl SessionCell {
@@ -175,6 +197,8 @@ impl SessionCell {
         );
         let mut queue = EventQueue::with_capacity(32);
         queue.schedule(seed.start, Ev::Tick);
+        let mut server = ServerApp::new(seed.manifest, true);
+        server.record_serve_notes(seed.record_notes);
         SessionCell {
             flow: seed.flow,
             label: seed.label,
@@ -182,11 +206,12 @@ impl SessionCell {
             delay_up: seed.delay_up,
             client_conn: Connection::new(Role::Client, seed.conn_config.clone()),
             server_conn: Connection::new(Role::Server, seed.conn_config),
-            server: ServerApp::new(seed.manifest, true),
+            server,
             client: Some(client),
             last_tick: seed.start,
             queue,
             out_seq: 0,
+            note_seq: 0,
             iters: 0,
             result: None,
         }
@@ -206,9 +231,15 @@ impl SessionCell {
 
     /// Advance this session up to (and including) `barrier`: the fleet
     /// loop of `run.rs` pre-shard, restricted to one session. Outgoing
-    /// downlink packets land in `out`; uplink packets are delay-only and
-    /// stay in the private queue.
-    fn advance(&mut self, barrier: SimTime, out: &mut Vec<Outgoing>) -> Advanced {
+    /// downlink packets land in `out`, serve notes (edge tier only) in
+    /// `notes`; uplink packets are delay-only and stay in the private
+    /// queue.
+    fn advance(
+        &mut self,
+        barrier: SimTime,
+        out: &mut Vec<Outgoing>,
+        notes: &mut Vec<NoteOut>,
+    ) -> Advanced {
         loop {
             let now = self.queue.now();
             self.iters += 1;
@@ -221,6 +252,15 @@ impl SessionCell {
             if now >= self.start {
                 let _session = voxel_obs::span!("fleet.session", self.flow);
                 self.server.handle(now, &mut self.server_conn);
+                for note in self.server.take_serve_notes() {
+                    self.note_seq += 1;
+                    notes.push(NoteOut {
+                        at: now,
+                        flow: self.flow,
+                        seq: self.note_seq,
+                        note,
+                    });
+                }
                 let done = match self.client.as_mut() {
                     Some(client) => {
                         client.on_wake(now, &mut self.client_conn);
@@ -381,7 +421,7 @@ pub(crate) fn shard_round(sessions: &mut [SessionCell], mut cmd: RoundCmd) -> Ro
         if cmd.skip.get(i).copied().unwrap_or(false) {
             continue;
         }
-        match cell.advance(cmd.barrier, &mut reply.outbox) {
+        match cell.advance(cmd.barrier, &mut reply.outbox, &mut reply.notes) {
             Advanced::Blocked(next) => reply.blocked.push((cell.flow, next)),
             Advanced::Done(note) => reply.finished.push(*note),
         }

@@ -1,39 +1,56 @@
-//! Fleet specs: a compact, round-trippable grammar for multi-session
-//! experiments, in the style of the testkit's scenario specs.
+//! Typed fleet specs: [`FleetSpec`] + [`TopologySpec`] are the primary
+//! surface for describing multi-session experiments — builder methods for
+//! members, congestion control, the shared link, scheduling discipline,
+//! workers, and (since the edge tier landed) edges, routing, and the
+//! origin backhaul. The compact string grammar is a *serialization* of
+//! that typed surface: [`FleetSpec`] implements [`std::str::FromStr`] and
+//! [`std::fmt::Display`], and the two are exact inverses (a property the
+//! test suite pins with a parse↔display round-trip proptest).
 //!
-//! Canonical form:
+//! ```
+//! use voxel_fleet::{FleetSpec, TopologySpec, Routing};
+//! use voxel_media::content::VideoId;
+//!
+//! let spec = FleetSpec::new(VideoId::Bbb)
+//!     .member(4, "VOXEL")
+//!     .member(2, "BOLA")
+//!     .link(6.0)
+//!     .stagger(2)
+//!     .topology(TopologySpec::new(4).routing(Routing::Hash).origin(50.0));
+//! let s = spec.to_string();
+//! assert_eq!(s.parse::<FleetSpec>().unwrap(), spec);
+//! ```
+//!
+//! Canonical string form:
 //!
 //! ```text
-//! <video>:<count>x<system>[@<cc>][+<count>x<system>[@<cc>]…]:const<mbps>:buf<N>:q<N>:d<N>:<fifo|drr>:stg<N>[:cap<N>][:w<N>]
+//! <video>:<count>x<system>[@<cc>][+…]:const<mbps>:buf<N>:q<N>:d<N>:<fifo|drr>:stg<N>
+//!     [:cap<N>][:e<M>:r<hash|robin|least>:a<full|rel|none>:p<lru|lfu>[:cb<MB>]:o<mbps>][:w<N>]
 //! ```
 //!
 //! e.g. `BBB:4xVOXEL+2xBOLA+2xBETA:const6:buf3:q64:d300:drr:stg2` — an
-//! 8-session mixed-ABR fleet on a shared constant 6 Mbit/s link, 3-segment
-//! buffers, a 64-packet shared queue, DRR scheduling, session starts
-//! staggered 2 s apart. [`FleetSpec::spec`] is the exact inverse of
-//! [`FleetSpec::parse`].
+//! 8-session mixed-ABR fleet on a shared constant 6 Mbit/s link. The
+//! optional `@<cc>` member suffix picks the group's congestion controller
+//! (`cubic` | `delay` | `bbr`); omitted means CUBIC, and the canonical
+//! form preserves exactly what was written. The optional `w<N>` token
+//! pins the sharded runtime's worker count (a performance knob, never a
+//! semantic one). The edge-tier token group starts with `e<M>` (edge
+//! server count) and configures request routing (`r`), cache admission
+//! (`a`), eviction policy (`p`), the per-edge cache byte budget in MB
+//! (`cb`, omitted = unbounded), and the origin backhaul rate (`o`) — see
+//! DESIGN.md §16.
 //!
-//! The optional `@<cc>` member suffix picks the group's congestion
-//! controller (`cubic` | `delay` | `bbr`), so heterogeneous-cc contention
-//! fleets are one spec line: `BBB:4xVOXEL@bbr+4xVOXEL@cubic:const6:...`.
-//! Omitted means CUBIC (the workspace default), and the canonical form
-//! preserves exactly what was written — `VOXEL` and `VOXEL@cubic` run
-//! identically but round-trip as themselves.
-//!
-//! The optional `w<N>` token pins the sharded runtime's worker count
-//! (`w1` = the single-threaded coordinator). When absent, the
-//! `VOXEL_SHARD_WORKERS` environment variable decides (`max` = available
-//! parallelism), defaulting to 1 — the timeline is byte-identical at any
-//! worker count either way, so `w` is a performance knob, never a
-//! semantic one.
+//! Parse errors are structured ([`SpecError`]): the offending token, its
+//! colon-separated position, and the expected set — not ad-hoc strings.
 //!
 //! This module also owns the canonical system/video name tables
 //! ([`system_by_name`], [`video_by_name`]) that `voxel-testkit` re-exports,
 //! so scenario specs and fleet specs can never disagree on what `VOXEL`
 //! means.
 
+use std::fmt;
 use voxel_core::client::TransportMode;
-use voxel_core::AbrKind;
+use voxel_core::{AbrKind, Admission, CacheConfig, EvictionPolicy};
 use voxel_media::content::VideoId;
 use voxel_netem::{BandwidthTrace, Discipline};
 use voxel_quic::CcKind;
@@ -79,6 +96,176 @@ pub fn video_name(id: VideoId) -> String {
     }
 }
 
+/// A structured fleet-spec parse error: the offending token, its
+/// colon-separated position in the spec string, and the set of inputs
+/// that would have been accepted there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// The token (or token fragment) that failed to parse.
+    pub token: String,
+    /// Colon-separated token index the error occurred at.
+    pub pos: usize,
+    /// What would have been valid in its place.
+    pub expected: String,
+}
+
+impl SpecError {
+    fn new(token: impl Into<String>, pos: usize, expected: impl Into<String>) -> SpecError {
+        SpecError {
+            token: token.into(),
+            pos,
+            expected: expected.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fleet spec: bad token {:?} at position {}: expected {}",
+            self.token, self.pos, self.expected
+        )
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// How sessions are routed to edge servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Routing {
+    /// Consistent hash on the session's [`VideoId`] — all viewers of one
+    /// video land on the same edge, maximizing overlap.
+    #[default]
+    Hash,
+    /// Round robin by flow id, ignoring content.
+    Robin,
+    /// Least-loaded: each session joins the edge with the fewest
+    /// sessions assigned so far (ties to the lowest edge id).
+    Least,
+}
+
+impl Routing {
+    /// Stable spec-grammar name (`hash` | `robin` | `least`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Routing::Hash => "hash",
+            Routing::Robin => "robin",
+            Routing::Least => "least",
+        }
+    }
+
+    /// Inverse of [`Routing::as_str`].
+    pub fn by_name(name: &str) -> Option<Routing> {
+        Some(match name {
+            "hash" => Routing::Hash,
+            "robin" => Routing::Robin,
+            "least" => Routing::Least,
+            _ => return None,
+        })
+    }
+}
+
+/// The edge serving tier of a fleet (DESIGN.md §16): `edges` edge servers
+/// in front of one shared origin, a routing policy assigning sessions to
+/// edges, and a per-edge byte-budgeted cache with byte-range-aware
+/// admission. Constructed with builder methods:
+///
+/// ```
+/// use voxel_fleet::{Routing, TopologySpec};
+/// use voxel_core::{Admission, EvictionPolicy};
+///
+/// let t = TopologySpec::new(4)
+///     .routing(Routing::Robin)
+///     .admission(Admission::ReliablePrefix)
+///     .eviction(EvictionPolicy::Lfu)
+///     .cache_mb(64.0)
+///     .origin(50.0);
+/// assert_eq!(t.edges, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologySpec {
+    /// Number of edge servers.
+    pub edges: usize,
+    /// Session → edge routing policy.
+    pub routing: Routing,
+    /// Cache admission mode over VOXEL's reliable/unreliable ranges.
+    pub admission: Admission,
+    /// Cache eviction policy under the byte budget.
+    pub eviction: EvictionPolicy,
+    /// Per-edge cache byte budget in MB; `None` is unbounded.
+    pub cache_mb: Option<f64>,
+    /// Origin backhaul rate, Mbit/s (every edge's misses share it).
+    pub origin_mbps: f64,
+}
+
+impl Default for TopologySpec {
+    fn default() -> TopologySpec {
+        TopologySpec::new(1)
+    }
+}
+
+impl TopologySpec {
+    /// An edge tier of `edges` servers with the workspace defaults:
+    /// consistent-hash routing, full admission, LRU eviction, an
+    /// unbounded cache, and a 100 Mbit/s origin backhaul.
+    pub fn new(edges: usize) -> TopologySpec {
+        TopologySpec {
+            edges: edges.max(1),
+            routing: Routing::Hash,
+            admission: Admission::Full,
+            eviction: EvictionPolicy::Lru,
+            cache_mb: None,
+            origin_mbps: 100.0,
+        }
+    }
+
+    /// Set the session → edge routing policy.
+    pub fn routing(mut self, routing: Routing) -> TopologySpec {
+        self.routing = routing;
+        self
+    }
+
+    /// Set the cache admission mode.
+    pub fn admission(mut self, admission: Admission) -> TopologySpec {
+        self.admission = admission;
+        self
+    }
+
+    /// Set the cache eviction policy.
+    pub fn eviction(mut self, eviction: EvictionPolicy) -> TopologySpec {
+        self.eviction = eviction;
+        self
+    }
+
+    /// Set the per-edge cache byte budget, in MB.
+    pub fn cache_mb(mut self, mb: f64) -> TopologySpec {
+        self.cache_mb = Some(mb);
+        self
+    }
+
+    /// Set the origin backhaul rate, Mbit/s.
+    pub fn origin(mut self, mbps: f64) -> TopologySpec {
+        self.origin_mbps = mbps;
+        self
+    }
+
+    /// The byte budget, in bytes.
+    pub fn cache_budget_bytes(&self) -> Option<u64> {
+        self.cache_mb.map(|mb| (mb * (1 << 20) as f64) as u64)
+    }
+
+    /// The per-edge [`CacheConfig`] this topology implies.
+    pub fn cache_config(&self) -> CacheConfig {
+        CacheConfig {
+            levels: None,
+            byte_budget: self.cache_budget_bytes(),
+            eviction: self.eviction,
+            admission: self.admission,
+        }
+    }
+}
+
 /// One homogeneous group of fleet members.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FleetMember {
@@ -110,7 +297,7 @@ impl FleetMember {
 
 /// A fully-specified fleet experiment. See the module docs for the
 /// grammar; [`FleetSpec::default`] carries the workspace defaults
-/// (`buf3:q64:d300:drr:stg0`).
+/// (`buf3:q64:d300:drr:stg0`, no edge tier).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetSpec {
     /// The video every session streams.
@@ -133,6 +320,8 @@ pub struct FleetSpec {
     /// Optional hard cap on simulated seconds (benchmark slices); `None`
     /// uses the session safety cap.
     pub cap_s: Option<usize>,
+    /// The edge serving tier; `None` is the classic single-server fleet.
+    pub edge: Option<TopologySpec>,
     /// Explicit shard worker count (`w<N>`); `None` defers to the
     /// `VOXEL_SHARD_WORKERS` environment variable via [`resolve_workers`].
     pub workers: Option<usize>,
@@ -154,6 +343,7 @@ impl Default for FleetSpec {
             discipline: Discipline::drr(),
             stagger_s: 0,
             cap_s: None,
+            edge: None,
             workers: None,
         }
     }
@@ -178,35 +368,133 @@ pub fn resolve_workers(explicit: Option<usize>, sessions: usize) -> usize {
 }
 
 impl FleetSpec {
+    /// A builder seed: `video`, no members yet, the workspace defaults
+    /// everywhere else. Chain [`FleetSpec::member`] and friends.
+    pub fn new(video: VideoId) -> FleetSpec {
+        FleetSpec {
+            video,
+            members: Vec::new(),
+            ..FleetSpec::default()
+        }
+    }
+
+    /// Append a member group of `count` sessions running `system`
+    /// (default congestion controller).
+    pub fn member(mut self, count: usize, system: &str) -> FleetSpec {
+        self.members.push(FleetMember {
+            count,
+            system: system.to_string(),
+            cc: None,
+        });
+        self
+    }
+
+    /// Append a member group with an explicit congestion controller.
+    pub fn member_cc(mut self, count: usize, system: &str, cc: CcKind) -> FleetSpec {
+        self.members.push(FleetMember {
+            count,
+            system: system.to_string(),
+            cc: Some(cc),
+        });
+        self
+    }
+
+    /// Set the shared link rate, Mbit/s.
+    pub fn link(mut self, mbps: f64) -> FleetSpec {
+        self.link_mbps = mbps;
+        self
+    }
+
+    /// Set the trace duration, seconds.
+    pub fn duration(mut self, s: usize) -> FleetSpec {
+        self.duration_s = s;
+        self
+    }
+
+    /// Set the per-session playback buffer, segments.
+    pub fn buffer(mut self, segments: usize) -> FleetSpec {
+        self.buffer_segments = segments;
+        self
+    }
+
+    /// Set the shared droptail queue length, packets.
+    pub fn queue(mut self, packets: usize) -> FleetSpec {
+        self.queue_packets = packets;
+        self
+    }
+
+    /// Set the link scheduling discipline.
+    pub fn discipline(mut self, discipline: Discipline) -> FleetSpec {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Set the session start stagger, seconds.
+    pub fn stagger(mut self, s: usize) -> FleetSpec {
+        self.stagger_s = s;
+        self
+    }
+
+    /// Cap the simulated horizon, seconds.
+    pub fn cap(mut self, s: usize) -> FleetSpec {
+        self.cap_s = Some(s);
+        self
+    }
+
+    /// Pin the sharded runtime's worker count.
+    pub fn workers(mut self, w: usize) -> FleetSpec {
+        self.workers = Some(w);
+        self
+    }
+
+    /// Install an edge serving tier.
+    pub fn topology(mut self, t: TopologySpec) -> FleetSpec {
+        self.edge = Some(t);
+        self
+    }
+
     /// Parse a spec string. Exact inverse of [`FleetSpec::spec`].
-    pub fn parse(spec: &str) -> Result<FleetSpec, String> {
-        let mut parts = spec.split(':');
-        let video_tok = parts.next().filter(|t| !t.is_empty()).ok_or("empty spec")?;
-        let video =
-            video_by_name(video_tok).ok_or_else(|| format!("unknown video {video_tok:?}"))?;
-        let members_tok = parts.next().ok_or("missing members (<count>x<system>+…)")?;
+    pub fn parse(spec: &str) -> Result<FleetSpec, SpecError> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let video_tok = *parts.first().unwrap_or(&"");
+        if video_tok.is_empty() {
+            return Err(SpecError::new(
+                spec,
+                0,
+                "a video legend name (BBB|ED|Sintel|ToS|P1..P10)",
+            ));
+        }
+        let video = video_by_name(video_tok).ok_or_else(|| {
+            SpecError::new(
+                video_tok,
+                0,
+                "a video legend name (BBB|ED|Sintel|ToS|P1..P10)",
+            )
+        })?;
+        let members_tok = *parts.get(1).ok_or_else(|| {
+            SpecError::new(spec, 1, "a member list (<count>x<system>[@<cc>][+…])")
+        })?;
         let mut members = Vec::new();
         for group in members_tok.split('+') {
-            let (count, system) = group
-                .split_once('x')
-                .ok_or_else(|| format!("member group {group:?} needs <count>x<system>"))?;
+            let (count, system) = group.split_once('x').ok_or_else(|| {
+                SpecError::new(group, 1, "a member group of the form <count>x<system>")
+            })?;
             let count: usize = count
                 .parse()
-                .map_err(|_| format!("bad member count in {group:?}"))?;
+                .map_err(|_| SpecError::new(group, 1, "a positive member count before 'x'"))?;
             if count == 0 {
-                return Err(format!("member group {group:?} has zero sessions"));
+                return Err(SpecError::new(group, 1, "a member count of at least 1"));
             }
             let (system, cc) = match system.split_once('@') {
                 Some((sys, cc_tok)) => {
-                    let cc = CcKind::by_name(cc_tok).ok_or_else(|| {
-                        format!("unknown cc {cc_tok:?} in {group:?} (expected cubic|delay|bbr)")
-                    })?;
+                    let cc = CcKind::by_name(cc_tok)
+                        .ok_or_else(|| SpecError::new(cc_tok, 1, "a cc in cubic|delay|bbr"))?;
                     (sys, Some(cc))
                 }
                 None => (system, None),
             };
             if system_by_name(system).is_none() {
-                return Err(format!("unknown system {system:?}"));
+                return Err(SpecError::new(system, 1, "a system legend name"));
             }
             members.push(FleetMember {
                 count,
@@ -214,12 +502,14 @@ impl FleetSpec {
                 cc,
             });
         }
-        let trace_tok = parts.next().ok_or("missing trace (const<mbps>)")?;
+        let trace_tok = *parts
+            .get(2)
+            .ok_or_else(|| SpecError::new(spec, 2, "a link trace (const<mbps>)"))?;
         let link_mbps: f64 = trace_tok
             .strip_prefix("const")
-            .ok_or_else(|| format!("fleet traces are const<mbps>, got {trace_tok:?}"))?
+            .ok_or_else(|| SpecError::new(trace_tok, 2, "a link trace (const<mbps>)"))?
             .parse()
-            .map_err(|_| format!("bad rate in {trace_tok:?}"))?;
+            .map_err(|_| SpecError::new(trace_tok, 2, "a rate in const<mbps>"))?;
 
         let mut out = FleetSpec {
             video,
@@ -227,7 +517,23 @@ impl FleetSpec {
             link_mbps,
             ..FleetSpec::default()
         };
-        for tok in parts {
+        for (pos, tok) in parts.iter().enumerate().skip(3) {
+            let tok = *tok;
+            // Helper: edge-group tokens require the `e<M>` token first.
+            macro_rules! edge_mut {
+                () => {
+                    match out.edge.as_mut() {
+                        Some(e) => e,
+                        None => {
+                            return Err(SpecError::new(
+                                tok,
+                                pos,
+                                "e<edges> before any r/a/p/cb/o edge token",
+                            ))
+                        }
+                    }
+                };
+            }
             // Literal discipline tokens first: `drr` must not be eaten by
             // the `d<duration>` prefix.
             if tok == "fifo" {
@@ -235,23 +541,70 @@ impl FleetSpec {
             } else if tok == "drr" {
                 out.discipline = Discipline::drr();
             } else if let Some(v) = tok.strip_prefix("buf") {
-                out.buffer_segments = v.parse().map_err(|_| format!("bad buf in {tok:?}"))?;
+                out.buffer_segments = v
+                    .parse()
+                    .map_err(|_| SpecError::new(tok, pos, "a segment count in buf<N>"))?;
             } else if let Some(v) = tok.strip_prefix("q") {
-                out.queue_packets = v.parse().map_err(|_| format!("bad queue in {tok:?}"))?;
-            } else if let Some(v) = tok.strip_prefix("d") {
-                out.duration_s = v.parse().map_err(|_| format!("bad duration in {tok:?}"))?;
+                out.queue_packets = v
+                    .parse()
+                    .map_err(|_| SpecError::new(tok, pos, "a packet count in q<N>"))?;
             } else if let Some(v) = tok.strip_prefix("stg") {
-                out.stagger_s = v.parse().map_err(|_| format!("bad stagger in {tok:?}"))?;
+                out.stagger_s = v
+                    .parse()
+                    .map_err(|_| SpecError::new(tok, pos, "seconds in stg<N>"))?;
+            } else if let Some(v) = tok.strip_prefix("cb") {
+                let mb: f64 = v
+                    .parse()
+                    .map_err(|_| SpecError::new(tok, pos, "a cache budget in cb<MB>"))?;
+                edge_mut!().cache_mb = Some(mb);
             } else if let Some(v) = tok.strip_prefix("cap") {
-                out.cap_s = Some(v.parse().map_err(|_| format!("bad cap in {tok:?}"))?);
+                out.cap_s = Some(
+                    v.parse()
+                        .map_err(|_| SpecError::new(tok, pos, "seconds in cap<N>"))?,
+                );
+            } else if let Some(v) = tok.strip_prefix("d") {
+                out.duration_s = v
+                    .parse()
+                    .map_err(|_| SpecError::new(tok, pos, "seconds in d<N>"))?;
+            } else if let Some(v) = tok.strip_prefix("e") {
+                let edges: usize = v
+                    .parse()
+                    .map_err(|_| SpecError::new(tok, pos, "an edge count in e<M>"))?;
+                if edges == 0 {
+                    return Err(SpecError::new(tok, pos, "an edge count of at least 1"));
+                }
+                out.edge = Some(TopologySpec::new(edges));
+            } else if let Some(v) = tok.strip_prefix("r") {
+                let routing = Routing::by_name(v)
+                    .ok_or_else(|| SpecError::new(tok, pos, "a routing in r<hash|robin|least>"))?;
+                edge_mut!().routing = routing;
+            } else if let Some(v) = tok.strip_prefix("a") {
+                let admission = Admission::by_name(v)
+                    .ok_or_else(|| SpecError::new(tok, pos, "an admission in a<full|rel|none>"))?;
+                edge_mut!().admission = admission;
+            } else if let Some(v) = tok.strip_prefix("p") {
+                let eviction = EvictionPolicy::by_name(v)
+                    .ok_or_else(|| SpecError::new(tok, pos, "an eviction in p<lru|lfu>"))?;
+                edge_mut!().eviction = eviction;
+            } else if let Some(v) = tok.strip_prefix("o") {
+                let mbps: f64 = v
+                    .parse()
+                    .map_err(|_| SpecError::new(tok, pos, "a rate in o<mbps>"))?;
+                edge_mut!().origin_mbps = mbps;
             } else if let Some(v) = tok.strip_prefix("w") {
-                let w: usize = v.parse().map_err(|_| format!("bad workers in {tok:?}"))?;
+                let w: usize = v
+                    .parse()
+                    .map_err(|_| SpecError::new(tok, pos, "a worker count in w<N>"))?;
                 if w == 0 {
-                    return Err(format!("workers must be at least 1 in {tok:?}"));
+                    return Err(SpecError::new(tok, pos, "a worker count of at least 1"));
                 }
                 out.workers = Some(w);
             } else {
-                return Err(format!("unknown fleet spec token {tok:?}"));
+                return Err(SpecError::new(
+                    tok,
+                    pos,
+                    "one of fifo|drr|buf<N>|q<N>|d<N>|stg<N>|cap<N>|e<M>|r<policy>|a<mode>|p<policy>|cb<MB>|o<mbps>|w<N>",
+                ));
             }
         }
         Ok(out)
@@ -277,6 +630,19 @@ impl FleetSpec {
         );
         if let Some(cap) = self.cap_s {
             s.push_str(&format!(":cap{cap}"));
+        }
+        if let Some(e) = &self.edge {
+            s.push_str(&format!(
+                ":e{}:r{}:a{}:p{}",
+                e.edges,
+                e.routing.as_str(),
+                e.admission.as_str(),
+                e.eviction.as_str(),
+            ));
+            if let Some(mb) = e.cache_mb {
+                s.push_str(&format!(":cb{mb}"));
+            }
+            s.push_str(&format!(":o{}", e.origin_mbps));
         }
         if let Some(w) = self.workers {
             s.push_str(&format!(":w{w}"));
@@ -340,6 +706,20 @@ impl FleetSpec {
     }
 }
 
+impl std::str::FromStr for FleetSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<FleetSpec, SpecError> {
+        FleetSpec::parse(s)
+    }
+}
+
+impl fmt::Display for FleetSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.spec())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,6 +744,96 @@ mod tests {
         let w = FleetSpec::parse(sharded).expect("parses");
         assert_eq!(w.spec(), sharded);
         assert_eq!(w.workers, Some(4));
+    }
+
+    #[test]
+    fn from_str_and_display_mirror_parse_and_spec() {
+        let spec = "BBB:4xVOXEL+2xBOLA:const6:buf3:q64:d300:drr:stg2";
+        let s: FleetSpec = spec.parse().expect("FromStr parses");
+        assert_eq!(s.to_string(), spec);
+        assert_eq!(s, FleetSpec::parse(spec).expect("parses"));
+    }
+
+    #[test]
+    fn builder_composes_the_typed_surface() {
+        let s = FleetSpec::new(VideoId::Tos)
+            .member(4, "VOXEL")
+            .member_cc(2, "BOLA", CcKind::Bbr)
+            .link(12.0)
+            .duration(120)
+            .buffer(1)
+            .queue(32)
+            .discipline(Discipline::Fifo)
+            .stagger(1)
+            .cap(60)
+            .workers(2)
+            .topology(
+                TopologySpec::new(4)
+                    .routing(Routing::Robin)
+                    .admission(Admission::ReliablePrefix)
+                    .eviction(EvictionPolicy::Lfu)
+                    .cache_mb(64.0)
+                    .origin(50.0),
+            );
+        assert_eq!(
+            s.spec(),
+            "ToS:4xVOXEL+2xBOLA@bbr:const12:buf1:q32:d120:fifo:stg1:cap60:e4:rrobin:arel:plfu:cb64:o50:w2"
+        );
+        assert_eq!(FleetSpec::parse(&s.spec()).expect("round-trips"), s);
+        let t = s.edge.as_ref().expect("edge tier");
+        assert_eq!(t.cache_budget_bytes(), Some(64 << 20));
+        let cfg = t.cache_config();
+        assert_eq!(cfg.admission, Admission::ReliablePrefix);
+        assert_eq!(cfg.eviction, EvictionPolicy::Lfu);
+    }
+
+    #[test]
+    fn edge_tokens_round_trip_and_default() {
+        // A bare `e` token takes the documented defaults and canonicalizes
+        // with every edge knob spelled out (except the unbounded budget).
+        let s = FleetSpec::parse("BBB:8xVOXEL:const12:e4").expect("parses");
+        let t = s.edge.as_ref().expect("edge tier");
+        assert_eq!(t.edges, 4);
+        assert_eq!(t.routing, Routing::Hash);
+        assert_eq!(t.admission, Admission::Full);
+        assert_eq!(t.eviction, EvictionPolicy::Lru);
+        assert_eq!(t.cache_mb, None);
+        assert!((t.origin_mbps - 100.0).abs() < 1e-12);
+        assert_eq!(
+            s.spec(),
+            "BBB:8xVOXEL:const12:buf3:q64:d300:drr:stg0:e4:rhash:afull:plru:o100"
+        );
+        assert_eq!(FleetSpec::parse(&s.spec()).expect("re-parses"), s);
+        // Budgeted form keeps the cb token.
+        let b = FleetSpec::parse("BBB:8xVOXEL:const12:e2:anone:cb0.5:o25").expect("parses");
+        let t = b.edge.as_ref().expect("edge tier");
+        assert_eq!(t.admission, Admission::None);
+        assert_eq!(t.cache_budget_bytes(), Some(512 * 1024));
+        assert_eq!(
+            b.spec(),
+            "BBB:8xVOXEL:const12:buf3:q64:d300:drr:stg0:e2:rhash:anone:plru:cb0.5:o25"
+        );
+    }
+
+    #[test]
+    fn edge_tokens_require_the_edge_count_first() {
+        for bad in [
+            "BBB:2xVOXEL:const6:rhash",
+            "BBB:2xVOXEL:const6:afull",
+            "BBB:2xVOXEL:const6:plru",
+            "BBB:2xVOXEL:const6:cb64",
+            "BBB:2xVOXEL:const6:o50",
+            "BBB:2xVOXEL:const6:e0",
+            "BBB:2xVOXEL:const6:e4:rwat",
+            "BBB:2xVOXEL:const6:e4:awat",
+            "BBB:2xVOXEL:const6:e4:pwat",
+            "BBB:2xVOXEL:const6:e4:cbx",
+            "BBB:2xVOXEL:const6:e4:ox",
+        ] {
+            assert!(FleetSpec::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        let err = FleetSpec::parse("BBB:2xVOXEL:const6:rhash").expect_err("rejects");
+        assert!(err.expected.contains("e<edges>"), "error was {err}");
     }
 
     #[test]
@@ -399,6 +869,31 @@ mod tests {
         ] {
             assert!(FleetSpec::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_errors_are_structured() {
+        // Unknown token: names itself, its position, and the token menu.
+        let err = FleetSpec::parse("BBB:2xVOXEL:const6:buf3:nope9").expect_err("rejects");
+        assert_eq!(err.token, "nope9");
+        assert_eq!(err.pos, 4);
+        assert!(
+            err.expected.contains("fifo|drr"),
+            "expected = {}",
+            err.expected
+        );
+        // Bad video: position 0.
+        let err = FleetSpec::parse("NOPE:2xVOXEL:const6").expect_err("rejects");
+        assert_eq!((err.token.as_str(), err.pos), ("NOPE", 0));
+        // Bad trace: position 2.
+        let err = FleetSpec::parse("BBB:2xVOXEL:tmobile").expect_err("rejects");
+        assert_eq!((err.token.as_str(), err.pos), ("tmobile", 2));
+        // Display carries all three parts.
+        let msg = err.to_string();
+        assert!(
+            msg.contains("\"tmobile\"") && msg.contains("position 2"),
+            "{msg}"
+        );
     }
 
     #[test]
@@ -450,7 +945,9 @@ mod tests {
 
     #[test]
     fn unknown_cc_error_names_the_token_and_choices() {
-        let err = FleetSpec::parse("BBB:2xVOXEL@reno:const6").expect_err("rejects");
+        let err = FleetSpec::parse("BBB:2xVOXEL@reno:const6")
+            .expect_err("rejects")
+            .to_string();
         assert!(err.contains("\"reno\""), "error was {err:?}");
         assert!(err.contains("cubic|delay|bbr"), "error was {err:?}");
     }
@@ -480,6 +977,7 @@ mod tests {
         assert_eq!(s.duration_s, 300);
         assert_eq!(s.stagger_s, 0);
         assert_eq!(s.discipline, Discipline::drr());
+        assert_eq!(s.edge, None);
     }
 
     #[test]
@@ -504,6 +1002,102 @@ mod tests {
         ] {
             assert_eq!(video_by_name(name), Some(id));
             assert_eq!(video_name(id), name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    const SYSTEMS: [&str; 9] = [
+        "BOLA",
+        "BOLA-SSIM",
+        "MPC",
+        "MPC*",
+        "Tput",
+        "BETA",
+        "VOXEL",
+        "VOXEL-tuned",
+        "VOXEL-rel",
+    ];
+
+    fn video(i: usize) -> VideoId {
+        [
+            VideoId::Bbb,
+            VideoId::Ed,
+            VideoId::Sintel,
+            VideoId::Tos,
+            VideoId::YouTube(7),
+        ][i]
+    }
+
+    fn cc(i: usize) -> Option<CcKind> {
+        [
+            None,
+            Some(CcKind::Cubic),
+            Some(CcKind::Delay),
+            Some(CcKind::Bbr),
+        ][i]
+    }
+
+    proptest! {
+        /// The API-redesign contract: `parse` is the exact inverse of
+        /// `Display` over the whole typed surface, edge tier included.
+        #[test]
+        fn parse_display_round_trips(
+            video_i in 0usize..5,
+            groups in proptest::collection::vec((1usize..5, 0usize..9, 0usize..4), 1..4),
+            link_half_mbps in 1u32..100,
+            knobs in (1usize..8, 16usize..512, 30usize..400, 0usize..5),
+            tail in (proptest::bool::ANY, 0usize..3, 0usize..3),
+            edge in prop_oneof![
+                Just(None),
+                (1usize..6, 0usize..3, 0usize..3, 0usize..2, 0usize..4, 1u32..80)
+                    .prop_map(Some),
+            ],
+        ) {
+            let (buf, q, d, stg) = knobs;
+            let (fifo, cap_i, w_i) = tail;
+            let mut s = FleetSpec::new(video(video_i))
+                .link(link_half_mbps as f64 / 2.0)
+                .buffer(buf)
+                .queue(q)
+                .duration(d)
+                .stagger(stg)
+                .discipline(if fifo { Discipline::Fifo } else { Discipline::drr() });
+            for (count, sys_i, cc_i) in groups {
+                s = match cc(cc_i) {
+                    Some(k) => s.member_cc(count, SYSTEMS[sys_i], k),
+                    None => s.member(count, SYSTEMS[sys_i]),
+                };
+            }
+            if cap_i > 0 {
+                s = s.cap(cap_i * 30);
+            }
+            if w_i > 0 {
+                s = s.workers(w_i * 2);
+            }
+            if let Some((edges, r_i, a_i, p_i, cb_i, o_half)) = edge {
+                let mut t = TopologySpec::new(edges)
+                    .routing([Routing::Hash, Routing::Robin, Routing::Least][r_i])
+                    .admission(
+                        [Admission::Full, Admission::ReliablePrefix, Admission::None][a_i],
+                    )
+                    .eviction([EvictionPolicy::Lru, EvictionPolicy::Lfu][p_i])
+                    .origin(o_half as f64 / 2.0);
+                if cb_i > 0 {
+                    t = t.cache_mb(cb_i as f64 / 2.0);
+                }
+                s = s.topology(t);
+            }
+            let rendered = s.to_string();
+            let parsed = rendered.parse::<FleetSpec>();
+            prop_assert!(parsed.is_ok(), "{:?} failed: {:?}", rendered, parsed.err());
+            let back = parsed.unwrap();
+            prop_assert_eq!(&back, &s, "round-trip drifted for {}", rendered);
+            prop_assert_eq!(back.to_string(), rendered);
         }
     }
 }

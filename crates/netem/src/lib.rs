@@ -24,14 +24,19 @@
 //! - [`fault`]: the seeded fault-injection plane the testkit threads
 //!   through sessions — loss bursts, reorder/dup windows, bandwidth cliffs
 //!   and stuck-trace stretches (DESIGN.md §11).
+//! - [`origin`]: the edge → origin backhaul of the fleet's edge serving
+//!   tier — a fluid FIFO object-fetch pipe cache misses fan in to
+//!   (DESIGN.md §16).
 
 pub mod crosstraffic;
 pub mod fault;
+pub mod origin;
 pub mod path;
 pub mod shared;
 pub mod trace;
 
 pub use fault::{FaultKind, FaultPlane, PacketFate};
+pub use origin::OriginLink;
 pub use path::{BottleneckPath, PathConfig, PathStats};
 pub use shared::{Departure, Discipline, FlowStats, SharedLink, SharedLinkConfig};
 pub use trace::BandwidthTrace;

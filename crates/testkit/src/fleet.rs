@@ -46,6 +46,21 @@ pub const MIXED_CC_JAIN_FLOOR: f64 = 0.4;
 /// another even when no single flow is starved to zero bytes.
 pub const CC_GROUP_SHARE_FRACTION: f64 = 0.25;
 
+/// A *hot* edge fleet — full admission, hash routing, an unbounded
+/// cache, every session on one video — must serve at least this fraction
+/// of lookups from cache: only the leader session's distinct objects can
+/// miss, so 16 same-video sessions have a ceiling of 1/16 misses.
+pub const EDGE_HOT_HIT_RATIO_FLOOR: f64 = 0.9;
+
+/// A hot edge fleet's origin traffic must stay at or below this fraction
+/// of the equivalent cold (admission `none`) fleet's — the flash crowd is
+/// absorbed by the cache, not forwarded.
+pub const EDGE_HOT_ORIGIN_FRACTION_OF_COLD: f64 = 0.1;
+
+/// Origin-load ceiling for hot edge fleets, percent of the run's
+/// duration spent busy: a warm cache leaves the backhaul mostly idle.
+pub const EDGE_HOT_ORIGIN_LOAD_CEILING_PCT: f64 = 25.0;
+
 /// The canonical fleet specs whose digests are committed. One mixed
 /// 8-session fleet (the acceptance scenario: 4 VOXEL, 2 BOLA, 2 BETA on
 /// a shared 6 Mbit/s DRR link), one homogeneous VOXEL fleet pinning the
@@ -54,7 +69,13 @@ pub const CC_GROUP_SHARE_FRACTION: f64 = 0.25;
 /// cap-freeze path — everything the parity suite must hold byte-stable
 /// across worker counts), plus the congestion-control pair: an all-BBR
 /// homogeneous fleet and a BBR-vs-CUBIC contention mix on a FIFO
-/// droptail link (DRR would referee the contention away).
+/// droptail link (DRR would referee the contention away). The
+/// `edge4x16` pair exercises the edge serving tier (DESIGN.md §16): 16
+/// same-video sessions over 4 hash-routed edges, once *hot* (full
+/// admission — the cache absorbs the crowd and the hit ratio must clear
+/// [`EDGE_HOT_HIT_RATIO_FLOOR`]) and once *cold* (admission `none` —
+/// every object rides the origin backhaul, pinning the flash-crowd
+/// degradation path).
 pub fn canonical_fleets() -> Vec<GoldenScenario> {
     vec![
         GoldenScenario {
@@ -82,6 +103,16 @@ pub fn canonical_fleets() -> Vec<GoldenScenario> {
             spec: "BBB:4xVOXEL@bbr+4xVOXEL@cubic:const6:buf3:q64:d300:fifo:stg2",
             seed: 0,
         },
+        GoldenScenario {
+            name: "fleet-edge4x16-hot",
+            spec: "BBB:16xVOXEL:const24:buf3:q128:d120:drr:stg0:cap90:e4:rhash:afull:plru:o50",
+            seed: 0,
+        },
+        GoldenScenario {
+            name: "fleet-edge4x16-cold",
+            spec: "BBB:16xVOXEL:const24:buf3:q128:d120:drr:stg0:cap90:e4:rhash:anone:plru:o50",
+            seed: 0,
+        },
     ]
 }
 
@@ -90,6 +121,7 @@ pub fn canonical_fleets() -> Vec<GoldenScenario> {
 pub fn canonical_fleet_sessions(name: &str) -> usize {
     match name {
         "fleet-mixed64" => 64,
+        "fleet-edge4x16-hot" | "fleet-edge4x16-cold" => 16,
         _ => 8,
     }
 }
@@ -194,6 +226,84 @@ pub fn fleet_invariants(spec: &FleetSpec, r: &FleetResult) -> Vec<String> {
             ));
         }
     }
+    // Edge tier consistency: a topology spec must produce a report (and
+    // only then), with every session routed, per-edge counters summing
+    // to the fleet-wide ones, and admission `none` never hitting.
+    match (&spec.edge, &r.edge) {
+        (None, None) => {}
+        (Some(_), None) => v.push("edge topology spec produced no edge report".into()),
+        (None, Some(_)) => v.push("edge report without an edge topology spec".into()),
+        (Some(t), Some(e)) => {
+            if e.edges.len() != t.edges {
+                v.push(format!(
+                    "edge report covers {} edges for a topology of {}",
+                    e.edges.len(),
+                    t.edges
+                ));
+            }
+            let routed: usize = e.edges.iter().map(|s| s.sessions).sum();
+            if routed != n {
+                v.push(format!("{routed} sessions routed to edges, fleet has {n}"));
+            }
+            let (hits, misses): (u64, u64) = e
+                .edges
+                .iter()
+                .fold((0, 0), |(h, m), s| (h + s.hits, m + s.misses));
+            if (hits, misses) != (e.hits, e.misses) {
+                v.push(format!(
+                    "per-edge hit/miss ({hits}/{misses}) disagree with fleet-wide ({}/{})",
+                    e.hits, e.misses
+                ));
+            }
+            let origin: u64 = e.edges.iter().map(|s| s.origin_bytes).sum();
+            if origin != e.origin_bytes {
+                v.push(format!(
+                    "per-edge origin bytes {origin} disagree with backhaul total {}",
+                    e.origin_bytes
+                ));
+            }
+            if e.hits + e.misses == 0 {
+                v.push("edge tier saw no lookups from a streaming fleet".into());
+            }
+            if !(0.0..=100.0 + 1e-9).contains(&e.hit_ratio_pct) {
+                v.push(format!(
+                    "edge hit ratio {}% outside [0, 100]",
+                    e.hit_ratio_pct
+                ));
+            }
+            if t.admission == voxel_core::Admission::None && e.hits > 0 {
+                v.push(format!(
+                    "admission `none` edge tier reported {} cache hits",
+                    e.hits
+                ));
+            }
+        }
+    }
+    v
+}
+
+/// Oracles specific to a *hot* edge fleet (full admission, hash routing,
+/// unbounded cache, one video): the cache must absorb the crowd. Applied
+/// to the hot golden and the `edge_sweep --smoke` acceptance gate — not
+/// folded into [`fleet_invariants`], because generated zipf workloads
+/// legitimately run colder.
+pub fn edge_hot_invariants(r: &FleetResult) -> Vec<String> {
+    let mut v = Vec::new();
+    let Some(e) = &r.edge else {
+        return vec!["hot edge fleet produced no edge report".into()];
+    };
+    if e.hit_ratio() < EDGE_HOT_HIT_RATIO_FLOOR {
+        v.push(format!(
+            "hot edge hit ratio {:.3} below the {EDGE_HOT_HIT_RATIO_FLOOR} floor",
+            e.hit_ratio()
+        ));
+    }
+    if e.origin_load_pct > EDGE_HOT_ORIGIN_LOAD_CEILING_PCT {
+        v.push(format!(
+            "hot edge origin load {:.1}% above the {EDGE_HOT_ORIGIN_LOAD_CEILING_PCT}% ceiling",
+            e.origin_load_pct
+        ));
+    }
     v
 }
 
@@ -224,7 +334,7 @@ pub fn run_fleet_golden_with_workers(
     content: &Content,
     workers: Option<usize>,
 ) -> Result<FleetGoldenRun, String> {
-    let mut spec = FleetSpec::parse(g.spec)?;
+    let mut spec = FleetSpec::parse(g.spec).map_err(|e| e.to_string())?;
     if workers.is_some() {
         spec.workers = workers;
     }
@@ -316,6 +426,9 @@ pub fn shard_parity_failures(
                 g.name
             ));
         }
+        if a.edge != b.edge {
+            v.push(format!("{} w={w}: edge report differs from w={w0}", g.name));
+        }
         for (i, (sa, sb)) in a.sessions.iter().zip(b.sessions.iter()).enumerate() {
             let same = sa.completed == sb.completed
                 && sa.stall_s == sb.stall_s
@@ -368,6 +481,7 @@ mod tests {
             jain: voxel_fleet::jain_index(&delivered.iter().map(|&b| b as f64).collect::<Vec<_>>()),
             end_s: 100.0,
             loop_iters: 1,
+            edge: None,
         }
     }
 
@@ -426,6 +540,65 @@ mod tests {
         assert!(r.jain < MIXED_CC_JAIN_FLOOR);
         let v = fleet_invariants(&spec, &r);
         assert!(v.iter().any(|m| m.contains("mixed-cc")), "{v:?}");
+    }
+
+    /// The edge consistency oracles: a topology spec demands a matching
+    /// report, per-edge counters must sum to fleet-wide ones, and an
+    /// admission-`none` tier can never hit. The hot-path oracle holds the
+    /// cache to its hit-ratio floor and origin-load ceiling.
+    #[test]
+    fn edge_oracles_check_report_consistency() {
+        use voxel_fleet::{EdgeReport, EdgeStats};
+        let spec = FleetSpec::parse("BBB:2xVOXEL:const6:e2:rhash:afull:plru:o50").expect("spec");
+        let mut r = fake_result(&spec, &[1000, 990]);
+        let v = fleet_invariants(&spec, &r);
+        assert!(v.iter().any(|m| m.contains("no edge report")), "{v:?}");
+
+        let healthy = EdgeReport {
+            edges: vec![
+                EdgeStats {
+                    sessions: 2,
+                    hits: 95,
+                    misses: 5,
+                    origin_bytes: 5_000,
+                    bytes_served: 100_000,
+                    ..EdgeStats::default()
+                },
+                EdgeStats::default(),
+            ],
+            hits: 95,
+            misses: 5,
+            origin_bytes: 5_000,
+            origin_fetches: 5,
+            hit_ratio_pct: 95.0,
+            origin_load_pct: 3.0,
+            ..EdgeReport::default()
+        };
+        r.edge = Some(healthy.clone());
+        assert_eq!(fleet_invariants(&spec, &r), Vec::<String>::new());
+        assert_eq!(edge_hot_invariants(&r), Vec::<String>::new());
+
+        // Books that don't balance: per-edge sums disagree fleet-wide.
+        let mut cooked = healthy.clone();
+        cooked.hits = 40;
+        r.edge = Some(cooked);
+        let v = fleet_invariants(&spec, &r);
+        assert!(v.iter().any(|m| m.contains("disagree")), "{v:?}");
+
+        // A cold tier claiming hits is lying.
+        let cold = FleetSpec::parse("BBB:2xVOXEL:const6:e2:rhash:anone:plru:o50").expect("spec");
+        r.edge = Some(healthy.clone());
+        let v = fleet_invariants(&cold, &r);
+        assert!(v.iter().any(|m| m.contains("admission `none`")), "{v:?}");
+
+        // The hot oracle flags a cold cache and a busy backhaul.
+        let mut lukewarm = healthy;
+        lukewarm.hit_ratio_pct = 50.0;
+        lukewarm.origin_load_pct = 80.0;
+        r.edge = Some(lukewarm);
+        let v = edge_hot_invariants(&r);
+        assert!(v.iter().any(|m| m.contains("hit ratio")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("origin load")), "{v:?}");
     }
 
     /// The per-cc-group starvation oracle fires when one controller's

@@ -41,8 +41,9 @@ pub use digest::{
     check_or_bless, fnv64, run_golden, timeline_digest, GoldenScenario, GoldenStatus,
 };
 pub use fleet::{
-    canonical_fleet_sessions, canonical_fleets, fleet_invariants, run_fleet_golden,
-    run_fleet_golden_with_workers, shard_parity_failures, FleetGoldenRun,
+    canonical_fleet_sessions, canonical_fleets, edge_hot_invariants, fleet_invariants,
+    run_fleet_golden, run_fleet_golden_with_workers, shard_parity_failures, FleetGoldenRun,
+    EDGE_HOT_HIT_RATIO_FLOOR, EDGE_HOT_ORIGIN_FRACTION_OF_COLD, EDGE_HOT_ORIGIN_LOAD_CEILING_PCT,
 };
 pub use oracle::Bounds;
 pub use runner::{run_scenario, Content, ScenarioRun, TrialRun};

@@ -19,6 +19,9 @@ pub enum Layer {
     /// Fleet harness: multi-session runs on a shared link — membership,
     /// per-flow shares, fairness summaries.
     Fleet,
+    /// Edge serving tier: per-edge cache outcomes and origin backhaul
+    /// load (DESIGN.md §16).
+    Edge,
 }
 
 impl Layer {
@@ -31,6 +34,7 @@ impl Layer {
             Layer::Player => "player",
             Layer::Session => "session",
             Layer::Fleet => "fleet",
+            Layer::Edge => "edge",
         }
     }
 }
@@ -280,8 +284,12 @@ mod tests {
             Layer::Player,
             Layer::Session,
             Layer::Fleet,
+            Layer::Edge,
         ];
         let names: Vec<&str> = all.iter().map(|l| l.as_str()).collect();
-        assert_eq!(names, ["quic", "http", "abr", "player", "session", "fleet"]);
+        assert_eq!(
+            names,
+            ["quic", "http", "abr", "player", "session", "fleet", "edge"]
+        );
     }
 }

@@ -54,6 +54,19 @@ fn main() {
         fleet.total_stall_s(),
         fleet.total_drops(),
     );
+    if let Some(edge) = &fleet.edge {
+        println!(
+            "edge tier: {} edges | hit ratio {:.1}% ({} hits / {} misses) | \
+             origin {} bytes over {} fetches | origin load {:.1}%",
+            edge.edges.len(),
+            edge.hit_ratio_pct,
+            edge.hits,
+            edge.misses,
+            edge.origin_bytes,
+            edge.origin_fetches,
+            edge.origin_load_pct,
+        );
+    }
     println!(
         "simulated {:.1} s in {} event-loop iterations{}",
         fleet.end_s,

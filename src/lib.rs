@@ -50,11 +50,13 @@ pub mod prelude {
     pub use crate::core::server::ServerApp;
     pub use crate::core::session::Session;
     pub use crate::core::{
-        AbrKind, Aggregate, Config, ContentCache, Experiment, ExperimentBuilder, Tracing,
-        TransportStats, TrialResult,
+        AbrKind, Admission, Aggregate, CacheConfig, Config, ContentCache, EvictionPolicy,
+        Experiment, ExperimentBuilder, Tracing, TransportStats, TrialResult,
     };
     pub use crate::fleet::{
-        jain_index, run_experiment_fleet, run_fleet, run_specs, FleetMember, FleetResult, FleetSpec,
+        jain_index, run_experiment_fleet, run_fleet, run_fleet_workload, run_specs,
+        zipf_poisson_arrivals, EdgeReport, FleetMember, FleetResult, FleetSpec, Routing, SpecError,
+        TopologySpec, Workload,
     };
     pub use crate::media::content::VideoId;
     pub use crate::media::ladder::QualityLevel;

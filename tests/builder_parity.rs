@@ -1,12 +1,13 @@
-//! API-redesign safety net: the deprecated `Config` constructor chain and
-//! `Experiment::builder()` must configure byte-identical trials.
+//! API-redesign safety net: `Experiment::builder()` is the only way to
+//! assemble an experiment, so it must be insensitive to everything but
+//! the final value of each knob.
 //!
-//! Runs every canonical golden scenario twice — once with a config built
-//! through the legacy shims, once through the builder — and requires the
-//! two JSONL timelines to match byte-for-byte. Any divergence means the
-//! builder is not a faithful replacement and the old goldens would drift.
-
-#![allow(deprecated)]
+//! Runs every canonical golden scenario twice — once with the setters in
+//! the natural order, once scrambled with every knob first set to a
+//! decoy value and then overridden — and requires the two JSONL
+//! timelines to match byte-for-byte. Any divergence means builder call
+//! order leaks into the configuration and the pinned goldens would
+//! drift under an innocent refactor of a call site.
 
 use voxel::prelude::*;
 use voxel::testkit::digest::{canonical_scenarios, timeline_digest};
@@ -24,38 +25,55 @@ fn run_with(config: &Config, scenario: &Scenario, seed: u64, content: &mut Conte
 }
 
 #[test]
-fn builder_and_legacy_configs_produce_identical_timelines() {
+fn builder_call_order_cannot_change_the_timeline() {
     let mut content = Content::new();
     for g in canonical_scenarios() {
         let scenario = Scenario::parse(g.spec).expect(g.spec);
         let (abr, transport) = system_by_name(&scenario.system).expect("legend system");
         let trace = scenario.build_trace(g.seed);
+        let skew = scenario.inject == Some(Inject::StallSkew);
 
-        let mut legacy = Config::new(scenario.video, abr, scenario.buffer_segments, trace.clone())
-            .with_transport(transport)
-            .with_trials(scenario.trials)
-            .with_queue(scenario.queue_packets);
-        legacy.debug_stall_skew = scenario.inject == Some(Inject::StallSkew);
-
-        let built = Experiment::builder()
+        let natural = Experiment::builder()
             .video(scenario.video)
             .abr(abr)
             .transport(transport)
             .buffer(scenario.buffer_segments)
-            .trace(trace)
+            .trace(trace.clone())
             .trials(scenario.trials)
             .queue(scenario.queue_packets)
-            .debug_stall_skew(scenario.inject == Some(Inject::StallSkew))
+            .debug_stall_skew(skew)
             .build()
             .into_config();
 
-        let a = run_with(&legacy, &scenario, g.seed, &mut content);
-        let b = run_with(&built, &scenario, g.seed, &mut content);
-        assert!(!a.is_empty(), "{}: legacy run produced no events", g.name);
+        // Decoy values for every knob, each overridden afterwards in a
+        // different order; only the final values may matter.
+        let scrambled = Experiment::builder()
+            .queue(7)
+            .trials(1)
+            .buffer(99)
+            .abr(AbrKind::Bola)
+            .debug_stall_skew(!skew)
+            .selective_retx(false)
+            .debug_stall_skew(skew)
+            .queue(scenario.queue_packets)
+            .trace(trace)
+            .trials(scenario.trials)
+            .transport(transport)
+            .selective_retx(true)
+            .abr(abr)
+            .transport(transport)
+            .buffer(scenario.buffer_segments)
+            .video(scenario.video)
+            .build()
+            .into_config();
+
+        let a = run_with(&natural, &scenario, g.seed, &mut content);
+        let b = run_with(&scrambled, &scenario, g.seed, &mut content);
+        assert!(!a.is_empty(), "{}: natural run produced no events", g.name);
         assert_eq!(
             timeline_digest(&a),
             timeline_digest(&b),
-            "{}: legacy and builder configs diverged",
+            "{}: builder call order changed the timeline",
             g.name
         );
         assert_eq!(a, b, "{}: timelines differ byte-wise", g.name);
@@ -63,23 +81,16 @@ fn builder_and_legacy_configs_produce_identical_timelines() {
 }
 
 #[test]
-fn builder_defaults_match_legacy_defaults() {
-    let trace = BandwidthTrace::constant(8.0, 300);
-    let legacy = Config::new(VideoId::Bbb, AbrKind::voxel(), 3, trace.clone());
-    let built = Experiment::builder()
-        .video(VideoId::Bbb)
-        .abr(AbrKind::voxel())
-        .buffer(3)
-        .trace(trace)
-        .build()
-        .into_config();
-    assert_eq!(legacy.video, built.video);
-    assert_eq!(legacy.abr, built.abr);
-    assert_eq!(legacy.transport, built.transport);
-    assert_eq!(legacy.buffer_segments, built.buffer_segments);
-    assert_eq!(legacy.queue_packets, built.queue_packets);
-    assert_eq!(legacy.trials, built.trials);
-    assert_eq!(legacy.selective_retx, built.selective_retx);
-    assert_eq!(legacy.cc, built.cc);
-    assert_eq!(legacy.debug_stall_skew, built.debug_stall_skew);
+fn builder_defaults_are_the_papers_section_5() {
+    let built = Experiment::builder().build();
+    let b = built.config();
+    assert_eq!(b.video, VideoId::Bbb);
+    assert_eq!(b.abr, AbrKind::voxel());
+    assert_eq!(b.transport, TransportMode::Split);
+    assert_eq!(b.buffer_segments, 3);
+    assert_eq!(b.queue_packets, 32);
+    assert_eq!(b.trials, 30);
+    assert!(b.selective_retx);
+    assert_eq!(b.cc, CcKind::Cubic);
+    assert!(!b.debug_stall_skew);
 }

@@ -35,6 +35,7 @@ fn assert_parity(spec: &str, counts: &[usize], cache: &ContentCache) -> FleetRes
         assert_eq!(rw.jain, r1.jain, "jain at workers={w}");
         assert_eq!(rw.shares_pct, r1.shares_pct, "shares at workers={w}");
         assert_eq!(rw.flows, r1.flows, "link stats at workers={w}");
+        assert_eq!(rw.edge, r1.edge, "edge report at workers={w}");
         assert_eq!(rw.sessions.len(), r1.sessions.len());
         for (i, (a, b)) in rw.sessions.iter().zip(r1.sessions.iter()).enumerate() {
             assert_eq!(a.completed, b.completed, "session {i} at workers={w}");
@@ -100,6 +101,58 @@ fn cc_goldens_hold_parity_at_one_two_and_max_workers() {
             voxel::testkit::shard_parity_failures(g, &content, &[1, 2, max]).expect("spec runs");
         assert!(violations.is_empty(), "{name}: {violations:?}");
         assert!(!run.timeline.is_empty(), "{name} produced no timeline");
+    }
+}
+
+/// The edge serving tier runs coordinator-side off shard-exported serve
+/// notes, so it must be as partition-blind as the link: same caches,
+/// same origin backlog, same per-flow gates — byte-identical timelines
+/// and identical edge reports at every worker count. Exercises both
+/// admission extremes (a gating cold tier stresses the held-packet
+/// staging; a hot tier stresses note-order cache replay).
+#[test]
+fn edge_tier_is_byte_identical_across_worker_counts() {
+    let cache = ContentCache::top_level_only();
+    for admission in ["afull", "anone"] {
+        let spec = format!(
+            "BBB:4xVOXEL+2xBOLA:const9:buf3:q64:d60:drr:stg1:cap30:e2:rhash:{admission}:plru:o25"
+        );
+        let r = assert_parity(&spec, &[2, 3, 6], &cache);
+        let edge = r.edge.expect("edge tier ran");
+        assert_eq!(
+            edge.edges.iter().map(|e| e.sessions).sum::<usize>(),
+            6,
+            "every session routed to an edge"
+        );
+        assert!(edge.hits + edge.misses > 0, "edge tier saw lookups");
+        if admission == "anone" {
+            assert_eq!(edge.hits, 0, "admission none must never hit");
+            assert!(edge.origin_bytes > 0, "cold tier rides the origin");
+        }
+    }
+}
+
+/// The committed edge goldens themselves hold parity at w ∈ {1, 2, max}
+/// in tier-1 (the full digest check runs in tier-2 conformance): the
+/// hot golden must also clear the testkit's hot-cache oracles.
+#[test]
+fn edge_goldens_hold_parity_at_one_two_and_max_workers() {
+    let content = voxel::testkit::Content::new();
+    let goldens = voxel::testkit::canonical_fleets();
+    for name in ["fleet-edge4x16-hot", "fleet-edge4x16-cold"] {
+        let g = goldens
+            .iter()
+            .find(|g| g.name == name)
+            .expect("edge golden is canonical");
+        let max = FleetSpec::parse(g.spec).expect("spec").total_sessions();
+        let (run, violations) =
+            voxel::testkit::shard_parity_failures(g, &content, &[1, 2, max]).expect("spec runs");
+        assert!(violations.is_empty(), "{name}: {violations:?}");
+        assert!(!run.timeline.is_empty(), "{name} produced no timeline");
+        if name == "fleet-edge4x16-hot" {
+            let hot = voxel::testkit::edge_hot_invariants(&run.result);
+            assert!(hot.is_empty(), "{hot:?}");
+        }
     }
 }
 
